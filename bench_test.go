@@ -1,0 +1,239 @@
+// Package activebridge's root benchmark harness regenerates every table
+// and figure of the paper's evaluation. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment once per iteration in virtual
+// time (results are deterministic and machine-independent) and reports the
+// headline numbers via b.ReportMetric; the full tables are printed once
+// per benchmark. cmd/abbench prints all tables without the benchmark
+// scaffolding.
+package activebridge_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/experiments"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/testbed"
+)
+
+var printOnce sync.Map
+
+func printTable(b *testing.B, key, s string) {
+	if _, dup := printOnce.LoadOrStore(key, true); !dup {
+		fmt.Println(s)
+	}
+	_ = b
+}
+
+// BenchmarkFig9PingLatency regenerates Figure 9 and reports the 64-byte
+// RTT through the active bridge in milliseconds.
+func BenchmarkFig9PingLatency(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var rtt netsim.Duration
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		rtt = tb.PingRTT(64, 10)
+	}
+	printTable(b, "fig9", experiments.Fig9PingLatency(cost).String())
+	b.ReportMetric(float64(rtt)/1e6, "ms-rtt-64B")
+}
+
+// BenchmarkFig10TtcpThroughput regenerates Figure 10 and reports the
+// active bridge's 8 KB-write throughput (paper: 16 Mb/s).
+func BenchmarkFig10TtcpThroughput(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		mbps = tb.TtcpRun(8192, 4<<20).ThroughputMbps()
+	}
+	printTable(b, "fig10", experiments.Fig10TtcpThroughput(cost).String())
+	b.ReportMetric(mbps, "Mbps")
+}
+
+// BenchmarkFrameRates regenerates the §7.3 frame-rate series and reports
+// frames/s at 1024-byte frames (paper: ~1790).
+func BenchmarkFrameRates(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var fps float64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		fps = tb.TtcpRun(1024, 2<<20).FramesPerSecond()
+	}
+	printTable(b, "framerates", experiments.FrameRates(cost).String())
+	b.ReportMetric(fps, "frames/s-1024B")
+}
+
+// BenchmarkLatencyDecomposition regenerates the Figure 5 / §7.2 per-stage
+// cost decomposition and reports the switchlet execution share (paper:
+// ~0.34 ms of Caml per frame on the ping path).
+func BenchmarkLatencyDecomposition(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var vmMs float64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		tb.Bridge.TracePath = true
+		tb.Sim.Schedule(tb.Sim.Now()+1, func() { _ = tb.H1.SendTest(tb.H2.MAC, make([]byte, 1024)) })
+		tb.Sim.Run(tb.Sim.Now() + netsim.Time(100*netsim.Millisecond))
+		vmMs = float64(tb.Bridge.LastPath.Exec) / 1e6
+	}
+	printTable(b, "decomp", experiments.LatencyDecomposition(cost).String())
+	b.ReportMetric(vmMs, "ms-vm-per-frame")
+}
+
+// BenchmarkPathDecomposition is the §6/Figure 5 seven-step path: identical
+// measurement to the latency decomposition but reported as total node
+// transit time.
+func BenchmarkPathDecomposition(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var total netsim.Duration
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		tb.Bridge.TracePath = true
+		tb.Sim.Schedule(tb.Sim.Now()+1, func() { _ = tb.H1.SendTest(tb.H2.MAC, make([]byte, 1024)) })
+		tb.Sim.Run(tb.Sim.Now() + netsim.Time(100*netsim.Millisecond))
+		p := tb.Bridge.LastPath
+		total = p.KernelRecv + p.Exec + p.KernelSend
+	}
+	b.ReportMetric(float64(total)/1e6, "ms-node-transit")
+}
+
+// BenchmarkTable1ProtocolTransition regenerates Table 1 (the on-the-fly
+// DEC -> IEEE upgrade) and reports the post-injection time until every
+// bridge runs the new protocol.
+func BenchmarkTable1ProtocolTransition(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table1Transition(cost)
+		if len(tbl.Rows) == 0 {
+			b.Fatal("transition experiment produced no rows")
+		}
+	}
+	printTable(b, "table1", experiments.Table1Transition(cost).String())
+	printTable(b, "table1fb", experiments.Table1Fallback(cost).String())
+}
+
+// BenchmarkAgilityRing regenerates the §7.5 agility measurement and
+// reports both headline times (paper: 0.056 s and 30.1 s).
+func BenchmarkAgilityRing(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var res experiments.AgilityResult
+	for i := 0; i < b.N; i++ {
+		_, r, err := experiments.AgilityRing(cost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	tbl, _, err := experiments.AgilityRing(cost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "agility", tbl.String())
+	b.ReportMetric(res.StartToIEEE.Seconds(), "s-start-to-IEEE")
+	b.ReportMetric(res.StartToPing.Seconds(), "s-start-to-ping")
+}
+
+// BenchmarkNetworkLoad regenerates the §5.2 network switchlet loading
+// experiment.
+func BenchmarkNetworkLoad(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NetworkLoad(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl, err := experiments.NetworkLoad(cost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "netload", tbl.String())
+}
+
+// BenchmarkScalability regenerates §7.4: aggregate throughput vs number
+// of attached LAN pairs, saturating at the interpreter's service rate.
+func BenchmarkScalability(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Scalability(cost)
+		if len(tbl.Rows) != 4 {
+			b.Fatal("scalability rows")
+		}
+	}
+	printTable(b, "scalability", experiments.Scalability(cost).String())
+}
+
+// BenchmarkIncrementalDeployment regenerates the §5.2 hop-by-hop
+// switchlet deployment experiment.
+func BenchmarkIncrementalDeployment(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.IncrementalDeployment(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl, err := experiments.IncrementalDeployment(cost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "deployment", tbl.String())
+}
+
+// BenchmarkAblationNativeVsBytecode quantifies the §7.3 native-compilation
+// conjecture.
+func BenchmarkAblationNativeVsBytecode(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	var native, bytecode float64
+	for i := 0; i < b.N; i++ {
+		tbN := testbed.New(testbed.NativeBridge, cost)
+		tbN.Warm()
+		native = tbN.TtcpRun(8192, 2<<20).ThroughputMbps()
+		tbA := testbed.New(testbed.ActiveBridge, cost)
+		tbA.Warm()
+		bytecode = tbA.TtcpRun(8192, 2<<20).ThroughputMbps()
+	}
+	printTable(b, "abl-native", experiments.AblationNativeVsBytecode(cost).String())
+	b.ReportMetric(native/bytecode, "native/bytecode-speedup")
+}
+
+// BenchmarkAblationLearning measures the flood suppression the learning
+// switchlet buys.
+func BenchmarkAblationLearning(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.AblationLearning(cost)
+		if len(tbl.Rows) != 2 {
+			b.Fatal("learning ablation incomplete")
+		}
+	}
+	printTable(b, "abl-learning", experiments.AblationLearning(cost).String())
+}
+
+// BenchmarkAblationKernelCost sweeps the kernel-path cost (§9's U-Net
+// direction).
+func BenchmarkAblationKernelCost(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationKernelCost(cost)
+	}
+	printTable(b, "abl-kernel", experiments.AblationKernelCost(cost).String())
+}
+
+// BenchmarkAblationGCPressure sweeps collector pressure (§7.3's GC
+// hypothesis).
+func BenchmarkAblationGCPressure(b *testing.B) {
+	cost := netsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationGCPressure(cost)
+	}
+	printTable(b, "abl-gc", experiments.AblationGCPressure(cost).String())
+}

@@ -1,0 +1,63 @@
+// abbench regenerates every table and figure of the paper's evaluation and
+// prints them. With -short the slower sweeps are skipped.
+//
+// All times are virtual: the output is deterministic and identical on any
+// machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/switchware/activebridge/internal/experiments"
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+func main() {
+	short := flag.Bool("short", false, "skip the slower parameter sweeps")
+	flag.Parse()
+	cost := netsim.DefaultCostModel()
+
+	fmt.Println("Active Bridging — reproduction of the evaluation (virtual-time simulator)")
+	fmt.Println("paper: Alexander, Shaw, Nettles, Smith. MS-CIS-97-02 / SIGCOMM 1997")
+	fmt.Println()
+
+	fmt.Println(experiments.Table1Transition(cost))
+	fmt.Println(experiments.Table1Fallback(cost))
+
+	fmt.Println(experiments.Fig9PingLatency(cost))
+	fmt.Println(experiments.Fig10TtcpThroughput(cost))
+	fmt.Println(experiments.FrameRates(cost))
+	fmt.Println(experiments.LatencyDecomposition(cost))
+
+	agil, _, err := experiments.AgilityRing(cost)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agility: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(agil)
+
+	nl, err := experiments.NetworkLoad(cost)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(nl)
+
+	dep, err := experiments.IncrementalDeployment(cost)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deployment: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(dep)
+
+	if *short {
+		return
+	}
+	fmt.Println(experiments.Scalability(cost))
+	fmt.Println(experiments.AblationNativeVsBytecode(cost))
+	fmt.Println(experiments.AblationLearning(cost))
+	fmt.Println(experiments.AblationKernelCost(cost))
+	fmt.Println(experiments.AblationGCPressure(cost))
+}

@@ -1,0 +1,52 @@
+// activebridge runs a simulated extended LAN described by a line-oriented
+// topology script, loading switchlets into active bridges and driving
+// measurement workloads — the out-of-band administrative interface to the
+// simulated testbed.
+//
+// Usage:
+//
+//	activebridge [script.ab]
+//
+// With no arguments a built-in demonstration script runs. See
+// internal/script for the command reference, or README.md for examples.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/switchware/activebridge/internal/script"
+)
+
+const demoScript = `
+# Built-in demo: the paper's Figure 7 network with the full bridge stack.
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+host h1 lan1 10.0.0.1
+host h2 lan2 10.0.0.2
+logs
+load br0 learning
+load br0 spanning
+run 35s
+ping h1 h2 64 10
+ttcp h1 h2 8192 4194304
+stats
+`
+
+func main() {
+	src := demoScript
+	if len(os.Args) > 1 {
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "activebridge: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+	w := script.NewWorld(os.Stdout)
+	if err := w.Run(src); err != nil {
+		fmt.Fprintf(os.Stderr, "activebridge: %v\n", err)
+		os.Exit(1)
+	}
+}

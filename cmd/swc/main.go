@@ -1,0 +1,151 @@
+// swc is the switchlet compiler: it compiles swl source files against the
+// active bridge's thinned module environment and emits .swo object files
+// ready for loading (from disk or over TFTP).
+//
+// Usage:
+//
+//	swc [flags] file.swl            compile to file.swo
+//	swc -builtin learning -o l.swo  emit a bundled switchlet
+//	swc -d file.swo                 disassemble an object file
+//	swc -sig file.swl               print the inferred export signature
+//	swc -env                        list the available module signatures
+//
+// The module name defaults to the capitalized base name of the source file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output object file (default: source with .swo)")
+		modName = flag.String("m", "", "module name (default: capitalized file base name)")
+		disasm  = flag.Bool("d", false, "disassemble a .swo object file")
+		sigOnly = flag.Bool("sig", false, "type check and print the export signature only")
+		envList = flag.Bool("env", false, "list the node environment's module signatures")
+		builtin = flag.String("builtin", "", "emit a bundled switchlet: dumb|learning|spanning|dec|control|spanbug")
+		ports   = flag.Int("ports", 4, "number of ports of the target node (affects nothing statically; reserved)")
+	)
+	flag.Parse()
+	_ = ports
+
+	// The compilation environment is exactly what a fresh bridge node
+	// offers switchlets.
+	node := bridge.New(netsim.New(), "swc-env", 1, 2, netsim.DefaultCostModel())
+	env := node.Loader.SigEnv()
+
+	switch {
+	case *envList:
+		for _, m := range env.Modules() {
+			sig, _ := env.Lookup(m)
+			fmt.Print(sig.Canonical())
+			fmt.Println()
+		}
+		return
+
+	case *builtin != "":
+		name, src, ok := builtinSource(*builtin)
+		if !ok {
+			fatal("unknown builtin %q", *builtin)
+		}
+		obj, sig, err := vm.Compile(name, src, env)
+		if err != nil {
+			fatal("compile %s: %v", name, err)
+		}
+		dst := *out
+		if dst == "" {
+			dst = strings.ToLower(name) + ".swo"
+		}
+		writeObject(dst, obj, sig)
+		return
+
+	case *disasm:
+		if flag.NArg() != 1 {
+			fatal("usage: swc -d file.swo")
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		obj, err := vm.DecodeObject(data)
+		if err != nil {
+			fatal("decode: %v", err)
+		}
+		if err := obj.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+		fmt.Print(vm.Disassemble(obj))
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fatal("usage: swc [flags] file.swl (see -h)")
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	name := *modName
+	if name == "" {
+		base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		name = strings.ToUpper(base[:1]) + base[1:]
+	}
+	obj, sig, err := vm.Compile(name, string(src), env)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *sigOnly {
+		fmt.Print(sig.Canonical())
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, filepath.Ext(path)) + ".swo"
+	}
+	writeObject(dst, obj, sig)
+}
+
+func builtinSource(key string) (name, src string, ok bool) {
+	switch key {
+	case "dumb":
+		return switchlets.ModDumb, switchlets.DumbSrc, true
+	case "learning":
+		return switchlets.ModLearning, switchlets.LearningSrc, true
+	case "spanning":
+		return switchlets.ModSpanning, switchlets.SpanningSrc, true
+	case "dec":
+		return switchlets.ModDEC, switchlets.DECSrc, true
+	case "control":
+		return switchlets.ModControl, switchlets.ControlSrc, true
+	case "spanbug":
+		return switchlets.ModSpanning, switchlets.BuggySpanningSrc, true
+	}
+	return "", "", false
+}
+
+func writeObject(dst string, obj *vm.Object, sig *vm.Signature) {
+	enc := obj.Encode()
+	if err := os.WriteFile(dst, enc, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s: %d bytes, %d chunks, %d instructions\n",
+		dst, len(enc), len(obj.Chunks), vm.InstrCount(obj))
+	fmt.Printf("export digest %x\n", obj.ExportDigest[:])
+	fmt.Print(sig.Canonical())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "swc: "+format+"\n", args...)
+	os.Exit(1)
+}

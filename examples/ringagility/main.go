@@ -1,0 +1,25 @@
+// Ring agility: the paper's §7.5 function-agility measurement. A
+// measurement node with two interfaces and three active bridges chained
+// between them; inject one 802.1D BPDU and measure (a) how fast the whole
+// chain switches protocols and (b) how long until a ping crosses the
+// re-converging spanning tree.
+package main
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/experiments"
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+func main() {
+	tbl, res, err := experiments.AgilityRing(netsim.DefaultCostModel())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tbl)
+	fmt.Printf("reconfiguration latency %.0f ms is dwarfed by the %.0f s protocol\n",
+		float64(res.StartToIEEE)/1e6, float64(res.StartToPing)/1e9)
+	fmt.Println("timers built into 802.1D 'to ensure that temporary loops do not occur' —")
+	fmt.Println("the active technology is not the bottleneck, exactly the paper's result.")
+}

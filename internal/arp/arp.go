@@ -1,0 +1,83 @@
+// Package arp implements the Address Resolution Protocol (RFC 826) for
+// Ethernet/IPv4, used by the measurement hosts to resolve neighbors across
+// the extended LAN. ARP traffic is also a natural exerciser of the
+// bridge's broadcast flooding and learning behaviour: the request floods,
+// the reply is unicast and teaches the bridges both stations' locations.
+package arp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+// Operation codes.
+const (
+	OpRequest = 1
+	OpReply   = 2
+)
+
+// PacketLen is the Ethernet/IPv4 ARP packet length.
+const PacketLen = 28
+
+// Errors.
+var (
+	ErrTruncated = errors.New("arp: truncated packet")
+	ErrBadTypes  = errors.New("arp: not Ethernet/IPv4 ARP")
+)
+
+// Packet is an Ethernet/IPv4 ARP packet.
+type Packet struct {
+	Op       uint16
+	SenderHA ethernet.MAC
+	SenderIP ipv4.Addr
+	TargetHA ethernet.MAC
+	TargetIP ipv4.Addr
+}
+
+// Marshal encodes the packet.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, PacketLen)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // hardware: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // protocol: IPv4
+	b[4] = 6                                   // hardware len
+	b[5] = 4                                   // protocol len
+	binary.BigEndian.PutUint16(b[6:8], p.Op)
+	copy(b[8:14], p.SenderHA[:])
+	copy(b[14:18], p.SenderIP[:])
+	copy(b[18:24], p.TargetHA[:])
+	copy(b[24:28], p.TargetIP[:])
+	return b
+}
+
+// Unmarshal decodes and validates b (trailing padding tolerated).
+func (p *Packet) Unmarshal(b []byte) error {
+	if len(b) < PacketLen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return ErrBadTypes
+	}
+	p.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(p.SenderHA[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetHA[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	return nil
+}
+
+// Request builds a who-has request for target, from the given station.
+func Request(senderHA ethernet.MAC, senderIP, target ipv4.Addr) *Packet {
+	return &Packet{Op: OpRequest, SenderHA: senderHA, SenderIP: senderIP, TargetIP: target}
+}
+
+// Reply builds the answer to req claiming ha owns req.TargetIP.
+func Reply(req *Packet, ha ethernet.MAC) *Packet {
+	return &Packet{
+		Op: OpReply, SenderHA: ha, SenderIP: req.TargetIP,
+		TargetHA: req.SenderHA, TargetIP: req.SenderIP,
+	}
+}

@@ -1,0 +1,75 @@
+package arp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := Packet{
+		Op:       OpRequest,
+		SenderHA: ethernet.MAC{2, 0, 0, 0, 0, 1},
+		SenderIP: ipv4.Addr{10, 0, 0, 1},
+		TargetIP: ipv4.Addr{10, 0, 0, 2},
+	}
+	var g Packet
+	if err := g.Unmarshal(p.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if g != p {
+		t.Errorf("round trip: %+v vs %+v", g, p)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op uint16, sha ethernet.MAC, sip ipv4.Addr, tha ethernet.MAC, tip ipv4.Addr) bool {
+		p := Packet{Op: op, SenderHA: sha, SenderIP: sip, TargetHA: tha, TargetIP: tip}
+		var g Packet
+		return g.Unmarshal(p.Marshal()) == nil && g == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalTolerantOfPadding(t *testing.T) {
+	p := Request(ethernet.MAC{1, 2, 3, 4, 5, 6}, ipv4.Addr{1, 1, 1, 1}, ipv4.Addr{2, 2, 2, 2})
+	padded := append(p.Marshal(), make([]byte, 18)...) // Ethernet min-frame pad
+	var g Packet
+	if err := g.Unmarshal(padded); err != nil {
+		t.Fatal(err)
+	}
+	if g.Op != OpRequest || g.TargetIP != (ipv4.Addr{2, 2, 2, 2}) {
+		t.Errorf("padded decode: %+v", g)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var g Packet
+	if err := g.Unmarshal(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("truncated: %v", err)
+	}
+	p := Request(ethernet.MAC{}, ipv4.Addr{}, ipv4.Addr{})
+	bad := p.Marshal()
+	bad[0] = 9 // not Ethernet hardware type
+	if err := g.Unmarshal(bad); err != ErrBadTypes {
+		t.Errorf("types: %v", err)
+	}
+}
+
+func TestReplyConstruction(t *testing.T) {
+	req := Request(ethernet.MAC{2, 0, 0, 0, 0, 1}, ipv4.Addr{10, 0, 0, 1}, ipv4.Addr{10, 0, 0, 2})
+	rep := Reply(req, ethernet.MAC{2, 0, 0, 0, 0, 2})
+	if rep.Op != OpReply {
+		t.Error("op")
+	}
+	if rep.SenderIP != req.TargetIP || rep.TargetIP != req.SenderIP {
+		t.Error("addresses not mirrored")
+	}
+	if rep.TargetHA != req.SenderHA {
+		t.Error("target hardware address should be the requester")
+	}
+}

@@ -1,0 +1,57 @@
+// Package baseline implements the paper's two comparison points:
+//
+//   - the direct connection ("best case" configuration of two hosts
+//     interconnected by a single LAN, Figure 8), which is just a wiring
+//     helper here; and
+//   - the C buffered repeater (§7.3): "This program simply opens two
+//     Ethernet devices in promiscuous mode and, for each packet received
+//     on one of the interfaces, writes the packet on the other" — a
+//     user-space forwarder that pays the kernel path but runs no bridge
+//     logic and no interpreter.
+package baseline
+
+import (
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+// Repeater is the minimal user-mode forwarder.
+type Repeater struct {
+	Name  string
+	sim   *netsim.Sim
+	cpu   *netsim.CPU
+	cost  netsim.CostModel
+	ports [2]*netsim.NIC
+
+	// Stats.
+	Forwarded uint64
+}
+
+// NewRepeater creates a two-port buffered repeater.
+func NewRepeater(sim *netsim.Sim, name string, cost netsim.CostModel) *Repeater {
+	r := &Repeater{Name: name, sim: sim, cpu: netsim.NewCPU(sim), cost: cost}
+	for i := 0; i < 2; i++ {
+		nic := netsim.NewNIC(sim, name+".eth"+string(rune('0'+i)), ethernet.MAC{0x02, 0xcc, 0, 0, 0, byte(i + 1)})
+		nic.Promiscuous = true
+		out := 1 - i
+		nic.SetRecv(func(_ *netsim.NIC, raw []byte) { r.forward(out, raw) })
+		r.ports[i] = nic
+	}
+	return r
+}
+
+// Port returns one of the repeater's two NICs.
+func (r *Repeater) Port(i int) *netsim.NIC { return r.ports[i] }
+
+// CPU exposes the repeater CPU.
+func (r *Repeater) CPU() *netsim.CPU { return r.cpu }
+
+// forward charges the user-space path (kernel in, copy, kernel out) and
+// emits the frame unchanged on the other port.
+func (r *Repeater) forward(outPort int, raw []byte) {
+	cost := r.cost.KernelCrossing(len(raw)) + r.cost.RepeaterPerFrame + r.cost.KernelCrossing(len(raw))
+	r.cpu.Exec(cost, func() {
+		r.Forwarded++
+		r.ports[outPort].Send(raw)
+	})
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+func TestRepeaterForwardsBothDirections(t *testing.T) {
+	sim := netsim.New()
+	r := NewRepeater(sim, "rep", netsim.DefaultCostModel())
+	lan1 := netsim.NewSegment(sim, "lan1")
+	lan2 := netsim.NewSegment(sim, "lan2")
+	a := netsim.NewNIC(sim, "a", ethernet.MAC{2, 0, 0, 0, 0, 1})
+	b := netsim.NewNIC(sim, "b", ethernet.MAC{2, 0, 0, 0, 0, 2})
+	var rxA, rxB int
+	a.SetRecv(func(*netsim.NIC, []byte) { rxA++ })
+	b.SetRecv(func(*netsim.NIC, []byte) { rxB++ })
+	lan1.Attach(a)
+	lan1.Attach(r.Port(0))
+	lan2.Attach(b)
+	lan2.Attach(r.Port(1))
+
+	send := func(from *netsim.NIC, dst ethernet.MAC) {
+		fr := ethernet.Frame{Dst: dst, Src: from.MAC, Type: ethernet.TypeTest, Payload: make([]byte, 64)}
+		raw, err := fr.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		from.Send(raw)
+	}
+	sim.Schedule(1, func() { send(a, b.MAC) })
+	sim.Schedule(2, func() { send(b, a.MAC) })
+	sim.Run(netsim.Time(netsim.Second))
+	if rxA != 1 || rxB != 1 {
+		t.Errorf("rxA=%d rxB=%d, want 1/1", rxA, rxB)
+	}
+	if r.Forwarded != 2 {
+		t.Errorf("Forwarded = %d", r.Forwarded)
+	}
+}
+
+func TestRepeaterAddsLatencyButNotLogic(t *testing.T) {
+	sim := netsim.New()
+	cost := netsim.DefaultCostModel()
+	r := NewRepeater(sim, "rep", cost)
+	lan1 := netsim.NewSegment(sim, "lan1")
+	lan2 := netsim.NewSegment(sim, "lan2")
+	a := netsim.NewNIC(sim, "a", ethernet.MAC{2, 0, 0, 0, 0, 1})
+	b := netsim.NewNIC(sim, "b", ethernet.MAC{2, 0, 0, 0, 0, 2})
+	var arrived netsim.Time
+	b.SetRecv(func(*netsim.NIC, []byte) { arrived = sim.Now() })
+	lan1.Attach(a)
+	lan1.Attach(r.Port(0))
+	lan2.Attach(b)
+	lan2.Attach(r.Port(1))
+	fr := ethernet.Frame{Dst: b.MAC, Src: a.MAC, Type: ethernet.TypeTest, Payload: make([]byte, 1000)}
+	raw, _ := fr.Marshal()
+	sim.Schedule(0, func() { a.Send(raw) })
+	sim.RunAll()
+	// Latency must include two kernel crossings plus the copy cost but no
+	// VM dispatch.
+	minWant := 2 * cost.KernelCrossing(len(raw))
+	if netsim.Duration(arrived) < minWant {
+		t.Errorf("arrival %v earlier than kernel path %v", arrived, minWant)
+	}
+	if netsim.Duration(arrived) > minWant+2*netsim.Millisecond {
+		t.Errorf("arrival %v suspiciously late", arrived)
+	}
+	if r.CPU().Busy == 0 {
+		t.Error("repeater CPU not charged")
+	}
+}
+
+func TestRepeaterForwardsEverythingUnfiltered(t *testing.T) {
+	// Even frames addressed to nobody cross the repeater (it has no
+	// bridge logic, no learning, no filtering).
+	sim := netsim.New()
+	r := NewRepeater(sim, "rep", netsim.DefaultCostModel())
+	lan1 := netsim.NewSegment(sim, "lan1")
+	lan2 := netsim.NewSegment(sim, "lan2")
+	a := netsim.NewNIC(sim, "a", ethernet.MAC{2, 0, 0, 0, 0, 1})
+	lan1.Attach(a)
+	lan1.Attach(r.Port(0))
+	lan2.Attach(r.Port(1))
+	probe := netsim.NewNIC(sim, "probe", ethernet.MAC{2, 0, 0, 0, 0, 9})
+	probe.Promiscuous = true
+	seen := 0
+	probe.SetRecv(func(*netsim.NIC, []byte) { seen++ })
+	lan2.Attach(probe)
+	fr := ethernet.Frame{Dst: ethernet.MAC{0xde, 0xad, 0, 0, 0, 0}, Src: a.MAC,
+		Type: ethernet.TypeTest, Payload: make([]byte, 64)}
+	raw, _ := fr.Marshal()
+	sim.Schedule(0, func() { a.Send(raw) })
+	sim.RunAll()
+	if seen != 1 {
+		t.Errorf("repeater filtered a frame: seen=%d", seen)
+	}
+}

@@ -1,0 +1,531 @@
+// Package bridge implements the Active Bridge node: a simulated network
+// element whose forwarding behaviour is supplied entirely by dynamically
+// loaded switchlets (paper §5). The runtime provides:
+//
+//   - the switchlet loader (vm.Loader) with the thinned environment
+//     installed (internal/env);
+//   - the frame pump: NIC receive -> demultiplexer -> handler, with the
+//     Figure 5 cost pipeline charged to the node's CPU (kernel crossing,
+//     VM interpretation or native dispatch, kernel send path);
+//   - destination-MAC registrations (how the spanning tree switchlet
+//     claims the All Bridges multicast address) and the default handler
+//     (how the dumb bridge and then the learning bridge claim the data
+//     path, each replacing its predecessor);
+//   - named periodic timers and one-shot callbacks for protocol machinery;
+//   - the network switchlet loader: Ethernet -> minimal IPv4 -> minimal
+//     UDP -> write-only TFTP (paper §5.2), so new switchlets arrive over
+//     the simulated LAN.
+//
+// A bridge with no switchlets loaded forwards nothing: behaviour is code,
+// and the code is loaded.
+package bridge
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/env"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// FrameHandler is a registered packet processor: either a switchlet
+// function (VM) or a native-code switchlet (the paper's envisioned
+// native-compilation optimization, used here as an ablation baseline).
+type FrameHandler struct {
+	VM     vm.Value
+	Native func(data []byte, inPort int)
+	// Name identifies the handler in logs and stats.
+	Name string
+}
+
+func (h FrameHandler) empty() bool { return h.VM == nil && h.Native == nil }
+
+type timerState struct {
+	name   string
+	period netsim.Duration
+	fn     vm.Value
+	native func()
+	gen    uint64
+}
+
+type pendingSend struct {
+	port int
+	data []byte
+	ctl  bool
+}
+
+// Stats aggregates the node's observable behaviour.
+type Stats struct {
+	FramesIn        uint64
+	FramesDelivered uint64 // frames handed to some handler
+	FramesSent      uint64
+	InputSuppressed uint64 // arrived on a blocked port, no dst handler
+	OutputBlocked   uint64 // sends dropped due to port blocking
+	NoHandlerDrops  uint64 // no switchlet claimed the frame
+	HandlerTraps    uint64 // runtime failures inside switchlet code
+	TimerFires      uint64
+	VMTime          netsim.Duration
+	KernelTime      netsim.Duration
+}
+
+// PathSample is the per-stage cost decomposition of one forwarded frame
+// (paper Figure 5 / §7.2 instrumentation).
+type PathSample struct {
+	When       netsim.Time
+	FrameLen   int
+	KernelRecv netsim.Duration
+	Exec       netsim.Duration
+	KernelSend netsim.Duration
+	Sends      int
+}
+
+// Bridge is one active network element.
+type Bridge struct {
+	Name string
+
+	sim  *netsim.Sim
+	cost netsim.CostModel
+	cpu  *netsim.CPU
+	mac  ethernet.MAC
+
+	ports   []*netsim.NIC
+	blocked []bool
+
+	Machine *vm.Machine
+	Loader  *vm.Loader
+	Funcs   *env.FuncRegistry
+
+	defaultHandler FrameHandler
+	dstHandlers    map[ethernet.MAC]FrameHandler
+	timers         map[string]*timerState
+
+	inDispatch   bool
+	pendingSends []pendingSend
+	spawnQueue   []vm.Value
+	// lastVMCost is the metered cost of the most recent VM dispatch.
+	lastVMCost netsim.Duration
+
+	// LogSink receives switchlet log output; nil discards.
+	LogSink func(at netsim.Time, bridge, msg string)
+
+	// LastPath records the most recent frame's cost decomposition when
+	// TracePath is set.
+	TracePath bool
+	LastPath  PathSample
+
+	Stats Stats
+
+	netLoader *netLoader
+}
+
+// New creates a bridge with the given number of ports. MACs are derived
+// from the id byte: bridge id is 02:bb:00:00:<id>:00 and ports share it
+// (transparent bridges do not source data frames).
+func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostModel) *Bridge {
+	b := &Bridge{
+		Name:        name,
+		sim:         sim,
+		cost:        cost,
+		cpu:         netsim.NewCPU(sim),
+		mac:         ethernet.MAC{0x02, 0xbb, 0x00, 0x00, id, 0x00},
+		dstHandlers: map[ethernet.MAC]FrameHandler{},
+		timers:      map[string]*timerState{},
+	}
+	b.Machine = vm.NewMachine()
+	b.Loader = vm.StdLoader(b.Machine)
+	b.Funcs = env.NewFuncRegistry()
+	if err := env.Install(b.Loader, b, b.Funcs); err != nil {
+		panic(err) // static environment construction cannot fail
+	}
+	for i := 0; i < numPorts; i++ {
+		nic := netsim.NewNIC(sim, fmt.Sprintf("%s.eth%d", name, i), b.mac)
+		// Paper: "whenever an input port is bound, it is put into
+		// promiscuous mode" — a transparent bridge must see all frames.
+		nic.Promiscuous = true
+		idx := i
+		nic.SetRecv(func(_ *netsim.NIC, raw []byte) { b.onFrame(idx, raw) })
+		b.ports = append(b.ports, nic)
+		b.blocked = append(b.blocked, false)
+	}
+	return b
+}
+
+// Port returns the NIC for attachment to a segment.
+func (b *Bridge) Port(i int) *netsim.NIC { return b.ports[i] }
+
+// MAC returns the bridge identity address.
+func (b *Bridge) MAC() ethernet.MAC { return b.mac }
+
+// CPU exposes the node CPU (for utilization reporting in experiments).
+func (b *Bridge) CPU() *netsim.CPU { return b.cpu }
+
+// Sim returns the simulation the bridge runs in.
+func (b *Bridge) Sim() *netsim.Sim { return b.sim }
+
+// CostModel returns the node's cost model.
+func (b *Bridge) CostModel() netsim.CostModel { return b.cost }
+
+// --- env.Host implementation -----------------------------------------------
+
+// NumPorts implements env.Host.
+func (b *Bridge) NumPorts() int { return len(b.ports) }
+
+// Send implements env.Host: queue a frame for transmission. During a
+// dispatch the send is collected and charged as part of the frame path;
+// outside dispatch (shouldn't happen from switchlet code) it is sent
+// directly.
+func (b *Bridge) Send(port int, data string, ctl bool) error {
+	if port < 0 || port >= len(b.ports) {
+		return fmt.Errorf("no such port %d", port)
+	}
+	if len(data) > ethernet.MaxFrameLen {
+		return fmt.Errorf("frame too long (%d bytes)", len(data))
+	}
+	if b.ports[port].Segment() == nil {
+		return nil // link down: drop, as a real driver would
+	}
+	if !ctl && b.blocked[port] {
+		b.Stats.OutputBlocked++
+		return nil // silently suppressed, like a filtering bridge port
+	}
+	raw, err := normalizeFrame([]byte(data))
+	if err != nil {
+		return err
+	}
+	ps := pendingSend{port: port, data: raw, ctl: ctl}
+	if b.inDispatch {
+		b.pendingSends = append(b.pendingSends, ps)
+		return nil
+	}
+	b.emit(ps)
+	return nil
+}
+
+func (b *Bridge) emit(ps pendingSend) {
+	b.Stats.FramesSent++
+	b.ports[ps.port].Send(ps.data)
+}
+
+// normalizeFrame accepts either a complete wire frame (valid FCS — the
+// forwarding case, where the bridge must not modify the frame) or a bare
+// header+payload built by a switchlet, which is padded and gets a fresh
+// FCS — the paper's driver behaviour: "The CRC is returned on a read, but
+// cannot be specified on a write."
+func normalizeFrame(data []byte) ([]byte, error) {
+	var f ethernet.Frame
+	if err := f.Unmarshal(data); err == nil {
+		return data, nil
+	}
+	if len(data) < ethernet.HeaderLen {
+		return nil, fmt.Errorf("frame shorter than an Ethernet header")
+	}
+	f = ethernet.Frame{}
+	copy(f.Dst[:], data[0:6])
+	copy(f.Src[:], data[6:12])
+	f.Type = uint16(data[12])<<8 | uint16(data[13])
+	f.Payload = data[ethernet.HeaderLen:]
+	return f.Marshal()
+}
+
+// PortUp implements env.Host.
+func (b *Bridge) PortUp(port int) bool {
+	return port >= 0 && port < len(b.ports) && b.ports[port].Segment() != nil
+}
+
+// SetPortBlock implements env.Host.
+func (b *Bridge) SetPortBlock(port int, blocked bool) {
+	if port >= 0 && port < len(b.blocked) {
+		b.blocked[port] = blocked
+	}
+}
+
+// PortBlocked implements env.Host.
+func (b *Bridge) PortBlocked(port int) bool {
+	return port >= 0 && port < len(b.blocked) && b.blocked[port]
+}
+
+// BridgeID implements env.Host.
+func (b *Bridge) BridgeID() string { return string(b.mac[:]) }
+
+// NowMicros implements env.Host.
+func (b *Bridge) NowMicros() int64 { return int64(b.sim.Now()) / 1000 }
+
+// SetHandler implements env.Host: replace the default frame handler (how
+// the learning switchlet "replaces the switching function from the dumb
+// bridge").
+func (b *Bridge) SetHandler(fn vm.Value) {
+	b.defaultHandler = FrameHandler{VM: fn, Name: "vm-default"}
+}
+
+// SetNativeHandler installs a native-code default handler.
+func (b *Bridge) SetNativeHandler(name string, fn func(data []byte, inPort int)) {
+	b.defaultHandler = FrameHandler{Native: fn, Name: name}
+}
+
+// DefaultHandlerName reports which handler currently owns the data path.
+func (b *Bridge) DefaultHandlerName() string { return b.defaultHandler.Name }
+
+// SetDstHandler implements env.Host. The paper's first-to-bind-wins rule:
+// "the first switchlet to bind to a given port succeeds and all others
+// fail".
+func (b *Bridge) SetDstHandler(mac string, fn vm.Value) error {
+	var m ethernet.MAC
+	copy(m[:], mac)
+	if _, taken := b.dstHandlers[m]; taken {
+		return fmt.Errorf("destination %v already bound", m)
+	}
+	b.dstHandlers[m] = FrameHandler{VM: fn, Name: "vm-dst-" + m.String()}
+	return nil
+}
+
+// SetNativeDstHandler registers a native destination handler.
+func (b *Bridge) SetNativeDstHandler(m ethernet.MAC, name string, fn func(data []byte, inPort int)) error {
+	if _, taken := b.dstHandlers[m]; taken {
+		return fmt.Errorf("destination %v already bound", m)
+	}
+	b.dstHandlers[m] = FrameHandler{Native: fn, Name: name}
+	return nil
+}
+
+// ClearDstHandler implements env.Host.
+func (b *Bridge) ClearDstHandler(mac string) {
+	var m ethernet.MAC
+	copy(m[:], mac)
+	delete(b.dstHandlers, m)
+}
+
+// ClearDstHandlerMAC removes a native registration by address.
+func (b *Bridge) ClearDstHandlerMAC(m ethernet.MAC) { delete(b.dstHandlers, m) }
+
+// SetTimer implements env.Host.
+func (b *Bridge) SetTimer(name string, periodMs int64, fn vm.Value) {
+	b.installTimer(name, netsim.Duration(periodMs)*netsim.Millisecond, fn, nil)
+}
+
+// SetNativeTimer installs a periodic native callback.
+func (b *Bridge) SetNativeTimer(name string, period netsim.Duration, fn func()) {
+	b.installTimer(name, period, nil, fn)
+}
+
+func (b *Bridge) installTimer(name string, period netsim.Duration, fn vm.Value, native func()) {
+	old := b.timers[name]
+	var gen uint64
+	if old != nil {
+		gen = old.gen + 1
+	}
+	ts := &timerState{name: name, period: period, fn: fn, native: native, gen: gen}
+	b.timers[name] = ts
+	b.armTimer(ts)
+}
+
+func (b *Bridge) armTimer(ts *timerState) {
+	b.sim.After(ts.period, func() {
+		cur, ok := b.timers[ts.name]
+		if !ok || cur.gen != ts.gen {
+			return // cancelled or replaced
+		}
+		b.Stats.TimerFires++
+		if ts.native != nil {
+			b.runNativeDispatch(func() { ts.native() }, 0)
+		} else {
+			b.runVMDispatch(ts.fn, 0, vm.Unit{})
+		}
+		b.armTimer(ts)
+	})
+}
+
+// CancelTimer implements env.Host.
+func (b *Bridge) CancelTimer(name string) { delete(b.timers, name) }
+
+// After implements env.Host.
+func (b *Bridge) After(delayMs int64, fn vm.Value) {
+	b.sim.After(netsim.Duration(delayMs)*netsim.Millisecond, func() {
+		b.runVMDispatch(fn, 0, vm.Unit{})
+	})
+}
+
+// AfterNative schedules a one-shot native callback with dispatch charging.
+func (b *Bridge) AfterNative(d netsim.Duration, fn func()) {
+	b.sim.After(d, func() { b.runNativeDispatch(fn, 0) })
+}
+
+// Spawn implements env.Host.
+func (b *Bridge) Spawn(fn vm.Value) { b.spawnQueue = append(b.spawnQueue, fn) }
+
+// Log implements env.Host.
+func (b *Bridge) Log(msg string) {
+	if b.LogSink != nil {
+		b.LogSink(b.sim.Now(), b.Name, msg)
+	}
+}
+
+// --- frame path -------------------------------------------------------------
+
+func (b *Bridge) onFrame(inPort int, raw []byte) {
+	b.Stats.FramesIn++
+	if b.netLoader != nil && b.netLoader.maybeHandle(inPort, raw) {
+		return
+	}
+	dst, err := ethernet.PeekDst(raw)
+	if err != nil {
+		return
+	}
+	h, isDst := b.dstHandlers[dst]
+	if !isDst {
+		if b.blocked[inPort] {
+			// A blocked port still receives control traffic (handled
+			// above via dst registrations) but no data traffic.
+			b.Stats.InputSuppressed++
+			return
+		}
+		h = b.defaultHandler
+	}
+	if h.empty() {
+		b.Stats.NoHandlerDrops++
+		return
+	}
+	b.Stats.FramesDelivered++
+
+	recvCost := b.cost.KernelCrossing(len(raw))
+	var execCost netsim.Duration
+	var sends []pendingSend
+	if h.Native != nil {
+		sends = b.collectSends(func() { h.Native(raw, inPort) })
+		execCost = b.cost.NativePerFrame
+	} else {
+		var trapped bool
+		sends, trapped = b.invokeVM(h.VM, string(raw), int64(inPort))
+		execCost = b.lastVMCost
+		if trapped {
+			b.Stats.HandlerTraps++
+		}
+	}
+
+	var sendCost netsim.Duration
+	for _, s := range sends {
+		sendCost += b.cost.KernelCrossing(len(s.data))
+	}
+	b.Stats.VMTime += execCost
+	b.Stats.KernelTime += recvCost + sendCost
+
+	if b.TracePath {
+		b.LastPath = PathSample{
+			When: b.sim.Now(), FrameLen: len(raw),
+			KernelRecv: recvCost, Exec: execCost, KernelSend: sendCost,
+			Sends: len(sends),
+		}
+	}
+
+	total := recvCost + execCost + sendCost
+	b.cpu.Exec(total, func() {
+		for _, s := range sends {
+			b.emit(s)
+		}
+	})
+}
+
+// collectSends runs fn with send collection enabled and returns the frames
+// it queued.
+func (b *Bridge) collectSends(fn func()) []pendingSend {
+	wasIn := b.inDispatch
+	b.inDispatch = true
+	saved := b.pendingSends
+	b.pendingSends = nil
+	fn()
+	out := b.pendingSends
+	b.pendingSends = saved
+	b.inDispatch = wasIn
+	b.drainSpawns()
+	return out
+}
+
+// invokeVM runs a switchlet function, metering VM cost into lastVMCost.
+func (b *Bridge) invokeVM(fn vm.Value, args ...vm.Value) (sends []pendingSend, trapped bool) {
+	steps0, alloc0 := b.Machine.Steps, b.Machine.AllocBytes
+	sends = b.collectSends(func() {
+		if _, err := b.Machine.Invoke(fn, args...); err != nil {
+			trapped = true
+			b.Log("switchlet trap: " + err.Error())
+		}
+	})
+	b.lastVMCost = b.cost.VMCost(b.Machine.Steps-steps0, b.Machine.AllocBytes-alloc0)
+	if trapped {
+		// A trapped handler forwards nothing: drop its queued sends, the
+		// conservative failure mode.
+		sends = nil
+	}
+	return sends, trapped
+}
+
+// runVMDispatch runs a VM callback outside the frame path (timers, spawns)
+// and charges its cost plus overhead to the CPU.
+func (b *Bridge) runVMDispatch(fn vm.Value, extra netsim.Duration, args ...vm.Value) {
+	sends, trapped := b.invokeVM(fn, args...)
+	if trapped {
+		b.Stats.HandlerTraps++
+	}
+	var sendCost netsim.Duration
+	for _, s := range sends {
+		sendCost += b.cost.KernelCrossing(len(s.data))
+	}
+	b.Stats.VMTime += b.lastVMCost
+	b.Stats.KernelTime += sendCost
+	b.cpu.Exec(b.lastVMCost+sendCost+extra, func() {
+		for _, s := range sends {
+			b.emit(s)
+		}
+	})
+}
+
+// runNativeDispatch is runVMDispatch for native callbacks.
+func (b *Bridge) runNativeDispatch(fn func(), extra netsim.Duration) {
+	sends := b.collectSends(fn)
+	cost := b.cost.NativePerFrame
+	var sendCost netsim.Duration
+	for _, s := range sends {
+		sendCost += b.cost.KernelCrossing(len(s.data))
+	}
+	b.cpu.Exec(cost+sendCost+extra, func() {
+		for _, s := range sends {
+			b.emit(s)
+		}
+	})
+}
+
+func (b *Bridge) drainSpawns() {
+	for len(b.spawnQueue) > 0 {
+		q := b.spawnQueue
+		b.spawnQueue = nil
+		for _, fn := range q {
+			fn := fn
+			b.sim.After(0, func() { b.runVMDispatch(fn, 0, vm.Unit{}) })
+		}
+	}
+}
+
+// LoadObjectBytes loads an encoded switchlet object into the node,
+// charging the loader's evaluation cost (function-agility is measured
+// around this, paper §7.5).
+func (b *Bridge) LoadObjectBytes(data []byte) error {
+	steps0, alloc0 := b.Machine.Steps, b.Machine.AllocBytes
+	_, err := b.Loader.Load(data)
+	cost := b.cost.VMCost(b.Machine.Steps-steps0, b.Machine.AllocBytes-alloc0)
+	b.cpu.Hold(cost)
+	if err != nil {
+		b.Log("switchlet load failed: " + err.Error())
+		return err
+	}
+	b.drainSpawns()
+	return nil
+}
+
+// CompileAndLoad compiles swl source against this node's environment and
+// loads it, as the out-of-band administrative interface would.
+func (b *Bridge) CompileAndLoad(name, src string) error {
+	obj, _, err := vm.Compile(name, src, b.Loader.SigEnv())
+	if err != nil {
+		return err
+	}
+	return b.LoadObjectBytes(obj.Encode())
+}

@@ -1,0 +1,442 @@
+package bridge
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// rig is a bridge wired between two observable stations.
+type rig struct {
+	sim    *netsim.Sim
+	b      *Bridge
+	n1, n2 *netsim.NIC
+	rx1    int
+	rx2    int
+	logs   []string
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{sim: netsim.New()}
+	r.b = New(r.sim, "br", 1, 2, netsim.DefaultCostModel())
+	r.b.LogSink = func(_ netsim.Time, _, msg string) { r.logs = append(r.logs, msg) }
+	lan1 := netsim.NewSegment(r.sim, "lan1")
+	lan2 := netsim.NewSegment(r.sim, "lan2")
+	r.n1 = netsim.NewNIC(r.sim, "n1", ethernet.MAC{2, 0, 0, 0, 0, 1})
+	r.n2 = netsim.NewNIC(r.sim, "n2", ethernet.MAC{2, 0, 0, 0, 0, 2})
+	r.n1.Promiscuous = true
+	r.n2.Promiscuous = true
+	r.n1.SetRecv(func(*netsim.NIC, []byte) { r.rx1++ })
+	r.n2.SetRecv(func(*netsim.NIC, []byte) { r.rx2++ })
+	lan1.Attach(r.n1)
+	lan1.Attach(r.b.Port(0))
+	lan2.Attach(r.n2)
+	lan2.Attach(r.b.Port(1))
+	return r
+}
+
+func (r *rig) sendFrom1(t *testing.T, dst ethernet.MAC, size int) {
+	t.Helper()
+	fr := ethernet.Frame{Dst: dst, Src: r.n1.MAC, Type: ethernet.TypeTest, Payload: make([]byte, size)}
+	raw, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.n1.Send(raw)
+}
+
+func (r *rig) load(t *testing.T, name, src string) {
+	t.Helper()
+	if err := r.b.CompileAndLoad(name, src); err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+}
+
+func (r *rig) run(d netsim.Duration) { r.sim.Run(r.sim.Now().Add(d)) }
+
+func TestHandlerReplacementIsLive(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "First", `
+let handle pkt inport = Unixnet.send_pkt_out (1 - inport) pkt
+let _ = Bridge.set_handler handle`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(50 * netsim.Millisecond)
+	if r.rx2 != 1 {
+		t.Fatalf("rx2 = %d", r.rx2)
+	}
+	// Replace the data path: the new module's handler drops everything.
+	r.load(t, "Second", `
+let handle pkt inport = ignore pkt; ignore inport
+let _ = Bridge.set_handler handle`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(50 * netsim.Millisecond)
+	if r.rx2 != 1 {
+		t.Errorf("handler replacement not effective: rx2 = %d", r.rx2)
+	}
+}
+
+func TestTrapDropsFrameButNodeSurvives(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Crashy", `
+let n = ref 0
+let handle pkt inport =
+  n := !n + 1;
+  if !n = 1 then raise "synthetic failure"
+  else Unixnet.send_pkt_out (1 - inport) pkt
+let _ = Bridge.set_handler handle`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(50 * netsim.Millisecond)
+	if r.rx2 != 0 {
+		t.Errorf("trapped handler's sends must be dropped, rx2 = %d", r.rx2)
+	}
+	if r.b.Stats.HandlerTraps != 1 {
+		t.Errorf("traps = %d", r.b.Stats.HandlerTraps)
+	}
+	// Second frame forwards fine.
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(50 * netsim.Millisecond)
+	if r.rx2 != 1 {
+		t.Errorf("node did not survive the trap, rx2 = %d", r.rx2)
+	}
+	found := false
+	for _, l := range r.logs {
+		if strings.Contains(l, "synthetic failure") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trap not logged")
+	}
+}
+
+func TestInfiniteLoopSwitchletIsStopped(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Spin", `
+let rec spin n = spin (n + 1)
+let handle pkt inport = ignore (spin 0)
+let _ = Bridge.set_handler handle`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(netsim.Second)
+	if r.b.Stats.HandlerTraps != 1 {
+		t.Errorf("fuel exhaustion should trap: traps = %d", r.b.Stats.HandlerTraps)
+	}
+}
+
+func TestDstHandlerFirstBindWins(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Claimer", `
+let h1 pkt inport = ignore pkt; ignore inport
+let _ = Bridge.set_dst_handler "\x01\x80\xc2\x00\x00\x00" h1`)
+	// A second claim on the same address must trap at init and fail the
+	// load (paper: "the first switchlet to bind to a given port succeeds
+	// and all others fail").
+	err := r.b.CompileAndLoad("Claimer2", `
+let h2 pkt inport = ignore pkt; ignore inport
+let _ = Bridge.set_dst_handler "\x01\x80\xc2\x00\x00\x00" h2`)
+	if err == nil {
+		t.Fatal("second bind should fail")
+	}
+	if !strings.Contains(err.Error(), "already bound") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDstHandlerBypassesBlockedPort(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Ctl", `
+let seen = ref 0
+let hctl pkt inport = seen := !seen + 1
+let hdata pkt inport = Unixnet.send_pkt_out (1 - inport) pkt
+let count s = string_of_int !seen
+let _ = Bridge.set_dst_handler "\x01\x80\xc2\x00\x00\x00" hctl
+let _ = Bridge.set_handler hdata
+let _ = Func.register "ctl.seen" count
+let _ = Unixnet.set_port_block 0 true`)
+	// Data frame on blocked port 0: suppressed.
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	// Control multicast on blocked port 0: still delivered to dst handler.
+	r.sim.Schedule(r.sim.Now()+2, func() { r.sendFrom1(t, ethernet.AllBridges, 64) })
+	r.run(100 * netsim.Millisecond)
+	if r.rx2 != 0 {
+		t.Errorf("data frame crossed a blocked port")
+	}
+	if r.b.Stats.InputSuppressed != 1 {
+		t.Errorf("InputSuppressed = %d", r.b.Stats.InputSuppressed)
+	}
+	fn, _ := r.b.Funcs.Lookup("ctl.seen")
+	v, err := r.b.Machine.Invoke(fn, "")
+	if err != nil || v != "1" {
+		t.Errorf("control frame not delivered on blocked port: %v %v", v, err)
+	}
+}
+
+func TestOutputBlockingAndCtlBypass(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Out", `
+let handle pkt inport = Unixnet.send_pkt_out (1 - inport) pkt
+let _ = Bridge.set_handler handle
+let _ = Unixnet.set_port_block 1 true`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(50 * netsim.Millisecond)
+	if r.rx2 != 0 {
+		t.Errorf("send crossed blocked output port")
+	}
+	if r.b.Stats.OutputBlocked != 1 {
+		t.Errorf("OutputBlocked = %d", r.b.Stats.OutputBlocked)
+	}
+	// send_ctl_out bypasses the block.
+	r.load(t, "Out2", `
+let handle2 pkt inport = Unixnet.send_ctl_out (1 - inport) pkt
+let _ = Bridge.set_handler handle2`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 64) })
+	r.run(50 * netsim.Millisecond)
+	if r.rx2 != 1 {
+		t.Errorf("ctl send should bypass output block, rx2 = %d", r.rx2)
+	}
+}
+
+func TestTimersFireAndCancel(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Timers", `
+let fires = ref 0
+let tick () = fires := !fires + 1;
+  if !fires >= 3 then Bridge.cancel_timer "t"
+let count s = string_of_int !fires
+let _ = Func.register "timer.fires" count
+let _ = Bridge.set_timer "t" 100 tick`)
+	r.run(2 * netsim.Second)
+	fn, _ := r.b.Funcs.Lookup("timer.fires")
+	v, err := r.b.Machine.Invoke(fn, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "3" {
+		t.Errorf("timer fired %v times, want exactly 3 (then cancelled)", v)
+	}
+}
+
+func TestTimerReplacement(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "TimerR", `
+let a = ref 0
+let b = ref 0
+let get s = string_of_int !a ^ "," ^ string_of_int !b
+let _ = Func.register "tr.get" get
+let _ = Bridge.set_timer "x" 100 (fun () -> a := !a + 1)
+let _ = Bridge.set_timer "x" 100 (fun () -> b := !b + 1)`)
+	r.run(350 * netsim.Millisecond)
+	fn, _ := r.b.Funcs.Lookup("tr.get")
+	v, _ := r.b.Machine.Invoke(fn, "")
+	if v != "0,3" {
+		t.Errorf("replaced timer state = %v, want 0,3", v)
+	}
+}
+
+func TestAfterOneShot(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "AfterT", `
+let fired = ref 0
+let get s = string_of_int !fired
+let _ = Func.register "after.get" get
+let _ = Bridge.after 50 (fun () -> fired := !fired + 1)`)
+	r.run(netsim.Second)
+	fn, _ := r.b.Funcs.Lookup("after.get")
+	v, _ := r.b.Machine.Invoke(fn, "")
+	if v != "1" {
+		t.Errorf("after fired %v times, want 1", v)
+	}
+}
+
+func TestSpawnRunsAfterInit(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Spawny", `
+let state = ref "init"
+let get s = !state
+let _ = Func.register "spawn.get" get
+let _ = Safethread.spawn (fun () -> state := "spawned")
+let _ = state := "init done"`)
+	r.run(10 * netsim.Millisecond)
+	fn, _ := r.b.Funcs.Lookup("spawn.get")
+	v, _ := r.b.Machine.Invoke(fn, "")
+	if v != "spawned" {
+		t.Errorf("spawn order: state = %v", v)
+	}
+}
+
+func TestMutexAssertsDoubleLock(t *testing.T) {
+	r := newRig(t)
+	err := r.b.CompileAndLoad("Locky", `
+let m = Mutex.create ()
+let _ = Mutex.lock m
+let _ = Mutex.lock m`)
+	if err == nil || !strings.Contains(err.Error(), "already locked") {
+		t.Errorf("double lock should trap at load: %v", err)
+	}
+}
+
+func TestFuncCallBetweenModules(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Provider", `
+let double s = s ^ s
+let _ = Func.register "prov.double" double`)
+	r.load(t, "Consumer", `
+let use s = Func.call "prov.double" s
+let _ = Func.register "cons.use" use`)
+	fn, _ := r.b.Funcs.Lookup("cons.use")
+	v, err := r.b.Machine.Invoke(fn, "ab")
+	if err != nil || v != "abab" {
+		t.Errorf("cross-module Func.call = %v, %v", v, err)
+	}
+}
+
+func TestGettimeofdayAdvances(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Clock", `
+let t0 = Safeunix.gettimeofday ()
+let elapsed s = string_of_int (Safeunix.gettimeofday () - t0)
+let _ = Func.register "clock.elapsed" elapsed`)
+	r.run(2 * netsim.Second)
+	fn, _ := r.b.Funcs.Lookup("clock.elapsed")
+	v, _ := r.b.Machine.Invoke(fn, "")
+	// ~2 s in microseconds.
+	if v != "2000000" {
+		t.Errorf("elapsed = %v µs, want 2000000", v)
+	}
+}
+
+func TestFrameCostChargedToCPU(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Fwd", `
+let handle pkt inport = Unixnet.send_pkt_out (1 - inport) pkt
+let _ = Bridge.set_handler handle`)
+	busy0 := r.b.CPU().Busy
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 500) })
+	r.run(50 * netsim.Millisecond)
+	charged := r.b.CPU().Busy - busy0
+	// Kernel in + VM + kernel out for a ~522-byte frame: several hundred µs.
+	if charged < 300*netsim.Microsecond || charged > 2*netsim.Millisecond {
+		t.Errorf("per-frame CPU charge = %v", charged)
+	}
+}
+
+func TestTracePathSample(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Fwd2", `
+let handle pkt inport = Unixnet.send_pkt_out (1 - inport) pkt
+let _ = Bridge.set_handler handle`)
+	r.b.TracePath = true
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 256) })
+	r.run(50 * netsim.Millisecond)
+	p := r.b.LastPath
+	if p.FrameLen == 0 || p.KernelRecv == 0 || p.Exec == 0 || p.KernelSend == 0 || p.Sends != 1 {
+		t.Errorf("path sample incomplete: %+v", p)
+	}
+}
+
+func TestUnknownPortSendTraps(t *testing.T) {
+	r := newRig(t)
+	err := r.b.CompileAndLoad("BadPort", `
+let _ = Unixnet.send_pkt_out 99 "xx"`)
+	if err == nil || !strings.Contains(err.Error(), "no such port") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNormalizeFrame(t *testing.T) {
+	// A wire-valid frame passes through untouched.
+	fr := ethernet.Frame{Dst: ethernet.Broadcast, Src: ethernet.MAC{2, 0, 0, 0, 0, 1},
+		Type: ethernet.TypeTest, Payload: make([]byte, 80)}
+	raw, _ := fr.Marshal()
+	out, err := normalizeFrame(raw)
+	if err != nil || &out[0] != &raw[0] {
+		t.Errorf("valid frame should pass through")
+	}
+	// A bare header+payload gets padded and an FCS appended.
+	bare := raw[:ethernet.HeaderLen+10]
+	out, err = normalizeFrame(append([]byte(nil), bare...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check ethernet.Frame
+	if err := check.Unmarshal(out); err != nil {
+		t.Errorf("normalized frame invalid: %v", err)
+	}
+	// Garbage is rejected.
+	if _, err := normalizeFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("short data should error")
+	}
+}
+
+func TestLoadedModuleListAndMachine(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "A", `let x = 1`)
+	r.load(t, "B", `let y = A.x + 1`)
+	mods := r.b.Loader.Modules()
+	if len(mods) != 2 || mods[0] != "A" || mods[1] != "B" {
+		t.Errorf("modules = %v", mods)
+	}
+	lm, _ := r.b.Loader.Module("B")
+	v, _ := lm.Global("y")
+	if v != int64(2) {
+		t.Errorf("cross-module constant = %v", v)
+	}
+}
+
+func TestNativeTimer(t *testing.T) {
+	r := newRig(t)
+	n := 0
+	r.b.SetNativeTimer("nt", 100*netsim.Millisecond, func() { n++ })
+	r.run(550 * netsim.Millisecond)
+	if n != 5 {
+		t.Errorf("native timer fired %d times, want 5", n)
+	}
+	r.b.CancelTimer("nt")
+	r.run(netsim.Second)
+	if n != 5 {
+		t.Errorf("cancelled native timer kept firing: %d", n)
+	}
+}
+
+func TestVMHandlerReceivesCorrectArgs(t *testing.T) {
+	r := newRig(t)
+	r.load(t, "Args", `
+let last_len = ref 0
+let last_port = ref (0 - 1)
+let handle pkt inport =
+  last_len := String.length pkt;
+  last_port := inport
+let get s = string_of_int !last_len ^ ":" ^ string_of_int !last_port
+let _ = Func.register "args.get" get
+let _ = Bridge.set_handler handle`)
+	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, r.n2.MAC, 100) })
+	r.run(50 * netsim.Millisecond)
+	fn, _ := r.b.Funcs.Lookup("args.get")
+	v, _ := r.b.Machine.Invoke(fn, "")
+	// 14 header + 100 payload + 4 FCS = 118 bytes, arriving on port 0.
+	if v != "118:0" {
+		t.Errorf("handler args = %v, want 118:0", v)
+	}
+}
+
+func TestLoadChargesCPU(t *testing.T) {
+	r := newRig(t)
+	busy0 := r.b.CPU().Busy
+	obj, _, err := vm.Compile("Heavy", `
+let warm =
+  let rec loop i acc = if i = 0 then acc else loop (i - 1) (acc + i) in
+  loop 2000 0
+`, r.b.Loader.SigEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.b.LoadObjectBytes(obj.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if r.b.CPU().Busy-busy0 < netsim.Millisecond {
+		t.Errorf("module evaluation cost not charged: %v", r.b.CPU().Busy-busy0)
+	}
+}

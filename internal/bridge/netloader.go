@@ -1,0 +1,182 @@
+package bridge
+
+import (
+	"github.com/switchware/activebridge/internal/arp"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/tftp"
+	"github.com/switchware/activebridge/internal/udp"
+)
+
+// netLoader is the paper's network switchlet loader (§5.2): a four-layer
+// stack — Ethernet demux, minimal IPv4 (no fragmentation), minimal UDP,
+// and a TFTP server that "only services write requests in binary format.
+// Any such file is taken to be a Caml byte code file and, upon successful
+// receipt, an attempt is made to dynamically load and evaluate the file."
+//
+// In the paper this stack is itself loaded as switchlets; here it is a
+// native switchlet (see DESIGN.md substitutions): it is installed and
+// removed at runtime through the same registration discipline, but written
+// in Go because its cost is not the experiment's subject.
+type netLoader struct {
+	b    *Bridge
+	addr ipv4.Addr
+	srv  *tftp.Server
+	// peers remembers the source MAC and arrival port of each client so
+	// replies can be addressed without ARP.
+	peers map[tftp.Endpoint]peerInfo
+
+	// Loaded counts switchlets installed via the network path.
+	Loaded uint64
+}
+
+type peerInfo struct {
+	mac  ethernet.MAC
+	port int
+}
+
+// EnableNetLoader gives the bridge an IP address and installs the network
+// switchlet loader. Frames addressed to the bridge's MAC carrying UDP/IP
+// to the TFTP port are consumed by the loader.
+func (b *Bridge) EnableNetLoader(addr ipv4.Addr) {
+	b.netLoader = &netLoader{
+		b:     b,
+		addr:  addr,
+		peers: map[tftp.Endpoint]peerInfo{},
+	}
+	b.netLoader.srv = tftp.NewServer(func(name string, data []byte) error {
+		// The arriving file must be a switchlet object; load it now.
+		if err := b.LoadObjectBytes(data); err != nil {
+			return err
+		}
+		b.netLoader.Loaded++
+		b.Log("netloader: loaded switchlet " + name)
+		return nil
+	})
+}
+
+// NetLoaderAddr returns the loader's IP address (zero if disabled).
+func (b *Bridge) NetLoaderAddr() ipv4.Addr {
+	if b.netLoader == nil {
+		return ipv4.Addr{}
+	}
+	return b.netLoader.addr
+}
+
+// NetLoads reports how many switchlets arrived over the network.
+func (b *Bridge) NetLoads() uint64 {
+	if b.netLoader == nil {
+		return 0
+	}
+	return b.netLoader.Loaded
+}
+
+// maybeHandle consumes a frame if it belongs to the loading stack.
+// Layer 1: Ethernet — only frames addressed to this bridge's MAC with the
+// IPv4 EtherType are considered. ARP requests for the loader's address are
+// answered but NOT consumed: the bridge is transparent, so the broadcast
+// still floods through the data path.
+func (nl *netLoader) maybeHandle(inPort int, raw []byte) bool {
+	ty, err := ethernet.PeekType(raw)
+	if err != nil {
+		return false
+	}
+	if ty == ethernet.TypeARP {
+		nl.maybeAnswerARP(inPort, raw)
+		return false
+	}
+	dst, err := ethernet.PeekDst(raw)
+	if err != nil || dst != nl.b.mac {
+		return false
+	}
+	if ty != ethernet.TypeIPv4 {
+		return false
+	}
+	var fr ethernet.Frame
+	if fr.Unmarshal(raw) != nil {
+		return false
+	}
+	// Layer 2: minimal IP. No fragmentation support, exactly like the
+	// paper's minimal IP: fragmented datagrams are dropped.
+	var ip ipv4.Packet
+	if ip.Unmarshal(fr.Payload) != nil {
+		return true // addressed to us but malformed: consume silently
+	}
+	if ip.Dst != nl.addr || ip.Protocol != ipv4.ProtoUDP || ip.MF || ip.FragOff != 0 {
+		return true
+	}
+	// Layer 3: minimal UDP.
+	var dg udp.Datagram
+	if dg.Unmarshal(ip.Src, ip.Dst, fr.Payload[ipv4.HeaderLen:]) != nil {
+		return true
+	}
+	// Layer 4: TFTP (write-only, binary).
+	from := tftp.Endpoint{Addr: ip.Src, Port: dg.SrcPort}
+	nl.peers[from] = peerInfo{mac: fr.Src, port: inPort}
+
+	// Charge the loader's packet processing like any native dispatch.
+	replies := nl.srv.Handle(from, dg.DstPort, dg.Payload)
+	cost := nl.b.cost.KernelCrossing(len(raw)) + nl.b.cost.NativePerFrame
+	for _, rep := range replies {
+		frame, err := nl.encodeReply(rep)
+		if err != nil {
+			continue
+		}
+		cost += nl.b.cost.KernelCrossing(len(frame))
+		peer := nl.peers[rep.To]
+		frameCopy := frame
+		port := peer.port
+		nl.b.cpu.Exec(cost, func() {
+			nl.b.Stats.FramesSent++
+			nl.b.ports[port].Send(frameCopy)
+		})
+		cost = 0 // subsequent replies ride the same charge chain
+	}
+	if len(replies) == 0 {
+		nl.b.cpu.Hold(cost)
+	}
+	return true
+}
+
+// maybeAnswerARP replies to who-has queries for the loader's IP address.
+func (nl *netLoader) maybeAnswerARP(inPort int, raw []byte) {
+	var fr ethernet.Frame
+	if fr.Unmarshal(raw) != nil {
+		return
+	}
+	var req arp.Packet
+	if req.Unmarshal(fr.Payload) != nil || req.Op != arp.OpRequest || req.TargetIP != nl.addr {
+		return
+	}
+	rep := arp.Reply(&req, nl.b.mac)
+	out := ethernet.Frame{Dst: req.SenderHA, Src: nl.b.mac, Type: ethernet.TypeARP, Payload: rep.Marshal()}
+	outRaw, err := out.Marshal()
+	if err != nil {
+		return
+	}
+	cost := nl.b.cost.KernelCrossing(len(raw)) + nl.b.cost.NativePerFrame + nl.b.cost.KernelCrossing(len(outRaw))
+	port := inPort
+	nl.b.cpu.Exec(cost, func() {
+		nl.b.Stats.FramesSent++
+		nl.b.ports[port].Send(outRaw)
+	})
+}
+
+func (nl *netLoader) encodeReply(rep tftp.Reply) ([]byte, error) {
+	dgOut := udp.Datagram{SrcPort: rep.FromPort, DstPort: rep.To.Port, Payload: rep.Payload}
+	udpBytes, err := dgOut.Marshal(nl.addr, rep.To.Addr)
+	if err != nil {
+		return nil, err
+	}
+	ipOut := ipv4.Packet{
+		TTL: 64, Protocol: ipv4.ProtoUDP,
+		Src: nl.addr, Dst: rep.To.Addr, Payload: udpBytes,
+	}
+	ipBytes, err := ipOut.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	peer := nl.peers[rep.To]
+	fr := ethernet.Frame{Dst: peer.mac, Src: nl.b.mac, Type: ethernet.TypeIPv4, Payload: ipBytes}
+	return fr.Marshal()
+}

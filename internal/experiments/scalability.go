@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/trace"
+	"github.com/switchware/activebridge/internal/workload"
+)
+
+// Scalability reproduces §7.4: "the capacity to support many LANs and
+// their associated endpoints can be stated as an aggregate throughput ...
+// the important point is to get a sense of where adding another bridge
+// makes more sense than attempting to augment an existing bridge."
+//
+// N disjoint host pairs stream simultaneously through one bridge with 2N
+// ports. The single CPU — serialized by interpretation, exactly the
+// paper's "the major limit is the concurrency we can access in our
+// implementation" — caps aggregate throughput regardless of port count.
+func Scalability(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "§7.4 scalability: aggregate throughput vs attached LAN pairs",
+		Header: []string{"streams", "ports", "aggregate Mb/s", "per-stream Mb/s", "bridge CPU util"},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		agg, per, util := runScalability(n, cost)
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", 2*n),
+			trace.Mbps(agg), trace.Mbps(per), fmt.Sprintf("%.0f%%", 100*util))
+	}
+	t.AddNote("aggregate saturates at the single interpreter's service rate: past that point, add another bridge (paper §7.4)")
+	t.AddNote("the paper's GC pauses 'force the system to serialize the threads'; the cooperative VM here is serial by construction")
+	return t
+}
+
+func runScalability(pairs int, cost netsim.CostModel) (aggregate, perStream, utilization float64) {
+	sim := netsim.New()
+	b := bridge.New(sim, "br", 1, 2*pairs, cost)
+	if err := switchlets.LoadLearning(b); err != nil {
+		panic("scalability: " + err.Error())
+	}
+	var ts []*workload.Ttcp
+	const perStreamBytes = 1 << 20
+	for i := 0; i < pairs; i++ {
+		lanA := netsim.NewSegment(sim, fmt.Sprintf("a%d", i))
+		lanB := netsim.NewSegment(sim, fmt.Sprintf("b%d", i))
+		src := workload.NewHost(sim, fmt.Sprintf("s%d", i),
+			ethernet.MAC{2, 0, 0, 1, byte(i), 1}, ipv4.Addr{10, 4, byte(i), 1}, cost)
+		dst := workload.NewHost(sim, fmt.Sprintf("d%d", i),
+			ethernet.MAC{2, 0, 0, 1, byte(i), 2}, ipv4.Addr{10, 4, byte(i), 2}, cost)
+		lanA.Attach(src.NIC)
+		lanA.Attach(b.Port(2 * i))
+		lanB.Attach(dst.NIC)
+		lanB.Attach(b.Port(2*i + 1))
+		// Prime the learning table in both directions.
+		mac := dst.MAC
+		srcMac := src.MAC
+		sim.Schedule(sim.Now(), func() { _ = src.SendTest(mac, []byte{0, 2}) })
+		sim.Schedule(sim.Now()+1, func() { _ = dst.SendTest(srcMac, []byte{0, 2}) })
+		ts = append(ts, workload.NewTtcp(src, dst, 8192, perStreamBytes))
+	}
+	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+
+	start := sim.Now()
+	busy0 := b.CPU().Busy
+	for _, tr := range ts {
+		tr := tr
+		sim.Schedule(start+1, tr.Start)
+	}
+	sim.Run(start + netsim.Time(900*netsim.Second))
+
+	// All transfers started together; the last completion bounds the
+	// aggregate window.
+	var window netsim.Duration
+	totalBytes := 0.0
+	done := 0
+	for _, tr := range ts {
+		if tr.Done() {
+			done++
+			totalBytes += perStreamBytes
+			if tr.Elapsed() > window {
+				window = tr.Elapsed()
+			}
+		}
+	}
+	if done == 0 || window <= 0 {
+		return 0, 0, 0
+	}
+	aggregate = totalBytes * 8 / window.Seconds() / 1e6
+	perStream = aggregate / float64(done)
+	utilization = float64(b.CPU().Busy-busy0) / float64(window)
+	if utilization > 1 {
+		utilization = 1
+	}
+	return aggregate, perStream, utilization
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/stp"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/trace"
+)
+
+// TransitionNet is the §5.4 network: two active bridges in a line with an
+// injector station that triggers the upgrade.
+type TransitionNet struct {
+	Sim      *netsim.Sim
+	Bridges  []*bridge.Bridge
+	Injector *netsim.NIC
+	Logs     []string
+}
+
+// NewTransitionNet wires n bridges in a line, loads learning + DEC
+// (running) + the given IEEE source (dormant) + control on each, and
+// returns the network ready for injection. spanningSrc lets callers choose
+// the correct or the deliberately buggy 802.1D implementation.
+func NewTransitionNet(n int, spanningSrc string, cost netsim.CostModel) (*TransitionNet, error) {
+	tn := &TransitionNet{Sim: netsim.New()}
+	segs := make([]*netsim.Segment, n+1)
+	for i := range segs {
+		segs[i] = netsim.NewSegment(tn.Sim, fmt.Sprintf("lan%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b := bridge.New(tn.Sim, fmt.Sprintf("b%d", i+1), byte(i+1), 2, cost)
+		b.LogSink = func(at netsim.Time, br, msg string) {
+			tn.Logs = append(tn.Logs, fmt.Sprintf("%8.3fs %s: %s", at.Seconds(), br, msg))
+		}
+		segs[i].Attach(b.Port(0))
+		segs[i+1].Attach(b.Port(1))
+		tn.Bridges = append(tn.Bridges, b)
+		if err := switchlets.LoadLearning(b); err != nil {
+			return nil, err
+		}
+		if err := switchlets.LoadDEC(b); err != nil {
+			return nil, err
+		}
+		if err := b.CompileAndLoad(switchlets.ModSpanning, spanningSrc); err != nil {
+			return nil, err
+		}
+		if err := switchlets.LoadControl(b); err != nil {
+			return nil, err
+		}
+	}
+	tn.Injector = netsim.NewNIC(tn.Sim, "injector", ethernet.MAC{2, 0, 0, 0, 0, 0x99})
+	segs[0].Attach(tn.Injector)
+	return tn, nil
+}
+
+// InjectIEEE sends the triggering 802.1D configuration BPDU.
+func (tn *TransitionNet) InjectIEEE() {
+	v := stp.Vector{
+		RootID: stp.MakeBridgeID(0x8000, tn.Injector.MAC),
+		Bridge: stp.MakeBridgeID(0x8000, tn.Injector.MAC),
+	}
+	fr := ethernet.Frame{
+		Dst: ethernet.AllBridges, Src: tn.Injector.MAC,
+		Type:    ethernet.TypeBPDU,
+		Payload: stp.EncodeIEEE(v, stp.Config{}.DefaultTimers()),
+	}
+	raw, err := fr.Marshal()
+	if err != nil {
+		panic(err) // static frame construction cannot fail
+	}
+	tn.Injector.Send(raw)
+}
+
+// Query invokes a registered Func on a bridge and returns its string result.
+func (tn *TransitionNet) Query(b *bridge.Bridge, name string) string {
+	fn, ok := b.Funcs.Lookup(name)
+	if !ok {
+		return "<unregistered>"
+	}
+	v, err := b.Machine.Invoke(fn, "")
+	if err != nil {
+		return "<trap: " + err.Error() + ">"
+	}
+	s, _ := v.(string)
+	return s
+}
+
+func (tn *TransitionNet) snapshot(b *bridge.Bridge) (dec, ieee, control string) {
+	return tn.Query(b, "dec.running"), tn.Query(b, "ieee.running"), tn.Query(b, "control.phase")
+}
+
+// Table1Transition reproduces the automatic protocol transition state
+// table. The rows sample bridge 1 at the same points Table 1 lists.
+func Table1Transition(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Table 1: automatic protocol transition (bridge 1)",
+		Header: []string{"action", "DEC", "IEEE", "control"},
+	}
+	tn, err := NewTransitionNet(2, switchlets.SpanningSrc, cost)
+	if err != nil {
+		t.AddNote("setup failed: %v", err)
+		return t
+	}
+	b := tn.Bridges[0]
+	row := func(action string) {
+		dec, ieee, ctl := tn.snapshot(b)
+		decS := map[string]string{"yes": "running", "no": "loaded"}[dec]
+		ieeeS := map[string]string{"yes": "running", "no": "loaded"}[ieee]
+		t.AddRow(action, decS, ieeeS, ctl)
+	}
+
+	tn.Sim.Run(netsim.Time(40 * netsim.Second)) // DEC converges
+	row("load/start")
+
+	at := tn.Sim.Now()
+	tn.Sim.Schedule(at+1, func() { tn.InjectIEEE() })
+	tn.Sim.Run(at + netsim.Time(2*netsim.Second))
+	row("recv IEEE packet")
+
+	tn.Sim.Run(at + netsim.Time(31*netsim.Second))
+	row("30 seconds")
+
+	tn.Sim.Run(at + netsim.Time(61*netsim.Second))
+	row("60 seconds")
+
+	tn.Sim.Run(at + netsim.Time(70*netsim.Second))
+	row("pass tests")
+
+	t.AddNote("paper Table 1 sequence: running/loaded -> suspend+capture -> start IEEE -> suppress -> tests -> terminate")
+	return t
+}
+
+// Table1Fallback runs the same experiment with the buggy 802.1D switchlet:
+// validation fails and the bridges return to the DEC protocol.
+func Table1Fallback(cost netsim.CostModel) *trace.Table {
+	t := &trace.Table{
+		Title:  "Table 1 (failure row): buggy IEEE switchlet triggers automatic fallback",
+		Header: []string{"when", "bridge", "DEC", "IEEE", "control"},
+	}
+	tn, err := NewTransitionNet(2, switchlets.BuggySpanningSrc, cost)
+	if err != nil {
+		t.AddNote("setup failed: %v", err)
+		return t
+	}
+	tn.Sim.Run(netsim.Time(40 * netsim.Second))
+	at := tn.Sim.Now()
+	tn.Sim.Schedule(at+1, func() { tn.InjectIEEE() })
+	tn.Sim.Run(at + netsim.Time(90*netsim.Second))
+	for i, b := range tn.Bridges {
+		dec, ieee, ctl := tn.snapshot(b)
+		t.AddRow("after tests", fmt.Sprintf("b%d", i+1), dec, ieee, ctl)
+	}
+	t.AddNote("paper: 'fail tests or fallback' row — stop IEEE; start DEC; no further transition without human intervention")
+	return t
+}

@@ -1,0 +1,74 @@
+// Package icmp implements ICMP echo request/reply messages, the workload of
+// the paper's Figure 9 ping-latency experiment.
+package icmp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+// Message types.
+const (
+	TypeEchoReply   = 0
+	TypeEchoRequest = 8
+)
+
+// HeaderLen is the echo message header size (type, code, checksum, id, seq).
+const HeaderLen = 8
+
+// Errors.
+var (
+	ErrTruncated   = errors.New("icmp: truncated message")
+	ErrBadChecksum = errors.New("icmp: checksum mismatch")
+	ErrNotEcho     = errors.New("icmp: not an echo message")
+)
+
+// Echo is an ICMP echo request or reply.
+type Echo struct {
+	Reply bool
+	ID    uint16
+	Seq   uint16
+	Data  []byte
+}
+
+// Marshal encodes the message with its checksum.
+func (e *Echo) Marshal() []byte {
+	b := make([]byte, HeaderLen+len(e.Data))
+	if e.Reply {
+		b[0] = TypeEchoReply
+	} else {
+		b[0] = TypeEchoRequest
+	}
+	binary.BigEndian.PutUint16(b[4:6], e.ID)
+	binary.BigEndian.PutUint16(b[6:8], e.Seq)
+	copy(b[HeaderLen:], e.Data)
+	binary.BigEndian.PutUint16(b[2:4], ipv4.Checksum(b))
+	return b
+}
+
+// Unmarshal decodes and validates b.
+func (e *Echo) Unmarshal(b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrTruncated
+	}
+	if ipv4.Checksum(b) != 0 {
+		return ErrBadChecksum
+	}
+	switch b[0] {
+	case TypeEchoRequest:
+		e.Reply = false
+	case TypeEchoReply:
+		e.Reply = true
+	default:
+		return ErrNotEcho
+	}
+	if b[1] != 0 {
+		return ErrNotEcho
+	}
+	e.ID = binary.BigEndian.Uint16(b[4:6])
+	e.Seq = binary.BigEndian.Uint16(b[6:8])
+	e.Data = b[HeaderLen:]
+	return nil
+}

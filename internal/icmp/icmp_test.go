@@ -1,0 +1,89 @@
+package icmp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := Echo{ID: 77, Seq: 3, Data: []byte("ping payload")}
+	b := e.Marshal()
+	var g Echo
+	if err := g.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Reply || g.ID != 77 || g.Seq != 3 || !bytes.Equal(g.Data, e.Data) {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestReplyType(t *testing.T) {
+	e := Echo{Reply: true, ID: 1, Seq: 2}
+	var g Echo
+	if err := g.Unmarshal(e.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Reply {
+		t.Error("reply flag lost")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	e := Echo{ID: 5, Seq: 6, Data: []byte("abc")}
+	b := e.Marshal()
+	b[10] ^= 0xff
+	var g Echo
+	if err := g.Unmarshal(b); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestNotEcho(t *testing.T) {
+	e := Echo{ID: 1, Seq: 1}
+	b := e.Marshal()
+	b[0] = 3 // destination unreachable
+	// Fix up checksum so the type check (not the checksum) rejects it.
+	b[2], b[3] = 0, 0
+	ck := checksumOf(b)
+	b[2], b[3] = byte(ck>>8), byte(ck)
+	var g Echo
+	if err := g.Unmarshal(b); err != ErrNotEcho {
+		t.Errorf("err = %v, want ErrNotEcho", err)
+	}
+}
+
+func checksumOf(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func TestTruncated(t *testing.T) {
+	var g Echo
+	if err := g.Unmarshal([]byte{8, 0}); err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(reply bool, id, seq uint16, data []byte) bool {
+		e := Echo{Reply: reply, ID: id, Seq: seq, Data: data}
+		var g Echo
+		if err := g.Unmarshal(e.Marshal()); err != nil {
+			return false
+		}
+		return g.Reply == reply && g.ID == id && g.Seq == seq && bytes.Equal(g.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package ipv4 implements the minimal IPv4 needed by the Active Bridge's
+// network loading stack (paper §5.2: "The next layer implements a minimal IP
+// sufficient for our purposes. (It does not, for example, implement
+// fragmentation.)") plus the header fragmentation fields, which the *host*
+// endpoints use so that large ICMP echoes fragment as they did on the
+// paper's stock Linux hosts.
+package ipv4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// Broadcast is the limited broadcast address.
+var Broadcast = Addr{255, 255, 255, 255}
+
+// String renders dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// ParseAddr parses a dotted-quad address.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	idx := 0
+	val := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if val < 0 || idx > 3 {
+				return Addr{}, ErrBadAddr
+			}
+			a[idx] = byte(val)
+			idx++
+			val = -1
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return Addr{}, ErrBadAddr
+		}
+		if val < 0 {
+			val = 0
+		}
+		val = val*10 + int(c-'0')
+		if val > 255 {
+			return Addr{}, ErrBadAddr
+		}
+	}
+	if idx != 4 {
+		return Addr{}, ErrBadAddr
+	}
+	return a, nil
+}
+
+// Uint32 returns the address as a big-endian integer.
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// IP protocol numbers used here.
+const (
+	ProtoICMP = 1
+	ProtoUDP  = 17
+)
+
+// HeaderLen is the length of the fixed IPv4 header; this implementation
+// sends no options.
+const HeaderLen = 20
+
+// Flag and fragment field masks.
+const (
+	FlagDF       = 0x4000 // don't fragment
+	FlagMF       = 0x2000 // more fragments
+	FragOffMask  = 0x1FFF
+	FragUnitSize = 8 // fragment offsets count 8-byte units
+)
+
+// Errors.
+var (
+	ErrBadAddr     = errors.New("ipv4: malformed address")
+	ErrTruncated   = errors.New("ipv4: truncated packet")
+	ErrBadVersion  = errors.New("ipv4: not version 4")
+	ErrBadChecksum = errors.New("ipv4: header checksum mismatch")
+	ErrBadHeader   = errors.New("ipv4: malformed header")
+	ErrTooBig      = errors.New("ipv4: packet exceeds 65535 bytes")
+)
+
+// Packet is a parsed IPv4 packet. Options are not supported (the paper's
+// minimal IP has none).
+type Packet struct {
+	TOS      byte
+	ID       uint16
+	DF, MF   bool
+	FragOff  int // byte offset (multiple of 8 when MF)
+	TTL      byte
+	Protocol byte
+	Src, Dst Addr
+	Payload  []byte
+}
+
+// Marshal encodes the packet with a computed header checksum.
+func (p *Packet) Marshal() ([]byte, error) {
+	total := HeaderLen + len(p.Payload)
+	if total > 0xffff {
+		return nil, ErrTooBig
+	}
+	if p.FragOff%FragUnitSize != 0 {
+		return nil, ErrBadHeader
+	}
+	b := make([]byte, total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	ff := uint16(p.FragOff / FragUnitSize)
+	if p.DF {
+		ff |= FlagDF
+	}
+	if p.MF {
+		ff |= FlagMF
+	}
+	binary.BigEndian.PutUint16(b[6:8], ff)
+	b[8] = p.TTL
+	b[9] = p.Protocol
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:HeaderLen]))
+	copy(b[HeaderLen:], p.Payload)
+	return b, nil
+}
+
+// Unmarshal decodes and validates b (which may carry trailing link-layer
+// padding; the total-length field governs). The payload aliases b.
+func (p *Packet) Unmarshal(b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return ErrBadHeader
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return ErrTruncated
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	p.TOS = b[1]
+	p.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	p.DF = ff&FlagDF != 0
+	p.MF = ff&FlagMF != 0
+	p.FragOff = int(ff&FragOffMask) * FragUnitSize
+	p.TTL = b[8]
+	p.Protocol = b[9]
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Payload = b[ihl:total]
+	return nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b. Computing the
+// checksum of a buffer whose checksum field is filled yields zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Fragment splits a packet into MTU-sized fragments (MTU counts IP header +
+// payload, i.e. the link payload size). The hosts in the ping experiments
+// use this; the bridge's minimal in-switchlet IP never does.
+func (p *Packet) Fragment(mtu int) ([]*Packet, error) {
+	if mtu < HeaderLen+FragUnitSize {
+		return nil, fmt.Errorf("ipv4: mtu %d too small", mtu)
+	}
+	maxData := (mtu - HeaderLen) / FragUnitSize * FragUnitSize
+	if len(p.Payload) <= mtu-HeaderLen {
+		q := *p
+		return []*Packet{&q}, nil
+	}
+	if p.DF {
+		return nil, fmt.Errorf("ipv4: fragmentation needed but DF set")
+	}
+	var frags []*Packet
+	for off := 0; off < len(p.Payload); off += maxData {
+		end := off + maxData
+		more := true
+		if end >= len(p.Payload) {
+			end = len(p.Payload)
+			more = false
+		}
+		q := *p
+		q.Payload = p.Payload[off:end]
+		q.FragOff = p.FragOff + off
+		q.MF = more || p.MF
+		frags = append(frags, &q)
+	}
+	return frags, nil
+}
+
+// Reassembler collects fragments keyed by (src, dst, proto, id) and yields
+// complete datagrams. It is deliberately simple (no timers): the ping
+// workload is lossless in simulation.
+type Reassembler struct {
+	parts map[fragKey]*fragBuf
+}
+
+type fragKey struct {
+	src, dst Addr
+	proto    byte
+	id       uint16
+}
+
+type fragBuf struct {
+	data    []byte
+	have    map[int]int // offset -> length
+	total   int         // known when final fragment seen, else -1
+	covered int
+}
+
+// NewReassembler creates an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{parts: make(map[fragKey]*fragBuf)}
+}
+
+// Add incorporates a fragment (or whole packet). It returns the completed
+// packet once all bytes are present, else nil.
+func (r *Reassembler) Add(p *Packet) *Packet {
+	if !p.MF && p.FragOff == 0 {
+		return p
+	}
+	k := fragKey{p.Src, p.Dst, p.Protocol, p.ID}
+	fb := r.parts[k]
+	if fb == nil {
+		fb = &fragBuf{total: -1, have: make(map[int]int)}
+		r.parts[k] = fb
+	}
+	end := p.FragOff + len(p.Payload)
+	if end > len(fb.data) {
+		grown := make([]byte, end)
+		copy(grown, fb.data)
+		fb.data = grown
+	}
+	copy(fb.data[p.FragOff:], p.Payload)
+	if _, dup := fb.have[p.FragOff]; !dup {
+		fb.have[p.FragOff] = len(p.Payload)
+		fb.covered += len(p.Payload)
+	}
+	if !p.MF {
+		fb.total = end
+	}
+	if fb.total >= 0 && fb.covered >= fb.total {
+		delete(r.parts, k)
+		out := *p
+		out.MF = false
+		out.FragOff = 0
+		out.Payload = fb.data[:fb.total]
+		return &out
+	}
+	return nil
+}
+
+// PendingKeys reports how many partially reassembled datagrams are held.
+func (r *Reassembler) PendingKeys() int { return len(r.parts) }

@@ -1,0 +1,274 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"10.0.0.1", Addr{10, 0, 0, 1}, true},
+		{"255.255.255.255", Broadcast, true},
+		{"0.0.0.0", Addr{}, true},
+		{"256.0.0.1", Addr{}, false},
+		{"1.2.3", Addr{}, false},
+		{"1.2.3.4.5", Addr{}, false},
+		{"1..2.3", Addr{}, false},
+		{"a.b.c.d", Addr{}, false},
+		{"", Addr{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) should fail", c.in)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		got, err := ParseAddr(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumSelfVerifies(t *testing.T) {
+	p := Packet{TTL: 64, Protocol: ProtoUDP, Src: Addr{10, 0, 0, 1}, Dst: Addr{10, 0, 0, 2}, Payload: []byte("hi")}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(b[:HeaderLen]) != 0 {
+		t.Error("checksum over complete header should be zero")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := Packet{
+		TOS: 0x10, ID: 4242, TTL: 17, Protocol: ProtoICMP,
+		Src: Addr{192, 168, 1, 1}, Dst: Addr{192, 168, 1, 2},
+		Payload: bytes.Repeat([]byte{7}, 33),
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if q.TOS != p.TOS || q.ID != p.ID || q.TTL != p.TTL || q.Protocol != p.Protocol ||
+		q.Src != p.Src || q.Dst != p.Dst || !bytes.Equal(q.Payload, p.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", q, p)
+	}
+}
+
+func TestUnmarshalTrailingPadding(t *testing.T) {
+	p := Packet{TTL: 1, Protocol: ProtoUDP, Payload: []byte{1, 2, 3}}
+	b, _ := p.Marshal()
+	padded := append(b, make([]byte, 20)...) // Ethernet min-frame padding
+	var q Packet
+	if err := q.Unmarshal(padded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(q.Payload, []byte{1, 2, 3}) {
+		t.Errorf("payload = %v, want trimmed to total length", q.Payload)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var q Packet
+	if err := q.Unmarshal([]byte{0x45}); err != ErrTruncated {
+		t.Errorf("truncated: %v", err)
+	}
+	p := Packet{TTL: 1, Protocol: ProtoUDP, Payload: []byte{9}}
+	b, _ := p.Marshal()
+	v6 := append([]byte(nil), b...)
+	v6[0] = 0x65
+	if err := q.Unmarshal(v6); err != ErrBadVersion {
+		t.Errorf("version: %v", err)
+	}
+	corrupt := append([]byte(nil), b...)
+	corrupt[8] ^= 0xff // TTL flip breaks checksum
+	if err := q.Unmarshal(corrupt); err != ErrBadChecksum {
+		t.Errorf("checksum: %v", err)
+	}
+	short := append([]byte(nil), b...)
+	short[3] = byte(len(b) + 10) // total length beyond buffer
+	if err := q.Unmarshal(short); err != ErrTruncated {
+		t.Errorf("total-length overrun: %v", err)
+	}
+}
+
+func TestMarshalTooBig(t *testing.T) {
+	p := Packet{Payload: make([]byte, 0x10000)}
+	if _, err := p.Marshal(); err != ErrTooBig {
+		t.Errorf("err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestFragmentSmallPacketPassthrough(t *testing.T) {
+	p := Packet{TTL: 64, Protocol: ProtoICMP, Payload: make([]byte, 100)}
+	frags, err := p.Fragment(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0].MF || frags[0].FragOff != 0 {
+		t.Errorf("small packet should pass through unfragmented: %+v", frags)
+	}
+}
+
+func TestFragmentDFRefuses(t *testing.T) {
+	p := Packet{DF: true, Payload: make([]byte, 4000)}
+	if _, err := p.Fragment(1500); err == nil {
+		t.Error("DF packet should refuse to fragment")
+	}
+}
+
+func TestFragmentTinyMTU(t *testing.T) {
+	p := Packet{Payload: make([]byte, 100)}
+	if _, err := p.Fragment(HeaderLen + 4); err == nil {
+		t.Error("mtu below header+8 should fail")
+	}
+}
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	payload := make([]byte, 4096+8)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	p := Packet{ID: 99, TTL: 64, Protocol: ProtoICMP,
+		Src: Addr{10, 0, 0, 1}, Dst: Addr{10, 0, 0, 2}, Payload: payload}
+	frags, err := p.Fragment(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(frags))
+	}
+	for i, f := range frags {
+		wantMF := i < len(frags)-1
+		if f.MF != wantMF {
+			t.Errorf("frag %d MF = %v", i, f.MF)
+		}
+		if f.FragOff%FragUnitSize != 0 {
+			t.Errorf("frag %d offset %d not 8-aligned", i, f.FragOff)
+		}
+		// Each fragment must survive the wire codec.
+		b, err := f.Marshal()
+		if err != nil {
+			t.Fatalf("frag %d marshal: %v", i, err)
+		}
+		var g Packet
+		if err := g.Unmarshal(b); err != nil {
+			t.Fatalf("frag %d unmarshal: %v", i, err)
+		}
+	}
+	r := NewReassembler()
+	var got *Packet
+	for _, f := range frags {
+		if out := r.Add(f); out != nil {
+			got = out
+		}
+	}
+	if got == nil {
+		t.Fatal("reassembly incomplete")
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Error("reassembled payload mismatch")
+	}
+	if r.PendingKeys() != 0 {
+		t.Errorf("PendingKeys = %d after completion", r.PendingKeys())
+	}
+}
+
+func TestReassemblerOutOfOrderAndDuplicates(t *testing.T) {
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	p := Packet{ID: 7, Protocol: ProtoUDP, Payload: payload}
+	frags, _ := p.Fragment(1500)
+	r := NewReassembler()
+	order := []int{len(frags) - 1, 0, 0, 1} // last first, duplicate first frag
+	var got *Packet
+	for _, i := range order {
+		if out := r.Add(frags[i]); out != nil {
+			got = out
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, payload) {
+		t.Error("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblerInterleavedDatagrams(t *testing.T) {
+	mk := func(id uint16, fill byte) *Packet {
+		pl := bytes.Repeat([]byte{fill}, 2000)
+		return &Packet{ID: id, Protocol: ProtoUDP, Payload: pl}
+	}
+	a, _ := mk(1, 0xaa).Fragment(1500)
+	b, _ := mk(2, 0xbb).Fragment(1500)
+	r := NewReassembler()
+	var gotA, gotB *Packet
+	if out := r.Add(a[0]); out != nil {
+		t.Fatal("premature completion")
+	}
+	if out := r.Add(b[0]); out != nil {
+		t.Fatal("premature completion")
+	}
+	if out := r.Add(b[1]); out != nil {
+		gotB = out
+	}
+	if out := r.Add(a[1]); out != nil {
+		gotA = out
+	}
+	if gotA == nil || gotB == nil {
+		t.Fatal("interleaved reassembly incomplete")
+	}
+	if gotA.Payload[0] != 0xaa || gotB.Payload[0] != 0xbb {
+		t.Error("interleaved datagrams mixed up")
+	}
+}
+
+func TestFragmentPropertyCoversPayload(t *testing.T) {
+	f := func(size uint16, mtuRaw uint16) bool {
+		payload := make([]byte, int(size)%8192)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		mtu := 28 + int(mtuRaw)%1500
+		p := Packet{ID: 1, Protocol: ProtoUDP, Payload: payload}
+		frags, err := p.Fragment(mtu)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler()
+		for i, fr := range frags {
+			out := r.Add(fr)
+			if i == len(frags)-1 {
+				if out == nil {
+					return false
+				}
+				return bytes.Equal(out.Payload, payload)
+			} else if out != nil && len(frags) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

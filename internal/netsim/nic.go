@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+)
+
+// RecvFunc is invoked (at interrupt level, in the paper's terms) when a NIC
+// accepts a frame. raw is the encoded frame including FCS; handlers that
+// need decoded fields should use ethernet.Frame.Unmarshal or the Peek
+// helpers. The slice must not be mutated: it is shared among all receivers
+// on the segment, exactly as a broadcast medium shares bits.
+type RecvFunc func(nic *NIC, raw []byte)
+
+// NIC is a simulated Ethernet adapter: one port of a host or bridge.
+//
+// Output is queued: Send appends to a bounded transmit queue which drains
+// through the attached segment at wire speed. A full queue drops the frame
+// and counts it, which is how broadcast storms in the loop experiments are
+// kept observable rather than unbounded.
+type NIC struct {
+	Name string
+	MAC  ethernet.MAC
+
+	sim     *Sim
+	segment *Segment
+
+	// Promiscuous controls filtering: bridges set it (the paper: "whenever
+	// an input port is bound, it is put into promiscuous mode"); hosts
+	// leave it off and receive only unicast-to-self, broadcast, and
+	// subscribed multicast frames.
+	Promiscuous bool
+
+	// multicast subscriptions (host mode only).
+	groups map[ethernet.MAC]bool
+
+	recv RecvFunc
+
+	// TxQueueLimit bounds the output queue in frames (default 128).
+	TxQueueLimit int
+	txQueue      [][]byte
+	txBusy       bool
+
+	// Stats.
+	RxFrames, TxFrames uint64
+	RxBytes, TxBytes   uint64
+	TxDrops            uint64
+	RxFiltered         uint64
+}
+
+// NewNIC creates an interface with the given MAC bound to the simulation.
+func NewNIC(sim *Sim, name string, mac ethernet.MAC) *NIC {
+	return &NIC{Name: name, MAC: mac, sim: sim, TxQueueLimit: 128, groups: make(map[ethernet.MAC]bool)}
+}
+
+// SetRecv installs the receive handler.
+func (n *NIC) SetRecv(fn RecvFunc) { n.recv = fn }
+
+// Join subscribes the (non-promiscuous) NIC to a multicast group.
+func (n *NIC) Join(group ethernet.MAC) { n.groups[group] = true }
+
+// Leave removes a multicast subscription.
+func (n *NIC) Leave(group ethernet.MAC) { delete(n.groups, group) }
+
+// Segment returns the attached segment, or nil.
+func (n *NIC) Segment() *Segment { return n.segment }
+
+// deliver is called by the segment when a frame arrives at this NIC.
+func (n *NIC) deliver(raw []byte) {
+	if !n.accepts(raw) {
+		n.RxFiltered++
+		return
+	}
+	n.RxFrames++
+	n.RxBytes += uint64(len(raw))
+	if n.recv != nil {
+		n.recv(n, raw)
+	}
+}
+
+func (n *NIC) accepts(raw []byte) bool {
+	if n.Promiscuous {
+		return true
+	}
+	dst, err := ethernet.PeekDst(raw)
+	if err != nil {
+		return false
+	}
+	if dst == n.MAC || dst.IsBroadcast() {
+		return true
+	}
+	return dst.IsMulticast() && n.groups[dst]
+}
+
+// Send queues an encoded frame for transmission. It reports whether the
+// frame was accepted (false means the transmit queue overflowed).
+func (n *NIC) Send(raw []byte) bool {
+	if n.segment == nil {
+		panic(fmt.Sprintf("netsim: NIC %s (%v) not attached to a segment", n.Name, n.MAC))
+	}
+	if len(n.txQueue) >= n.TxQueueLimit {
+		n.TxDrops++
+		return false
+	}
+	n.txQueue = append(n.txQueue, raw)
+	if !n.txBusy {
+		n.txBusy = true
+		n.drain()
+	}
+	return true
+}
+
+// SendFrame marshals and queues a frame.
+func (n *NIC) SendFrame(f *ethernet.Frame) (bool, error) {
+	raw, err := f.Marshal()
+	if err != nil {
+		return false, err
+	}
+	return n.Send(raw), nil
+}
+
+func (n *NIC) drain() {
+	if len(n.txQueue) == 0 {
+		n.txBusy = false
+		return
+	}
+	raw := n.txQueue[0]
+	n.txQueue = n.txQueue[1:]
+	n.TxFrames++
+	n.TxBytes += uint64(len(raw))
+	done := n.segment.transmit(n, raw)
+	n.sim.Schedule(done, n.drain)
+}
+
+// TxQueueLen reports the current transmit backlog in frames.
+func (n *NIC) TxQueueLen() int { return len(n.txQueue) }
+
+func (n *NIC) String() string { return fmt.Sprintf("%s(%v)", n.Name, n.MAC) }

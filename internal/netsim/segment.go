@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+)
+
+// Segment models a shared 100 Mbps Ethernet broadcast domain (one of the
+// paper's "100 Mbps Ethernet LANs"). Transmissions are serialized: the
+// medium carries one frame at a time, and every attached NIC other than the
+// sender receives each frame. Propagation delay is constant per segment.
+type Segment struct {
+	Name string
+
+	sim  *Sim
+	nics []*NIC
+
+	// Bps is the raw signalling rate (default 100e6).
+	Bps float64
+	// Propagation is the fixed one-way propagation delay.
+	Propagation Duration
+
+	busyUntil Time
+
+	// Stats.
+	Frames    uint64
+	Bytes     uint64
+	BusyTime  Duration
+	lastStart Time
+}
+
+// NewSegment creates a 100 Mbps segment attached to the simulation.
+func NewSegment(sim *Sim, name string) *Segment {
+	return &Segment{Name: name, sim: sim, Bps: 100e6, Propagation: 500 * Nanosecond}
+}
+
+// Attach connects a NIC to the segment. A NIC may be attached to exactly one
+// segment; Attach panics on a second attachment (a wiring bug, not a runtime
+// condition).
+func (g *Segment) Attach(n *NIC) {
+	if n.segment != nil {
+		panic(fmt.Sprintf("netsim: NIC %v already attached to %s", n.MAC, n.segment.Name))
+	}
+	n.segment = g
+	g.nics = append(g.nics, n)
+}
+
+// wireTime returns how long raw occupies the medium, including preamble and
+// interframe gap.
+func (g *Segment) wireTime(rawLen int) Duration {
+	bits := rawLen*8 + ethernet.OverheadBits
+	return Duration(float64(bits) / g.Bps * 1e9)
+}
+
+// transmit serializes the frame onto the medium on behalf of from, and
+// delivers it to every other attached NIC after the wire time plus
+// propagation delay. It returns the time the transmission completes.
+//
+// Collisions are modelled as queueing (CSMA/CD with ideal arbitration):
+// back-to-back senders each get the medium in FIFO order. This matches the
+// paper's lightly loaded measurement LANs, where capture effects are not the
+// phenomenon under study.
+func (g *Segment) transmit(from *NIC, raw []byte) Time {
+	start := g.sim.Now()
+	if g.busyUntil > start {
+		start = g.busyUntil
+	}
+	dur := g.wireTime(len(raw))
+	end := start.Add(dur)
+	g.busyUntil = end
+	g.Frames++
+	g.Bytes += uint64(len(raw))
+	g.BusyTime += dur
+
+	arrive := end.Add(g.Propagation)
+	for _, nic := range g.nics {
+		if nic == from {
+			continue
+		}
+		nic := nic
+		g.sim.Schedule(arrive, func() { nic.deliver(raw) })
+	}
+	return end
+}
+
+// Utilization returns the fraction of the elapsed window the medium was busy.
+func (g *Segment) Utilization(elapsed Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(g.BusyTime) / float64(elapsed)
+}
+
+// NICs returns the attached interfaces (for topology inspection).
+func (g *Segment) NICs() []*NIC { return g.nics }

@@ -1,0 +1,184 @@
+// Package netsim is a deterministic discrete-event simulator of extended
+// Ethernet LANs. It stands in for the paper's physical testbed: 100 Mbps
+// shared segments, NICs with promiscuous capture, per-node CPUs with a
+// calibrated cost model for the Linux kernel path and the switchlet VM.
+//
+// The paper's measurements are properties of a software path — a user-space
+// bytecode interpreter behind kernel packet sockets — rather than of any
+// particular NIC hardware. The simulator reproduces that path stage by
+// stage (paper Figure 5):
+//
+//  1. frame arrives on the segment (wire time at 100 Mbps),
+//  2. ISR + kernel delivery (CostModel.KernelPerFrame/KernelPerByte),
+//  3. the bridge program runs (VM instruction accounting or native cost),
+//  4. kernel send path (same kernel costs),
+//  5. frame is transmitted onto the destination segment (wire time).
+//
+// All processing on a node is serialized through the node's CPU resource,
+// which is what produces interpretation-limited frame rates at saturation.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break for determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable; call New.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	nextID uint64
+	// Halted is set by Stop and ends Run early.
+	halted bool
+	// MaxEvents guards runaway simulations (e.g. broadcast storms in the
+	// loop-without-spanning-tree experiments). Zero means no limit.
+	MaxEvents uint64
+	executed  uint64
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim {
+	s := &Sim{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Schedule runs fn at the given absolute time. Scheduling in the past (or at
+// the present instant) runs the event at the current time, after already
+// pending events for that time. Events scheduled at the same instant run in
+// scheduling order.
+func (s *Sim) Schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.nextID++
+	heap.Push(&s.queue, &event{at: at, seq: s.nextID, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Duration, fn func()) { s.Schedule(s.now.Add(d), fn) }
+
+// Stop halts the simulation: Run returns after the current event.
+func (s *Sim) Stop() { s.halted = true }
+
+// Run executes events until the queue is empty, the deadline passes, Stop is
+// called, or MaxEvents is exceeded. It returns the number of events executed.
+func (s *Sim) Run(until Time) uint64 {
+	start := s.executed
+	for len(s.queue) > 0 && !s.halted {
+		e := s.queue[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		e.fn()
+		s.executed++
+		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
+			break
+		}
+	}
+	if s.now < until && !s.halted && len(s.queue) == 0 {
+		s.now = until
+	}
+	return s.executed - start
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Sim) RunAll() uint64 {
+	start := s.executed
+	for len(s.queue) > 0 && !s.halted {
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		e.fn()
+		s.executed++
+		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
+			break
+		}
+	}
+	return s.executed - start
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// CPU models a serially shared processing resource (one per node). Work
+// submitted to the CPU executes in submission order; each item occupies the
+// CPU for its stated cost. This is what turns per-frame software costs into
+// saturation frame-rate limits, the paper's dominant effect.
+type CPU struct {
+	sim       *Sim
+	busyUntil Time
+	// Busy accumulates total occupied time, for utilization reporting.
+	Busy Duration
+}
+
+// NewCPU creates a CPU bound to the simulation clock.
+func NewCPU(sim *Sim) *CPU { return &CPU{sim: sim} }
+
+// Exec schedules fn to run after the CPU has been held for cost, queueing
+// behind earlier work. It returns the completion time.
+func (c *CPU) Exec(cost Duration, fn func()) Time {
+	start := c.sim.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start.Add(cost)
+	c.busyUntil = done
+	c.Busy += cost
+	c.sim.Schedule(done, fn)
+	return done
+}
+
+// Hold occupies the CPU for cost without a completion callback.
+func (c *CPU) Hold(cost Duration) { c.Exec(cost, func() {}) }
+
+// QueueDelay reports how long newly submitted work would wait before starting.
+func (c *CPU) QueueDelay() Duration {
+	if c.busyUntil <= c.sim.Now() {
+		return 0
+	}
+	return c.busyUntil.Sub(c.sim.Now())
+}
+
+// Utilization returns Busy / elapsed, given the elapsed observation window.
+func (c *CPU) Utilization(elapsed Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Busy) / float64(elapsed)
+}
+
+func (c *CPU) String() string {
+	return fmt.Sprintf("cpu(busyUntil=%v)", Duration(c.busyUntil))
+}

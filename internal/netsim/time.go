@@ -1,0 +1,35 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a virtual-time instant measured in nanoseconds since the start of
+// the simulation. All experiment results in this repository are expressed in
+// virtual time, which makes them deterministic and machine-independent.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is interconvertible
+// with time.Duration for formatting convenience.
+type Duration = time.Duration
+
+// Common durations re-exported for callers of this package.
+const (
+	Nanosecond  = Duration(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as floating point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String renders the instant as a duration since simulation start.
+func (t Time) String() string { return fmt.Sprintf("t=%v", Duration(t)) }

@@ -1,0 +1,386 @@
+// Package script implements the topology/measurement scripting language of
+// cmd/activebridge: a line-oriented administrative interface to the
+// simulated testbed. Keeping it as a library makes the whole command
+// surface testable and reusable from examples.
+//
+// Commands (one per line, '#' comments):
+//
+//	segment <name>
+//	bridge <name> <segment>...
+//	host <name> <segment> <ip>
+//	netloader <bridge> <ip>
+//	load <bridge> <builtin|file.swo>
+//	upload <host> <bridge> <builtin|file.swo>
+//	run <duration>
+//	ping <src> <dst> <size> <count>
+//	ttcp <src> <dst> <write> <total>
+//	inject-ieee <segment>
+//	query <bridge> <func>
+//	expect <bridge> <func> <value>     (assertion; errors on mismatch)
+//	stats
+//	logs
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/stp"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/vm"
+	"github.com/switchware/activebridge/internal/workload"
+)
+
+// World is a script execution environment.
+type World struct {
+	Sim  *netsim.Sim
+	Cost netsim.CostModel
+	// Out receives command output (defaults to os.Stdout via Run).
+	Out io.Writer
+
+	Segments map[string]*netsim.Segment
+	Bridges  map[string]*bridge.Bridge
+	Hosts    map[string]*workload.Host
+
+	nextMAC byte
+	logsOn  bool
+}
+
+// NewWorld creates an empty environment.
+func NewWorld(out io.Writer) *World {
+	if out == nil {
+		out = os.Stdout
+	}
+	return &World{
+		Sim:      netsim.New(),
+		Cost:     netsim.DefaultCostModel(),
+		Out:      out,
+		Segments: map[string]*netsim.Segment{},
+		Bridges:  map[string]*bridge.Bridge{},
+		Hosts:    map[string]*workload.Host{},
+	}
+}
+
+// Run executes a whole script; it stops at the first failing line.
+func (w *World) Run(script string) error {
+	sc := bufio.NewScanner(strings.NewReader(script))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := w.Exec(strings.Fields(line)); err != nil {
+			return fmt.Errorf("line %d (%q): %w", lineNo, line, err)
+		}
+	}
+	return nil
+}
+
+func (w *World) printf(format string, args ...interface{}) {
+	fmt.Fprintf(w.Out, format, args...)
+}
+
+// Exec runs a single tokenized command.
+func (w *World) Exec(f []string) error {
+	if len(f) == 0 {
+		return nil
+	}
+	switch f[0] {
+	case "segment":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: segment <name>")
+		}
+		if _, dup := w.Segments[f[1]]; dup {
+			return fmt.Errorf("segment %s already exists", f[1])
+		}
+		w.Segments[f[1]] = netsim.NewSegment(w.Sim, f[1])
+	case "bridge":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: bridge <name> <segment>...")
+		}
+		if _, dup := w.Bridges[f[1]]; dup {
+			return fmt.Errorf("bridge %s already exists", f[1])
+		}
+		w.nextMAC++
+		b := bridge.New(w.Sim, f[1], w.nextMAC, len(f)-2, w.Cost)
+		b.LogSink = func(at netsim.Time, br, msg string) {
+			if w.logsOn {
+				w.printf("  [%8.3fs] %s: %s\n", at.Seconds(), br, msg)
+			}
+		}
+		for i, segName := range f[2:] {
+			seg, ok := w.Segments[segName]
+			if !ok {
+				return fmt.Errorf("unknown segment %s", segName)
+			}
+			seg.Attach(b.Port(i))
+		}
+		w.Bridges[f[1]] = b
+	case "host":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: host <name> <segment> <ip>")
+		}
+		if _, dup := w.Hosts[f[1]]; dup {
+			return fmt.Errorf("host %s already exists", f[1])
+		}
+		seg, ok := w.Segments[f[2]]
+		if !ok {
+			return fmt.Errorf("unknown segment %s", f[2])
+		}
+		ip, err := ipv4.ParseAddr(f[3])
+		if err != nil {
+			return err
+		}
+		w.nextMAC++
+		mac := ethernet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, w.nextMAC}
+		h := workload.NewHost(w.Sim, f[1], mac, ip, w.Cost)
+		seg.Attach(h.NIC)
+		w.Hosts[f[1]] = h
+	case "netloader":
+		if len(f) != 3 {
+			return fmt.Errorf("usage: netloader <bridge> <ip>")
+		}
+		b, ok := w.Bridges[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown bridge %s", f[1])
+		}
+		ip, err := ipv4.ParseAddr(f[2])
+		if err != nil {
+			return err
+		}
+		b.EnableNetLoader(ip)
+	case "load":
+		if len(f) != 3 {
+			return fmt.Errorf("usage: load <bridge> <builtin|file.swo>")
+		}
+		b, ok := w.Bridges[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown bridge %s", f[1])
+		}
+		return w.loadSwitchlet(b, f[2])
+	case "upload":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: upload <host> <bridge> <builtin|file.swo>")
+		}
+		h, ok := w.Hosts[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown host %s", f[1])
+		}
+		b, ok := w.Bridges[f[2]]
+		if !ok {
+			return fmt.Errorf("unknown bridge %s", f[2])
+		}
+		if (b.NetLoaderAddr() == ipv4.Addr{}) {
+			return fmt.Errorf("bridge %s has no netloader", f[2])
+		}
+		data, name, err := w.switchletBytes(b, f[3])
+		if err != nil {
+			return err
+		}
+		up := workload.NewUploader(h, b.NetLoaderAddr(), name, data)
+		w.Sim.Schedule(w.Sim.Now()+1, up.Start)
+		w.Sim.Run(w.Sim.Now() + netsim.Time(30*netsim.Second))
+		w.printf("upload %s -> %s: done=%v err=%v in %v\n", f[1], f[2], up.Done(), up.Err(), up.Elapsed())
+		if up.Err() != nil {
+			return up.Err()
+		}
+	case "run":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: run <duration>")
+		}
+		d, err := time.ParseDuration(f[1])
+		if err != nil {
+			return err
+		}
+		w.Sim.Run(w.Sim.Now().Add(d))
+		w.printf("t = %.3fs\n", w.Sim.Now().Seconds())
+	case "ping":
+		if len(f) != 5 {
+			return fmt.Errorf("usage: ping <src> <dst> <size> <count>")
+		}
+		src, dst, err := w.twoHosts(f[1], f[2])
+		if err != nil {
+			return err
+		}
+		size, err := strconv.Atoi(f[3])
+		if err != nil {
+			return err
+		}
+		count, err := strconv.Atoi(f[4])
+		if err != nil {
+			return err
+		}
+		p := workload.NewPinger(src, dst.IP, size, count)
+		p.Run(w.Sim.Now() + netsim.Time(netsim.Duration(count+5)*netsim.Second))
+		w.printf("ping %s -> %s size=%d: %d/%d replies, mean RTT %.3f ms\n",
+			f[1], f[2], size, p.Completed(), count, float64(p.MeanRTT())/1e6)
+	case "ttcp":
+		if len(f) != 5 {
+			return fmt.Errorf("usage: ttcp <src> <dst> <write> <total>")
+		}
+		src, dst, err := w.twoHosts(f[1], f[2])
+		if err != nil {
+			return err
+		}
+		write, err := strconv.Atoi(f[3])
+		if err != nil {
+			return err
+		}
+		total, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return err
+		}
+		tr := workload.NewTtcp(src, dst, write, total)
+		tr.Run(w.Sim.Now() + netsim.Time(600*netsim.Second))
+		w.printf("ttcp %s -> %s write=%d total=%d: %.1f Mb/s, %.0f frames/s, done=%v\n",
+			f[1], f[2], write, total, tr.ThroughputMbps(), tr.FramesPerSecond(), tr.Done())
+	case "inject-ieee":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: inject-ieee <segment>")
+		}
+		seg, ok := w.Segments[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown segment %s", f[1])
+		}
+		nic := netsim.NewNIC(w.Sim, "injector", ethernet.MAC{2, 0, 0, 0, 0xff, 0xfe})
+		seg.Attach(nic)
+		v := stp.Vector{RootID: stp.MakeBridgeID(0x8000, nic.MAC), Bridge: stp.MakeBridgeID(0x8000, nic.MAC)}
+		fr := ethernet.Frame{Dst: ethernet.AllBridges, Src: nic.MAC, Type: ethernet.TypeBPDU,
+			Payload: stp.EncodeIEEE(v, stp.Config{}.DefaultTimers())}
+		raw, err := fr.Marshal()
+		if err != nil {
+			return err
+		}
+		w.Sim.Schedule(w.Sim.Now()+1, func() { nic.Send(raw) })
+		w.Sim.Run(w.Sim.Now() + netsim.Time(100*netsim.Millisecond))
+	case "query":
+		if len(f) != 3 {
+			return fmt.Errorf("usage: query <bridge> <func>")
+		}
+		v, err := w.queryFunc(f[1], f[2])
+		if err != nil {
+			return err
+		}
+		w.printf("%s %s = %s\n", f[1], f[2], v)
+	case "expect":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: expect <bridge> <func> <value>")
+		}
+		v, err := w.queryFunc(f[1], f[2])
+		if err != nil {
+			return err
+		}
+		if v != f[3] {
+			return fmt.Errorf("expect failed: %s %s = %q, want %q", f[1], f[2], v, f[3])
+		}
+		w.printf("expect %s %s = %s: ok\n", f[1], f[2], f[3])
+	case "stats":
+		for name, b := range w.Bridges {
+			s := b.Stats
+			w.printf("%s: in=%d delivered=%d sent=%d suppressed=%d/%d drops=%d traps=%d vm=%v kernel=%v\n",
+				name, s.FramesIn, s.FramesDelivered, s.FramesSent,
+				s.InputSuppressed, s.OutputBlocked, s.NoHandlerDrops, s.HandlerTraps,
+				s.VMTime, s.KernelTime)
+		}
+		for name, h := range w.Hosts {
+			w.printf("%s: out=%d in=%d echoes-answered=%d\n", name, h.FramesOut, h.FramesIn, h.EchoRequests)
+		}
+	case "logs":
+		w.logsOn = true
+	default:
+		return fmt.Errorf("unknown command %q", f[0])
+	}
+	return nil
+}
+
+func (w *World) queryFunc(bridgeName, funcName string) (string, error) {
+	b, ok := w.Bridges[bridgeName]
+	if !ok {
+		return "", fmt.Errorf("unknown bridge %s", bridgeName)
+	}
+	fn, ok := b.Funcs.Lookup(funcName)
+	if !ok {
+		return "", fmt.Errorf("%s has no registered function %s", bridgeName, funcName)
+	}
+	v, err := b.Machine.Invoke(fn, "")
+	if err != nil {
+		return "", err
+	}
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return vm.FormatValue(v), nil
+}
+
+func (w *World) twoHosts(a, b string) (*workload.Host, *workload.Host, error) {
+	src, ok := w.Hosts[a]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown host %s", a)
+	}
+	dst, ok := w.Hosts[b]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown host %s", b)
+	}
+	return src, dst, nil
+}
+
+func (w *World) loadSwitchlet(b *bridge.Bridge, what string) error {
+	if strings.HasSuffix(what, ".swo") {
+		data, err := os.ReadFile(what)
+		if err != nil {
+			return err
+		}
+		return b.LoadObjectBytes(data)
+	}
+	name, src, ok := BuiltinSource(what)
+	if !ok {
+		return fmt.Errorf("unknown switchlet %q", what)
+	}
+	return b.CompileAndLoad(name, src)
+}
+
+func (w *World) switchletBytes(b *bridge.Bridge, what string) ([]byte, string, error) {
+	if strings.HasSuffix(what, ".swo") {
+		data, err := os.ReadFile(what)
+		return data, what, err
+	}
+	name, src, ok := BuiltinSource(what)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown switchlet %q", what)
+	}
+	obj, _, err := vm.Compile(name, src, b.Loader.SigEnv())
+	if err != nil {
+		return nil, "", err
+	}
+	return obj.Encode(), strings.ToLower(name) + ".swo", nil
+}
+
+// BuiltinSource resolves the bundled switchlet names.
+func BuiltinSource(key string) (name, src string, ok bool) {
+	switch key {
+	case "dumb":
+		return switchlets.ModDumb, switchlets.DumbSrc, true
+	case "learning":
+		return switchlets.ModLearning, switchlets.LearningSrc, true
+	case "spanning":
+		return switchlets.ModSpanning, switchlets.SpanningSrc, true
+	case "spanbug":
+		return switchlets.ModSpanning, switchlets.BuggySpanningSrc, true
+	case "dec":
+		return switchlets.ModDEC, switchlets.DECSrc, true
+	case "control":
+		return switchlets.ModControl, switchlets.ControlSrc, true
+	}
+	return "", "", false
+}

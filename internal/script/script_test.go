@@ -1,0 +1,176 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	w := NewWorld(&out)
+	err := w.Run(src)
+	return out.String(), err
+}
+
+func mustRun(t *testing.T, src string) string {
+	t.Helper()
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("script failed: %v\noutput:\n%s", err, out)
+	}
+	return out
+}
+
+func TestBasicTopologyAndPing(t *testing.T) {
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+host h1 lan1 10.0.0.1
+host h2 lan2 10.0.0.2
+load br0 learning
+ping h1 h2 64 5
+`)
+	if !strings.Contains(out, "5/5 replies") {
+		t.Errorf("ping incomplete:\n%s", out)
+	}
+}
+
+func TestARPOnlyResolution(t *testing.T) {
+	// No static neighbors anywhere: the hosts must ARP across the bridge.
+	out := mustRun(t, `
+segment a
+segment b
+bridge br a b
+host x a 192.168.1.1
+host y b 192.168.1.2
+load br learning
+ping x y 128 3
+`)
+	if !strings.Contains(out, "3/3 replies") {
+		t.Errorf("ARP-mediated ping failed:\n%s", out)
+	}
+}
+
+func TestTtcpCommand(t *testing.T) {
+	out := mustRun(t, `
+segment lan
+host a lan 10.0.0.1
+host b lan 10.0.0.2
+ttcp a b 8192 1048576
+`)
+	if !strings.Contains(out, "done=true") {
+		t.Errorf("ttcp incomplete:\n%s", out)
+	}
+}
+
+func TestUploadOverNetwork(t *testing.T) {
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+netloader br0 10.0.0.100
+host h1 lan1 10.0.0.1
+host h2 lan2 10.0.0.2
+upload h1 br0 learning
+ping h1 h2 64 2
+`)
+	if !strings.Contains(out, "done=true err=<nil>") {
+		t.Errorf("upload failed:\n%s", out)
+	}
+	if !strings.Contains(out, "2/2 replies") {
+		t.Errorf("traffic does not flow after network load:\n%s", out)
+	}
+}
+
+func TestTransitionViaScript(t *testing.T) {
+	out := mustRun(t, `
+segment s0
+segment s1
+segment s2
+bridge b1 s0 s1
+bridge b2 s1 s2
+load b1 learning
+load b1 dec
+load b1 spanning
+load b1 control
+load b2 learning
+load b2 dec
+load b2 spanning
+load b2 control
+run 40s
+expect b1 dec.running yes
+expect b1 ieee.running no
+inject-ieee s0
+run 2s
+expect b1 ieee.running yes
+expect b2 ieee.running yes
+run 70s
+expect b1 control.phase complete
+expect b2 control.phase complete
+`)
+	if !strings.Contains(out, "expect b2 control.phase = complete: ok") {
+		t.Errorf("transition script:\n%s", out)
+	}
+}
+
+func TestQueryAndStats(t *testing.T) {
+	out := mustRun(t, `
+segment lan
+bridge br lan
+load br learning
+query br learning.size
+stats
+`)
+	if !strings.Contains(out, "learning.size = ") {
+		t.Errorf("query output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "br: in=") {
+		t.Errorf("stats output missing:\n%s", out)
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"segment", "usage"},
+		{"segment a\nsegment a", "already exists"},
+		{"bridge b nosuch", "unknown segment"},
+		{"host h nosuch 10.0.0.1", "unknown segment"},
+		{"segment a\nhost h a notanip", "malformed"},
+		{"load nosuch learning", "unknown bridge"},
+		{"segment a\nbridge b a\nload b nosuchlet", "unknown switchlet"},
+		{"frobnicate", "unknown command"},
+		{"run banana", "invalid duration"},
+		{"segment a\nbridge b a\nupload h b learning", "unknown host"},
+		{"segment a\nhost h a 10.0.0.1\nbridge b a\nupload h b learning", "no netloader"},
+		{"segment a\nbridge b a\nquery b nothing.here", "no registered function"},
+		{"segment a\nbridge b a\nload b learning\nexpect b learning.size 999", "expect failed"},
+		{"ping x y 64 1", "unknown host"},
+	}
+	for _, c := range cases {
+		if _, err := run(t, c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("script %q: err = %v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	mustRun(t, `
+# a comment
+
+segment lan
+# another
+`)
+}
+
+func TestBuiltinSourceTable(t *testing.T) {
+	for _, k := range []string{"dumb", "learning", "spanning", "spanbug", "dec", "control"} {
+		if _, _, ok := BuiltinSource(k); !ok {
+			t.Errorf("missing builtin %s", k)
+		}
+	}
+	if _, _, ok := BuiltinSource("nope"); ok {
+		t.Error("phantom builtin")
+	}
+}

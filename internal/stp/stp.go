@@ -1,0 +1,339 @@
+// Package stp implements the IEEE 802.1D spanning tree protocol used by
+// the third bridge switchlet (paper §5.3) and the DEC-style variant used
+// as the "old" protocol in the automatic protocol transition experiment
+// (§5.4). The state machine is transport-agnostic: the caller feeds
+// received configuration vectors in and transmits the emitted ones.
+//
+// The DEC variant follows the paper's construction exactly: "We simply
+// required an incompatible packet format so that we could make a
+// transition" — same algorithm, different multicast address and frame
+// format.
+package stp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+// BridgeID is the 64-bit 802.1D bridge identifier: a 16-bit management
+// priority concatenated with the bridge MAC address. Lower is better.
+type BridgeID uint64
+
+// MakeBridgeID composes priority and MAC.
+func MakeBridgeID(priority uint16, mac ethernet.MAC) BridgeID {
+	return BridgeID(uint64(priority)<<48 | mac.Uint64())
+}
+
+// MAC extracts the address part.
+func (id BridgeID) MAC() ethernet.MAC { return ethernet.MACFromUint64(uint64(id)) }
+
+// Priority extracts the management priority.
+func (id BridgeID) Priority() uint16 { return uint16(id >> 48) }
+
+func (id BridgeID) String() string {
+	return fmt.Sprintf("%d/%v", id.Priority(), id.MAC())
+}
+
+// Vector is an 802.1D priority vector as carried in configuration BPDUs.
+type Vector struct {
+	RootID BridgeID
+	Cost   uint32
+	Bridge BridgeID
+	Port   uint16
+}
+
+// Better reports whether v is strictly preferable to w under the 802.1D
+// total order: lower root, then lower cost, then lower transmitting
+// bridge, then lower port.
+func (v Vector) Better(w Vector) bool {
+	if v.RootID != w.RootID {
+		return v.RootID < w.RootID
+	}
+	if v.Cost != w.Cost {
+		return v.Cost < w.Cost
+	}
+	if v.Bridge != w.Bridge {
+		return v.Bridge < w.Bridge
+	}
+	return v.Port < w.Port
+}
+
+// PortState is a spanning tree port state.
+type PortState int
+
+// Port states in increasing readiness. Listening and Learning are the
+// forward-delay stages that produce the ~30 s gap the paper measures in
+// §7.5.
+const (
+	Blocking PortState = iota
+	Listening
+	Learning
+	Forwarding
+)
+
+var stateNames = [...]string{"blocking", "listening", "learning", "forwarding"}
+
+func (s PortState) String() string { return stateNames[s] }
+
+// Role is the port's topology role.
+type Role int
+
+// Port roles.
+const (
+	RoleBlocked Role = iota
+	RoleRoot
+	RoleDesignated
+)
+
+var roleNames = [...]string{"blocked", "root", "designated"}
+
+func (r Role) String() string { return roleNames[r] }
+
+// Config parameterizes a bridge's spanning tree instance. The defaults
+// are the 802.1D recommended timer values, which produce the paper's
+// observed 30-second forwarding delay.
+type Config struct {
+	BridgeID     BridgeID
+	NumPorts     int
+	HelloTime    netsim.Duration // default 2 s
+	MaxAge       netsim.Duration // default 20 s
+	ForwardDelay netsim.Duration // default 15 s
+	PathCost     uint32          // per-port cost; 19 is 802.1D for 100 Mb/s
+}
+
+// DefaultTimers fills unset timer fields with the 802.1D defaults.
+func (c Config) DefaultTimers() Config {
+	if c.HelloTime == 0 {
+		c.HelloTime = 2 * netsim.Second
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 20 * netsim.Second
+	}
+	if c.ForwardDelay == 0 {
+		c.ForwardDelay = 15 * netsim.Second
+	}
+	if c.PathCost == 0 {
+		c.PathCost = 19
+	}
+	return c
+}
+
+type portInfo struct {
+	// best is the best configuration heard on this port, valid while
+	// heardAt + MaxAge is in the future.
+	best    Vector
+	hasBest bool
+	heardAt netsim.Time
+
+	role  Role
+	state PortState
+	// stateSince timestamps the current state for forward-delay advances.
+	stateSince netsim.Time
+}
+
+// Emit is a configuration BPDU to transmit.
+type Emit struct {
+	Port int
+	V    Vector
+}
+
+// Machine is one bridge's spanning tree computation.
+type Machine struct {
+	cfg   Config
+	now   func() netsim.Time
+	ports []portInfo
+
+	// Topology outputs.
+	root     BridgeID
+	rootCost uint32
+	rootPort int // -1 when this bridge is root
+
+	// Stats.
+	Elections uint64
+	RxConfigs uint64
+}
+
+// New creates a machine; now supplies virtual time.
+func New(cfg Config, now func() netsim.Time) *Machine {
+	cfg = cfg.DefaultTimers()
+	m := &Machine{cfg: cfg, now: now, ports: make([]portInfo, cfg.NumPorts), rootPort: -1}
+	m.root = cfg.BridgeID
+	t := now()
+	for i := range m.ports {
+		// A fresh bridge believes itself root and its ports designated;
+		// they still walk through listening/learning before forwarding.
+		m.ports[i] = portInfo{role: RoleDesignated, state: Listening, stateSince: t}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// ReceiveConfig processes a configuration vector heard on a port.
+func (m *Machine) ReceiveConfig(port int, v Vector) {
+	if port < 0 || port >= len(m.ports) {
+		return
+	}
+	m.RxConfigs++
+	p := &m.ports[port]
+	if !p.hasBest || v.Better(p.best) || v.Bridge == p.best.Bridge {
+		// Better information, or a refresh from the same designated
+		// bridge (which may be worse than before, e.g. after it lost
+		// the root): replace.
+		p.best = v
+		p.hasBest = true
+		p.heardAt = m.now()
+		m.recompute()
+	}
+}
+
+// myVector is the configuration this bridge transmits on designated ports.
+func (m *Machine) myVector(port int) Vector {
+	return Vector{RootID: m.root, Cost: m.rootCost, Bridge: m.cfg.BridgeID, Port: uint16(port)}
+}
+
+// recompute runs root election and role assignment.
+func (m *Machine) recompute() {
+	now := m.now()
+	oldRoot, oldRootPort := m.root, m.rootPort
+
+	// Expire stale information.
+	for i := range m.ports {
+		p := &m.ports[i]
+		if p.hasBest && now.Sub(p.heardAt) > m.cfg.MaxAge {
+			p.hasBest = false
+		}
+	}
+
+	// Root election: the best of our own ID and every heard vector.
+	m.root = m.cfg.BridgeID
+	m.rootCost = 0
+	m.rootPort = -1
+	var bestThrough Vector
+	for i := range m.ports {
+		p := &m.ports[i]
+		if !p.hasBest {
+			continue
+		}
+		cand := p.best
+		if cand.RootID < m.root ||
+			(cand.RootID == m.root && m.rootPort >= 0 && throughBetter(cand, i, bestThrough, m.rootPort)) ||
+			(cand.RootID == m.root && m.rootPort == -1 && cand.RootID != m.cfg.BridgeID) {
+			m.root = cand.RootID
+			m.rootCost = cand.Cost + m.cfg.PathCost
+			m.rootPort = i
+			bestThrough = cand
+		}
+	}
+
+	// Role assignment.
+	for i := range m.ports {
+		p := &m.ports[i]
+		var role Role
+		switch {
+		case i == m.rootPort:
+			role = RoleRoot
+		case !p.hasBest || m.myVector(i).Better(p.best):
+			// No better designated bridge heard: we are designated.
+			role = RoleDesignated
+		default:
+			role = RoleBlocked
+		}
+		m.setRole(i, role, now)
+	}
+
+	if m.root != oldRoot || m.rootPort != oldRootPort {
+		m.Elections++
+	}
+}
+
+// throughBetter compares two candidate root paths (same root).
+func throughBetter(a Vector, aPort int, b Vector, bPort int) bool {
+	av := Vector{RootID: a.RootID, Cost: a.Cost, Bridge: a.Bridge, Port: uint16(aPort)}
+	bv := Vector{RootID: b.RootID, Cost: b.Cost, Bridge: b.Bridge, Port: uint16(bPort)}
+	return av.Better(bv)
+}
+
+func (m *Machine) setRole(i int, role Role, now netsim.Time) {
+	p := &m.ports[i]
+	if p.role == role {
+		return
+	}
+	p.role = role
+	if role == RoleBlocked {
+		p.state = Blocking
+	} else if p.state == Blocking {
+		p.state = Listening
+	}
+	p.stateSince = now
+}
+
+// Tick advances timers: expiry, state transitions, and periodic
+// configuration transmission on designated ports. Call it every HelloTime.
+func (m *Machine) Tick() []Emit {
+	now := m.now()
+	m.recompute()
+	for i := range m.ports {
+		p := &m.ports[i]
+		if p.role == RoleBlocked {
+			continue
+		}
+		// Listening -> Learning -> Forwarding, one ForwardDelay each.
+		for p.state < Forwarding && now.Sub(p.stateSince) >= m.cfg.ForwardDelay {
+			p.stateSince = p.stateSince.Add(m.cfg.ForwardDelay)
+			p.state++
+		}
+	}
+	var out []Emit
+	for i := range m.ports {
+		if m.ports[i].role == RoleDesignated {
+			out = append(out, Emit{Port: i, V: m.myVector(i)})
+		}
+	}
+	return out
+}
+
+// PortRole returns the port's role.
+func (m *Machine) PortRole(i int) Role { return m.ports[i].role }
+
+// PortState returns the port's state.
+func (m *Machine) PortState(i int) PortState { return m.ports[i].state }
+
+// ShouldForward reports whether data traffic may cross the port.
+func (m *Machine) ShouldForward(i int) bool {
+	return m.ports[i].role != RoleBlocked && m.ports[i].state == Forwarding
+}
+
+// ShouldLearn reports whether addresses may be learned from the port.
+func (m *Machine) ShouldLearn(i int) bool {
+	return m.ports[i].role != RoleBlocked && m.ports[i].state >= Learning
+}
+
+// RootID returns the elected root.
+func (m *Machine) RootID() BridgeID { return m.root }
+
+// RootCost returns the path cost to the root (0 at the root).
+func (m *Machine) RootCost() uint32 { return m.rootCost }
+
+// RootPort returns the root port index, or -1 at the root bridge.
+func (m *Machine) RootPort() int { return m.rootPort }
+
+// IsRoot reports whether this bridge is the spanning tree root.
+func (m *Machine) IsRoot() bool { return m.rootPort == -1 }
+
+// TreeInfo renders the local view of the spanning tree canonically; the
+// control switchlet compares this across protocols (paper §5.4: "the
+// portion of the spanning tree computed at each node should be identical
+// for the old and the new protocols").
+func (m *Machine) TreeInfo() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "root=%v cost=%d rootport=%d", m.root, m.rootCost, m.rootPort)
+	for i := range m.ports {
+		fmt.Fprintf(&sb, " p%d=%v", i, m.ports[i].role)
+	}
+	return sb.String()
+}

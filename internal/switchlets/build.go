@@ -1,0 +1,90 @@
+package switchlets
+
+import (
+	"strings"
+
+	"github.com/switchware/activebridge/internal/bridge"
+)
+
+// swl string literals for the two protocols' constants.
+const (
+	ieeeAddrLit  = `"\x01\x80\xc2\x00\x00\x00"` // 802.1D All Bridges
+	decAddrLit   = `"\x09\x00\x2b\x01\x00\x01"` // DEC management multicast
+	ieeeEtypeLit = `"\x88\xf5"`
+	decEtypeLit  = `"\x60\x02"`
+)
+
+// buildSTP instantiates the shared spanning tree source for one protocol.
+func buildSTP(name, other, addr, etype, fragments string) string {
+	src := stpCommon
+	src = strings.Replace(src, "let my_vector port = !root ^ be32 !root_cost ^ my_id ^ be16 port",
+		"let my_vector port = !root ^ be32 !root_cost ^ my_id ^ be16 port\n"+fragments, 1)
+	repl := strings.NewReplacer(
+		"@ADDR@", addr,
+		"@ETYPE@", etype,
+		"@NAME@", `"`+name+`"`,
+		"@OTHER@", `"`+other+`"`,
+		"@TIMER@", `"`+name+`_hello"`,
+	)
+	return repl.Replace(src)
+}
+
+// SpanningSrc is switchlet 3: the IEEE 802.1D spanning tree protocol
+// (paper §5.3), the "new" protocol of the transition experiment.
+var SpanningSrc = buildSTP("ieee", "dec", ieeeAddrLit, ieeeEtypeLit, ieeeFragments)
+
+// DECSrc is the DEC-style spanning tree: the same algorithm sending "DEC
+// spanning tree packets to the DEC management multicast address instead of
+// 802.1D packets to the All Bridges multicast address" with an incompatible
+// frame format (paper §5.4) — the "old" protocol.
+var DECSrc = buildSTP("dec", "ieee", decAddrLit, decEtypeLit, decFragments)
+
+// BuggySpanningSrc is SpanningSrc with an inverted root-election comparison:
+// it elects the *highest* bridge identifier as root. The control switchlet's
+// validation detects the resulting spanning tree mismatch and falls back to
+// the DEC protocol — the paper's demonstration that "the Active Bridge can
+// protect itself from some algorithmic failures in loadable modules."
+var BuggySpanningSrc = strings.Replace(SpanningSrc,
+	"if vroot < !root ||", "if vroot > !root ||", 1)
+
+// Module names used when loading the standard switchlets.
+const (
+	ModDumb     = "Dumb"
+	ModLearning = "Learning"
+	ModSpanning = "Spanning"
+	ModDEC      = "Decspan"
+	ModControl  = "Control"
+)
+
+// LoadDumb compiles and loads the buffered repeater.
+func LoadDumb(b *bridge.Bridge) error { return b.CompileAndLoad(ModDumb, DumbSrc) }
+
+// LoadLearning compiles and loads the self-learning bridge (replacing the
+// dumb bridge's switching function if present).
+func LoadLearning(b *bridge.Bridge) error { return b.CompileAndLoad(ModLearning, LearningSrc) }
+
+// LoadSpanning compiles and loads the 802.1D switchlet. It starts
+// immediately unless the DEC protocol is operating (transition scenario).
+func LoadSpanning(b *bridge.Bridge) error { return b.CompileAndLoad(ModSpanning, SpanningSrc) }
+
+// LoadBuggySpanning loads the deliberately broken 802.1D variant.
+func LoadBuggySpanning(b *bridge.Bridge) error {
+	return b.CompileAndLoad(ModSpanning, BuggySpanningSrc)
+}
+
+// LoadDEC compiles and loads the DEC-style switchlet.
+func LoadDEC(b *bridge.Bridge) error { return b.CompileAndLoad(ModDEC, DECSrc) }
+
+// LoadControl compiles and loads the protocol-transition control switchlet;
+// both protocol switchlets must already be loaded (DEC running, IEEE
+// dormant) or the load fails, per Table 1's preconditions.
+func LoadControl(b *bridge.Bridge) error { return b.CompileAndLoad(ModControl, ControlSrc) }
+
+// LoadFullBridge loads the §5.3 stack: learning + spanning tree (the dumb
+// switchlet is superseded by learning and omitted by default).
+func LoadFullBridge(b *bridge.Bridge) error {
+	if err := LoadLearning(b); err != nil {
+		return err
+	}
+	return LoadSpanning(b)
+}

@@ -1,0 +1,124 @@
+// Package testbed wires the paper's measurement configurations:
+//
+//	Figure 8 (baseline): Host#1 -- 100 Mb/s LAN -- Host#2
+//	Figure 7 (bridged):  Host#1 -- LAN#1 -- node -- LAN#2 -- Host#2
+//
+// where node is the active bridge (swl switchlets), the active bridge with
+// native-code switchlets (ablation), or the C buffered repeater.
+package testbed
+
+import (
+	"github.com/switchware/activebridge/internal/baseline"
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/workload"
+)
+
+// Path selects the forwarding element between the two hosts.
+type Path int
+
+// The measured configurations.
+const (
+	Direct Path = iota // single shared LAN, no intermediary
+	Repeater
+	ActiveBridge // swl learning switchlet (the paper's measured system)
+	NativeBridge // native-code learning switchlet (ablation)
+)
+
+var pathNames = [...]string{"direct", "repeater", "active-bridge", "native-bridge"}
+
+func (p Path) String() string { return pathNames[p] }
+
+// Testbed is a wired two-host measurement network.
+type Testbed struct {
+	Sim    *netsim.Sim
+	Cost   netsim.CostModel
+	H1, H2 *workload.Host
+
+	// Bridge is set for ActiveBridge/NativeBridge paths.
+	Bridge *bridge.Bridge
+	// Rep is set for the Repeater path.
+	Rep *baseline.Repeater
+}
+
+// Addresses of the two hosts.
+var (
+	H1IP = ipv4.Addr{10, 0, 0, 1}
+	H2IP = ipv4.Addr{10, 0, 0, 2}
+	h1M  = ethernet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	h2M  = ethernet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// New builds the configuration. An error can only come from switchlet
+// compilation, which is deterministic; it panics because it means the
+// shipped sources are broken.
+func New(path Path, cost netsim.CostModel) *Testbed {
+	sim := netsim.New()
+	tb := &Testbed{Sim: sim, Cost: cost}
+	tb.H1 = workload.NewHost(sim, "h1", h1M, H1IP, cost)
+	tb.H2 = workload.NewHost(sim, "h2", h2M, H2IP, cost)
+	tb.H1.AddNeighbor(H2IP, h2M)
+	tb.H2.AddNeighbor(H1IP, h1M)
+
+	switch path {
+	case Direct:
+		lan := netsim.NewSegment(sim, "lan")
+		lan.Attach(tb.H1.NIC)
+		lan.Attach(tb.H2.NIC)
+	case Repeater:
+		lan1 := netsim.NewSegment(sim, "lan1")
+		lan2 := netsim.NewSegment(sim, "lan2")
+		tb.Rep = baseline.NewRepeater(sim, "rep", cost)
+		lan1.Attach(tb.H1.NIC)
+		lan1.Attach(tb.Rep.Port(0))
+		lan2.Attach(tb.H2.NIC)
+		lan2.Attach(tb.Rep.Port(1))
+	case ActiveBridge, NativeBridge:
+		lan1 := netsim.NewSegment(sim, "lan1")
+		lan2 := netsim.NewSegment(sim, "lan2")
+		tb.Bridge = bridge.New(sim, "br0", 1, 2, cost)
+		lan1.Attach(tb.H1.NIC)
+		lan1.Attach(tb.Bridge.Port(0))
+		lan2.Attach(tb.H2.NIC)
+		lan2.Attach(tb.Bridge.Port(1))
+		if path == ActiveBridge {
+			if err := switchlets.LoadLearning(tb.Bridge); err != nil {
+				panic("testbed: learning switchlet failed to load: " + err.Error())
+			}
+		} else {
+			switchlets.InstallNativeLearning(tb.Bridge)
+		}
+	}
+	return tb
+}
+
+// Warm primes the learning table (and any caches) with one frame in each
+// direction so measurements see steady state, then returns.
+func (tb *Testbed) Warm() {
+	tb.Sim.Schedule(tb.Sim.Now(), func() {
+		_ = tb.H1.SendTest(tb.H2.MAC, []byte{0, 2})
+	})
+	tb.Sim.Run(tb.Sim.Now() + netsim.Time(50*netsim.Millisecond))
+	tb.Sim.Schedule(tb.Sim.Now(), func() {
+		_ = tb.H2.SendTest(tb.H1.MAC, []byte{0, 2})
+	})
+	tb.Sim.Run(tb.Sim.Now() + netsim.Time(50*netsim.Millisecond))
+}
+
+// PingRTT measures the mean ICMP round-trip time for the given data size.
+func (tb *Testbed) PingRTT(size, count int) netsim.Duration {
+	p := workload.NewPinger(tb.H1, H2IP, size, count)
+	p.Run(tb.Sim.Now() + netsim.Time(netsim.Duration(count+5)*netsim.Second))
+	return p.MeanRTT()
+}
+
+// TtcpRun streams total bytes with the given write size and returns the
+// finished transfer.
+func (tb *Testbed) TtcpRun(writeSize int, total int64) *workload.Ttcp {
+	t := workload.NewTtcp(tb.H1, tb.H2, writeSize, total)
+	t.Run(tb.Sim.Now() + netsim.Time(600*netsim.Second))
+	return t
+}

@@ -1,0 +1,338 @@
+// Package tftp implements the subset of TFTP (RFC 1350) used by the Active
+// Bridge's network switchlet loader: a server that "only services write
+// requests in binary format" (paper §5.2), plus the matching client. Any
+// completed file is handed to a callback; the bridge treats it as a
+// switchlet object file and attempts to load it.
+package tftp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+// Opcodes.
+const (
+	OpRRQ   = 1
+	OpWRQ   = 2
+	OpDATA  = 3
+	OpACK   = 4
+	OpERROR = 5
+)
+
+// BlockSize is the fixed TFTP data block size.
+const BlockSize = 512
+
+// Port is the well-known TFTP service port.
+const Port = 69
+
+// Error codes (RFC 1350 §5).
+const (
+	ErrCodeNotDefined   = 0
+	ErrCodeAccessDenied = 2
+	ErrCodeIllegalOp    = 4
+	ErrCodeUnknownTID   = 5
+)
+
+// Errors.
+var (
+	ErrTruncated = errors.New("tftp: truncated packet")
+	ErrMalformed = errors.New("tftp: malformed packet")
+)
+
+// Packet is one of WRQ, RRQ, Data, Ack, or ErrorPkt.
+type Packet interface{ marshal() []byte }
+
+// Request is an RRQ or WRQ.
+type Request struct {
+	Write    bool
+	Filename string
+	Mode     string
+}
+
+// Data is a DATA block. Block numbers start at 1.
+type Data struct {
+	Block   uint16
+	Payload []byte
+}
+
+// Ack acknowledges a block; WRQ is acknowledged with block 0.
+type Ack struct{ Block uint16 }
+
+// ErrorPkt is an ERROR packet; it terminates a transfer.
+type ErrorPkt struct {
+	Code uint16
+	Msg  string
+}
+
+func (r *Request) marshal() []byte {
+	op := uint16(OpRRQ)
+	if r.Write {
+		op = OpWRQ
+	}
+	b := make([]byte, 0, 4+len(r.Filename)+len(r.Mode)+2)
+	b = binary.BigEndian.AppendUint16(b, op)
+	b = append(b, r.Filename...)
+	b = append(b, 0)
+	b = append(b, r.Mode...)
+	b = append(b, 0)
+	return b
+}
+
+func (d *Data) marshal() []byte {
+	b := make([]byte, 4+len(d.Payload))
+	binary.BigEndian.PutUint16(b[0:2], OpDATA)
+	binary.BigEndian.PutUint16(b[2:4], d.Block)
+	copy(b[4:], d.Payload)
+	return b
+}
+
+func (a *Ack) marshal() []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint16(b[0:2], OpACK)
+	binary.BigEndian.PutUint16(b[2:4], a.Block)
+	return b
+}
+
+func (e *ErrorPkt) marshal() []byte {
+	b := make([]byte, 0, 5+len(e.Msg))
+	b = binary.BigEndian.AppendUint16(b, OpERROR)
+	b = binary.BigEndian.AppendUint16(b, e.Code)
+	b = append(b, e.Msg...)
+	b = append(b, 0)
+	return b
+}
+
+// Marshal encodes any packet type.
+func Marshal(p Packet) []byte { return p.marshal() }
+
+// Parse decodes a TFTP packet.
+func Parse(b []byte) (Packet, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	op := binary.BigEndian.Uint16(b[0:2])
+	switch op {
+	case OpRRQ, OpWRQ:
+		rest := b[2:]
+		name, rest, ok := cstring(rest)
+		if !ok {
+			return nil, ErrMalformed
+		}
+		mode, _, ok := cstring(rest)
+		if !ok {
+			return nil, ErrMalformed
+		}
+		return &Request{Write: op == OpWRQ, Filename: name, Mode: mode}, nil
+	case OpDATA:
+		if len(b) > 4+BlockSize {
+			return nil, ErrMalformed
+		}
+		return &Data{Block: binary.BigEndian.Uint16(b[2:4]), Payload: b[4:]}, nil
+	case OpACK:
+		if len(b) != 4 {
+			return nil, ErrMalformed
+		}
+		return &Ack{Block: binary.BigEndian.Uint16(b[2:4])}, nil
+	case OpERROR:
+		msg, _, ok := cstring(b[4:])
+		if !ok {
+			return nil, ErrMalformed
+		}
+		return &ErrorPkt{Code: binary.BigEndian.Uint16(b[2:4]), Msg: msg}, nil
+	}
+	return nil, ErrMalformed
+}
+
+func cstring(b []byte) (string, []byte, bool) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), b[i+1:], true
+		}
+	}
+	return "", nil, false
+}
+
+// Endpoint identifies a UDP peer.
+type Endpoint struct {
+	Addr ipv4.Addr
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%v:%d", e.Addr, e.Port) }
+
+// Reply is a datagram the server wants transmitted.
+type Reply struct {
+	To       Endpoint
+	FromPort uint16
+	Payload  []byte
+}
+
+// Server is a write-only binary-mode TFTP server. It is transport-agnostic:
+// feed datagrams to Handle and transmit the returned replies. A completed
+// transfer invokes OnFile.
+type Server struct {
+	// OnFile receives each completed upload. If it returns an error the
+	// final ACK is replaced by an ERROR packet carrying the message (the
+	// bridge uses this to report switchlet load failures to the sender).
+	OnFile func(name string, data []byte) error
+
+	nextTID  uint16
+	sessions map[Endpoint]*serverSession
+
+	// Stats.
+	Transfers uint64
+	Rejected  uint64
+}
+
+type serverSession struct {
+	tid      uint16
+	filename string
+	data     []byte
+	expect   uint16 // next block number expected
+	done     bool
+}
+
+// NewServer creates a server delivering completed files to onFile.
+func NewServer(onFile func(string, []byte) error) *Server {
+	return &Server{OnFile: onFile, nextTID: 3000, sessions: make(map[Endpoint]*serverSession)}
+}
+
+// Handle processes one received datagram addressed to the server (either to
+// the well-known port or to a transfer TID) and returns any replies.
+func (s *Server) Handle(from Endpoint, toPort uint16, payload []byte) []Reply {
+	pkt, err := Parse(payload)
+	if err != nil {
+		return nil // RFC: silently discard unparseable noise
+	}
+	switch p := pkt.(type) {
+	case *Request:
+		return s.handleRequest(from, p)
+	case *Data:
+		return s.handleData(from, toPort, p)
+	case *ErrorPkt:
+		delete(s.sessions, from)
+		return nil
+	default:
+		return []Reply{errorReply(from, toPort, ErrCodeIllegalOp, "unexpected packet")}
+	}
+}
+
+func (s *Server) handleRequest(from Endpoint, r *Request) []Reply {
+	if !r.Write || r.Mode != "octet" {
+		// Paper: "This server only services write requests in binary
+		// format."
+		s.Rejected++
+		return []Reply{errorReply(from, Port, ErrCodeAccessDenied,
+			"only binary-mode write requests are served")}
+	}
+	s.nextTID++
+	sess := &serverSession{tid: s.nextTID, filename: r.Filename, expect: 1}
+	s.sessions[from] = sess
+	return []Reply{{To: from, FromPort: sess.tid, Payload: Marshal(&Ack{Block: 0})}}
+}
+
+func (s *Server) handleData(from Endpoint, toPort uint16, d *Data) []Reply {
+	sess := s.sessions[from]
+	if sess == nil || sess.tid != toPort {
+		return []Reply{errorReply(from, toPort, ErrCodeUnknownTID, "unknown transfer")}
+	}
+	if sess.done {
+		return nil
+	}
+	switch {
+	case d.Block == sess.expect:
+		sess.data = append(sess.data, d.Payload...)
+		sess.expect++
+	case d.Block < sess.expect:
+		// Duplicate: re-ack, don't re-append.
+	default:
+		return []Reply{errorReply(from, toPort, ErrCodeIllegalOp, "block out of order")}
+	}
+	if len(d.Payload) < BlockSize && d.Block == sess.expect-1 {
+		sess.done = true
+		delete(s.sessions, from)
+		s.Transfers++
+		if s.OnFile != nil {
+			if err := s.OnFile(sess.filename, sess.data); err != nil {
+				return []Reply{errorReply(from, toPort, ErrCodeNotDefined, err.Error())}
+			}
+		}
+	}
+	return []Reply{{To: from, FromPort: sess.tid, Payload: Marshal(&Ack{Block: d.Block})}}
+}
+
+func errorReply(to Endpoint, fromPort uint16, code uint16, msg string) Reply {
+	return Reply{To: to, FromPort: fromPort, Payload: Marshal(&ErrorPkt{Code: code, Msg: msg})}
+}
+
+// Put is a client-side write transfer state machine. Drive it by sending
+// Start's packet to port 69, then feeding each reply to Next and sending
+// the returned packet (if any) to the server's TID.
+//
+// DATA block k (1-based) carries data[(k-1)*512 : min(k*512, len)]. A file
+// whose length is an exact multiple of 512 (including the empty file) is
+// terminated by a zero-length final block, per RFC 1350.
+type Put struct {
+	Filename string
+	data     []byte
+	nblocks  int // total DATA blocks, including the short/empty terminator
+	sent     int // highest DATA block transmitted (0 = only WRQ so far)
+	complete bool
+	err      error
+}
+
+// NewPut creates a write transfer for the given file contents.
+func NewPut(filename string, data []byte) *Put {
+	return &Put{Filename: filename, data: data, nblocks: len(data)/BlockSize + 1}
+}
+
+// Start returns the initial WRQ payload.
+func (p *Put) Start() []byte {
+	return Marshal(&Request{Write: true, Filename: p.Filename, Mode: "octet"})
+}
+
+// Next consumes a server reply and returns the next datagram to send, or nil
+// when the transfer is complete or failed (check Done/Err).
+func (p *Put) Next(reply []byte) []byte {
+	if p.complete || p.err != nil {
+		return nil
+	}
+	pkt, err := Parse(reply)
+	if err != nil {
+		p.err = err
+		return nil
+	}
+	switch q := pkt.(type) {
+	case *Ack:
+		// The ack of block k (or of the WRQ, k=0) releases block k+1.
+		if int(q.Block) != p.sent {
+			return nil // stale or duplicate ack; ignore
+		}
+		if p.sent == p.nblocks {
+			p.complete = true
+			return nil
+		}
+		p.sent++
+		lo := (p.sent - 1) * BlockSize
+		hi := lo + BlockSize
+		if hi > len(p.data) {
+			hi = len(p.data)
+		}
+		return Marshal(&Data{Block: uint16(p.sent), Payload: p.data[lo:hi]})
+	case *ErrorPkt:
+		p.err = fmt.Errorf("tftp: server error %d: %s", q.Code, q.Msg)
+		return nil
+	default:
+		p.err = ErrMalformed
+		return nil
+	}
+}
+
+// Done reports whether the transfer completed successfully.
+func (p *Put) Done() bool { return p.complete }
+
+// Err returns the transfer error, if any.
+func (p *Put) Err() error { return p.err }

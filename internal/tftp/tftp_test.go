@@ -1,0 +1,237 @@
+package tftp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+var client = Endpoint{Addr: ipv4.Addr{10, 0, 0, 9}, Port: 5555}
+
+func TestPacketRoundTrips(t *testing.T) {
+	pkts := []Packet{
+		&Request{Write: true, Filename: "bridge.swo", Mode: "octet"},
+		&Request{Write: false, Filename: "x", Mode: "netascii"},
+		&Data{Block: 3, Payload: []byte("hello")},
+		&Data{Block: 9, Payload: nil},
+		&Ack{Block: 0},
+		&Ack{Block: 65535},
+		&ErrorPkt{Code: 2, Msg: "denied"},
+	}
+	for _, p := range pkts {
+		b := Marshal(p)
+		got, err := Parse(b)
+		if err != nil {
+			t.Fatalf("Parse(%#v): %v", p, err)
+		}
+		if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", p) {
+			// Data payload nil vs empty slice: normalize via bytes.Equal.
+			if d1, ok := p.(*Data); ok {
+				d2 := got.(*Data)
+				if d1.Block == d2.Block && bytes.Equal(d1.Payload, d2.Payload) {
+					continue
+				}
+			}
+			t.Errorf("round trip: got %#v, want %#v", got, p)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{0, 1}); err != ErrTruncated {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := Parse([]byte{0, 9, 0, 0}); err != ErrMalformed {
+		t.Errorf("bad opcode: %v", err)
+	}
+	if _, err := Parse([]byte{0, 2, 'a', 'b'}); err != ErrMalformed {
+		t.Errorf("unterminated strings: %v", err)
+	}
+	if _, err := Parse([]byte{0, 4, 0}); err != ErrTruncated {
+		t.Errorf("short ack: %v", err)
+	}
+	if _, err := Parse([]byte{0, 4, 0, 0, 0}); err != ErrMalformed {
+		t.Errorf("long ack: %v", err)
+	}
+	big := append([]byte{0, 3, 0, 1}, make([]byte, BlockSize+1)...)
+	if _, err := Parse(big); err != ErrMalformed {
+		t.Errorf("oversize data: %v", err)
+	}
+}
+
+// runTransfer drives a full Put against a Server over a lossless in-memory
+// "network" and returns the file the server received.
+func runTransfer(t *testing.T, name string, content []byte) (string, []byte) {
+	t.Helper()
+	var gotName string
+	var gotData []byte
+	srv := NewServer(func(n string, d []byte) error {
+		gotName, gotData = n, append([]byte(nil), d...)
+		return nil
+	})
+	put := NewPut(name, content)
+	replies := srv.Handle(client, Port, put.Start())
+	for i := 0; i < 10000; i++ {
+		if len(replies) != 1 {
+			t.Fatalf("server sent %d replies", len(replies))
+		}
+		next := put.Next(replies[0].Payload)
+		if next == nil {
+			break
+		}
+		replies = srv.Handle(client, replies[0].FromPort, next)
+	}
+	if err := put.Err(); err != nil {
+		t.Fatalf("transfer error: %v", err)
+	}
+	if !put.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	return gotName, gotData
+}
+
+func TestTransferSizes(t *testing.T) {
+	sizes := []int{0, 1, 511, 512, 513, 1024, 1025, 5000}
+	for _, n := range sizes {
+		content := make([]byte, n)
+		for i := range content {
+			content[i] = byte(i * 13)
+		}
+		name, data := runTransfer(t, fmt.Sprintf("f%d.swo", n), content)
+		if name != fmt.Sprintf("f%d.swo", n) {
+			t.Errorf("size %d: name = %q", n, name)
+		}
+		if !bytes.Equal(data, content) {
+			t.Errorf("size %d: content mismatch (got %d bytes)", n, len(data))
+		}
+	}
+}
+
+func TestTransferProperty(t *testing.T) {
+	f := func(content []byte) bool {
+		var got []byte
+		srv := NewServer(func(_ string, d []byte) error {
+			got = append([]byte(nil), d...)
+			return nil
+		})
+		put := NewPut("p.swo", content)
+		replies := srv.Handle(client, Port, put.Start())
+		for i := 0; i < 1000 && len(replies) == 1; i++ {
+			next := put.Next(replies[0].Payload)
+			if next == nil {
+				break
+			}
+			replies = srv.Handle(client, replies[0].FromPort, next)
+		}
+		return put.Done() && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerRejectsRead(t *testing.T) {
+	srv := NewServer(nil)
+	rrq := Marshal(&Request{Write: false, Filename: "secret", Mode: "octet"})
+	replies := srv.Handle(client, Port, rrq)
+	if len(replies) != 1 {
+		t.Fatal("no reply")
+	}
+	p, err := Parse(replies[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := p.(*ErrorPkt); !ok || e.Code != ErrCodeAccessDenied {
+		t.Errorf("reply = %#v, want access-denied error", p)
+	}
+	if srv.Rejected != 1 {
+		t.Errorf("Rejected = %d", srv.Rejected)
+	}
+}
+
+func TestServerRejectsNetascii(t *testing.T) {
+	srv := NewServer(nil)
+	wrq := Marshal(&Request{Write: true, Filename: "f", Mode: "netascii"})
+	replies := srv.Handle(client, Port, wrq)
+	p, _ := Parse(replies[0].Payload)
+	if _, ok := p.(*ErrorPkt); !ok {
+		t.Errorf("netascii WRQ accepted: %#v", p)
+	}
+}
+
+func TestServerUnknownTID(t *testing.T) {
+	srv := NewServer(nil)
+	data := Marshal(&Data{Block: 1, Payload: []byte("x")})
+	replies := srv.Handle(client, 4321, data)
+	p, _ := Parse(replies[0].Payload)
+	if e, ok := p.(*ErrorPkt); !ok || e.Code != ErrCodeUnknownTID {
+		t.Errorf("reply = %#v, want unknown-TID error", p)
+	}
+}
+
+func TestServerOnFileErrorPropagates(t *testing.T) {
+	srv := NewServer(func(string, []byte) error { return errors.New("bad bytecode digest") })
+	put := NewPut("evil.swo", []byte("junk"))
+	replies := srv.Handle(client, Port, put.Start())
+	next := put.Next(replies[0].Payload)
+	replies = srv.Handle(client, replies[0].FromPort, next)
+	p, err := Parse(replies[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := p.(*ErrorPkt)
+	if !ok || e.Msg != "bad bytecode digest" {
+		t.Errorf("reply = %#v, want load error", p)
+	}
+	// The client should surface the error.
+	if put.Next(replies[0].Payload) != nil {
+		t.Error("client kept sending after error")
+	}
+	if put.Err() == nil {
+		t.Error("client error not recorded")
+	}
+}
+
+func TestServerDuplicateDataReAcked(t *testing.T) {
+	received := 0
+	srv := NewServer(func(_ string, d []byte) error { received = len(d); return nil })
+	put := NewPut("dup.swo", bytes.Repeat([]byte{1}, 600))
+	replies := srv.Handle(client, Port, put.Start())
+	tid := replies[0].FromPort
+	block1 := put.Next(replies[0].Payload)
+	r1 := srv.Handle(client, tid, block1)
+	// Duplicate block 1 (e.g. a retransmission): server re-acks without
+	// double-appending.
+	r1dup := srv.Handle(client, tid, block1)
+	if len(r1dup) != 1 {
+		t.Fatal("no duplicate ack")
+	}
+	block2 := put.Next(r1[0].Payload)
+	r2 := srv.Handle(client, tid, block2)
+	put.Next(r2[0].Payload)
+	if !put.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	if received != 600 {
+		t.Errorf("server got %d bytes, want 600 (duplicate must not append)", received)
+	}
+}
+
+func TestPutStaleAckIgnored(t *testing.T) {
+	put := NewPut("s.swo", make([]byte, 1000))
+	put.Start()
+	first := put.Next(Marshal(&Ack{Block: 0}))
+	if first == nil {
+		t.Fatal("no first block")
+	}
+	if put.Next(Marshal(&Ack{Block: 5})) != nil {
+		t.Error("future ack should be ignored")
+	}
+	if put.Next(Marshal(&Ack{Block: 0})) != nil {
+		t.Error("duplicate WRQ ack should be ignored")
+	}
+}

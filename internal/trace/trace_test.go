@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"col1", "longer-column"},
+	}
+	tbl.AddRow("a", "b")
+	tbl.AddRow("longer-value", "x")
+	tbl.AddNote("a note with %d placeholders", 1)
+	s := tbl.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "note: a note with 1 placeholders") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(s, "\n")
+	// Header and data lines should align: the second column starts at the
+	// same offset in each.
+	var hdr, row string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "col1") {
+			hdr = ln
+		}
+		if strings.HasPrefix(ln, "longer-value") {
+			row = ln
+		}
+	}
+	if hdr == "" || row == "" {
+		t.Fatalf("rows missing in output:\n%s", s)
+	}
+	if strings.Index(hdr, "longer-column") != strings.Index(row, "x") {
+		t.Errorf("columns not aligned:\n%s", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(1500*netsim.Microsecond) != "1.50" {
+		t.Errorf("Ms = %s", Ms(1500*netsim.Microsecond))
+	}
+	if Mbps(16.04) != "16.0" {
+		t.Errorf("Mbps = %s", Mbps(16.04))
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series should return zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestSeriesBoundsProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Bounded inputs: summation of extreme float64s overflows, which
+		// is not a property the measurement pipeline needs.
+		var s Series
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max() &&
+			s.Min() <= s.Percentile(50) && s.Percentile(50) <= s.Max()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package udp implements the minimal UDP layer of the Active Bridge's
+// network loading stack (paper §5.2). Checksums over the IPv4 pseudo-header
+// are computed and verified; a zero received checksum means "not computed"
+// per RFC 768.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+// HeaderLen is the fixed UDP header size.
+const HeaderLen = 8
+
+// Errors.
+var (
+	ErrTruncated   = errors.New("udp: truncated datagram")
+	ErrBadLength   = errors.New("udp: length field mismatch")
+	ErrBadChecksum = errors.New("udp: checksum mismatch")
+	ErrTooBig      = errors.New("udp: datagram exceeds 65535 bytes")
+)
+
+// Datagram is a parsed UDP datagram.
+type Datagram struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Marshal encodes the datagram, computing the checksum over the IPv4
+// pseudo-header for src -> dst.
+func (d *Datagram) Marshal(src, dst ipv4.Addr) ([]byte, error) {
+	total := HeaderLen + len(d.Payload)
+	if total > 0xffff {
+		return nil, ErrTooBig
+	}
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:2], d.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], d.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(total))
+	copy(b[HeaderLen:], d.Payload)
+	ck := pseudoChecksum(src, dst, b)
+	if ck == 0 {
+		ck = 0xffff // transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[6:8], ck)
+	return b, nil
+}
+
+// Unmarshal decodes and validates b as a datagram carried from src to dst.
+func (d *Datagram) Unmarshal(src, dst ipv4.Addr, b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrTruncated
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < HeaderLen || length > len(b) {
+		return ErrBadLength
+	}
+	b = b[:length]
+	if binary.BigEndian.Uint16(b[6:8]) != 0 {
+		if pseudoChecksum(src, dst, b) != 0 {
+			return ErrBadChecksum
+		}
+	}
+	d.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	d.DstPort = binary.BigEndian.Uint16(b[2:4])
+	d.Payload = b[HeaderLen:]
+	return nil
+}
+
+// pseudoChecksum computes the UDP checksum including the IPv4 pseudo-header.
+// When the checksum field of b is already filled, a valid datagram sums to 0.
+func pseudoChecksum(src, dst ipv4.Addr, b []byte) uint16 {
+	var sum uint32
+	add16 := func(v uint16) { sum += uint32(v) }
+	add16(binary.BigEndian.Uint16(src[0:2]))
+	add16(binary.BigEndian.Uint16(src[2:4]))
+	add16(binary.BigEndian.Uint16(dst[0:2]))
+	add16(binary.BigEndian.Uint16(dst[2:4]))
+	add16(uint16(ipv4.ProtoUDP))
+	add16(uint16(len(b)))
+	for i := 0; i+1 < len(b); i += 2 {
+		add16(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,108 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/switchware/activebridge/internal/ipv4"
+)
+
+var (
+	srcA = ipv4.Addr{10, 0, 0, 1}
+	dstA = ipv4.Addr{10, 0, 0, 2}
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := Datagram{SrcPort: 4000, DstPort: 69, Payload: []byte("switchlet")}
+	b, err := d.Marshal(srcA, dstA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Datagram
+	if err := g.Unmarshal(srcA, dstA, b); err != nil {
+		t.Fatal(err)
+	}
+	if g.SrcPort != 4000 || g.DstPort != 69 || !bytes.Equal(g.Payload, d.Payload) {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("datadata")}
+	b, _ := d.Marshal(srcA, dstA)
+	b[9] ^= 0x01
+	var g Datagram
+	if err := g.Unmarshal(srcA, dstA, b); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestChecksumDetectsWrongAddresses(t *testing.T) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("x")}
+	b, _ := d.Marshal(srcA, dstA)
+	var g Datagram
+	if err := g.Unmarshal(srcA, ipv4.Addr{10, 0, 0, 99}, b); err != ErrBadChecksum {
+		t.Errorf("pseudo-header should bind addresses; err = %v", err)
+	}
+}
+
+func TestZeroChecksumAccepted(t *testing.T) {
+	d := Datagram{SrcPort: 7, DstPort: 8, Payload: []byte("nochecksum")}
+	b, _ := d.Marshal(srcA, dstA)
+	b[6], b[7] = 0, 0 // "checksum not computed"
+	var g Datagram
+	if err := g.Unmarshal(srcA, dstA, b); err != nil {
+		t.Errorf("zero checksum should be accepted: %v", err)
+	}
+}
+
+func TestTrailingPaddingTrimmed(t *testing.T) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte{1, 2, 3}}
+	b, _ := d.Marshal(srcA, dstA)
+	padded := append(b, make([]byte, 30)...)
+	var g Datagram
+	if err := g.Unmarshal(srcA, dstA, padded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g.Payload, []byte{1, 2, 3}) {
+		t.Errorf("payload = %v", g.Payload)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var g Datagram
+	if err := g.Unmarshal(srcA, dstA, []byte{1, 2, 3}); err != ErrTruncated {
+		t.Errorf("truncated: %v", err)
+	}
+	bad := make([]byte, 8)
+	bad[5] = 4 // length 4 < header
+	if err := g.Unmarshal(srcA, dstA, bad); err != ErrBadLength {
+		t.Errorf("bad length: %v", err)
+	}
+	big := Datagram{Payload: make([]byte, 0x10000)}
+	if _, err := big.Marshal(srcA, dstA); err != ErrTooBig {
+		t.Errorf("too big: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, src, dst ipv4.Addr, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		d := Datagram{SrcPort: sp, DstPort: dp, Payload: payload}
+		b, err := d.Marshal(src, dst)
+		if err != nil {
+			return false
+		}
+		var g Datagram
+		if err := g.Unmarshal(src, dst, b); err != nil {
+			return false
+		}
+		return g.SrcPort == sp && g.DstPort == dp && bytes.Equal(g.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package vm
+
+// AST node types for swl. Every expression carries its source position for
+// type-error reporting.
+
+// Expr is the interface of all expression nodes.
+type Expr interface {
+	exprPos() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// UnitLit is ().
+type UnitLit struct{ Pos Pos }
+
+// Var references a local, an enclosing binding, a module-level binding, or
+// a qualified name (Module.ident).
+type Var struct {
+	Pos    Pos
+	Module string // empty for unqualified
+	Name   string
+}
+
+// TupleExpr is (e1, e2, ...), arity >= 2.
+type TupleExpr struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// Apply is curried application f a1 a2 ... (collected into one node).
+type Apply struct {
+	Pos  Pos
+	Fn   Expr
+	Args []Expr
+}
+
+// Binop is a binary primitive: + - * / mod ^ = <> < <= > >= && || :=.
+type Binop struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// Unop is a unary primitive: - (negation), not, ! (dereference), ref.
+type Unop struct {
+	Pos Pos
+	Op  string
+	E   Expr
+}
+
+// If is a conditional; Else may be nil (then-branch must be unit).
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// While is a pre-test loop of type unit.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Expr
+}
+
+// For is an inclusive counted loop: for i = lo to hi do body done.
+type For struct {
+	Pos    Pos
+	Var    string
+	Lo, Hi Expr
+	Body   Expr
+}
+
+// Seq is e1; e2 — evaluate e1 for effect (must be unit), yield e2.
+type Seq struct {
+	Pos  Pos
+	L, R Expr
+}
+
+// Let is let [rec] name params = bound in body. With no params it is a value
+// binding; with params it is a function binding (sugar for fun).
+type Let struct {
+	Pos    Pos
+	Rec    bool
+	Name   string
+	Params []string
+	Bound  Expr
+	Body   Expr
+}
+
+// LetTuple is let (a, b, ...) = e in body.
+type LetTuple struct {
+	Pos   Pos
+	Names []string
+	Bound Expr
+	Body  Expr
+}
+
+// Fun is fun p1 p2 ... -> body.
+type Fun struct {
+	Pos    Pos
+	Params []string
+	Body   Expr
+}
+
+// Try is try e with handler: evaluates e; if a runtime trap (raise,
+// Hashtbl.find miss, division by zero, ...) occurs, yields handler instead.
+// This is a deliberately simplified Caml try/with (no exception patterns).
+type Try struct {
+	Pos     Pos
+	Body    Expr
+	Handler Expr
+}
+
+// Raise is raise "message"; its type is fully polymorphic (bottom).
+type Raise struct {
+	Pos Pos
+	Msg Expr
+}
+
+func (e *IntLit) exprPos() Pos    { return e.Pos }
+func (e *StrLit) exprPos() Pos    { return e.Pos }
+func (e *BoolLit) exprPos() Pos   { return e.Pos }
+func (e *UnitLit) exprPos() Pos   { return e.Pos }
+func (e *Var) exprPos() Pos       { return e.Pos }
+func (e *TupleExpr) exprPos() Pos { return e.Pos }
+func (e *Apply) exprPos() Pos     { return e.Pos }
+func (e *Binop) exprPos() Pos     { return e.Pos }
+func (e *Unop) exprPos() Pos      { return e.Pos }
+func (e *If) exprPos() Pos        { return e.Pos }
+func (e *While) exprPos() Pos     { return e.Pos }
+func (e *For) exprPos() Pos       { return e.Pos }
+func (e *Seq) exprPos() Pos       { return e.Pos }
+func (e *Let) exprPos() Pos       { return e.Pos }
+func (e *LetTuple) exprPos() Pos  { return e.Pos }
+func (e *Fun) exprPos() Pos       { return e.Pos }
+func (e *Try) exprPos() Pos       { return e.Pos }
+func (e *Raise) exprPos() Pos     { return e.Pos }
+
+// TopLet is a module-level binding: let [rec] name params = expr.
+type TopLet struct {
+	Pos    Pos
+	Rec    bool
+	Name   string
+	Params []string
+	Bound  Expr
+}
+
+// Module is a parsed source file.
+type Module struct {
+	Name string
+	Tops []*TopLet
+}

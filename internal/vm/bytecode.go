@@ -1,0 +1,513 @@
+package vm
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Opcodes of the swl stack machine.
+const (
+	opConstInt byte = iota
+	opConstStr
+	opConstBool
+	opConstUnit
+	opLocalGet
+	opLocalSet
+	opCaptureGet
+	opGlobalGet
+	opGlobalSet
+	opImportGet
+	opClosure
+	opCall
+	opTailCall
+	opReturn
+	opJump
+	opJumpIfFalse
+	opJumpIfTrue
+	opPop
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opConcat
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opNot
+	opNeg
+	opTuple
+	opTupleGet
+	opRaise
+	opPushHandler
+	opPopHandler
+	opRefGet
+	opRefSet
+	opNop
+	opMax
+)
+
+var opNames = [...]string{
+	"const_int", "const_str", "const_bool", "const_unit",
+	"local_get", "local_set", "capture_get", "global_get", "global_set",
+	"import_get", "closure", "call", "tail_call", "return",
+	"jump", "jump_if_false", "jump_if_true", "pop",
+	"add", "sub", "mul", "div", "mod", "concat",
+	"eq", "ne", "lt", "le", "gt", "ge", "not", "neg",
+	"tuple", "tuple_get", "raise", "push_handler", "pop_handler",
+	"ref_get", "ref_set", "nop",
+}
+
+// Instr is one decoded instruction. Operand meaning depends on Op:
+//   - opConstInt: A is the literal;
+//   - opConstStr: A indexes the string pool;
+//   - opLocal*/opCapture*/opGlobal*/opImportGet: A is the slot index;
+//   - opClosure: A is the chunk index, B indexes the capture-spec table;
+//   - opCall/opTailCall/opTuple/opTupleGet: A is the count/index;
+//   - opJump*/opPushHandler: A is a relative offset from the next
+//     instruction.
+type Instr struct {
+	Op byte
+	A  int64
+	B  int32
+}
+
+func (i Instr) String() string {
+	if int(i.Op) < len(opNames) {
+		return fmt.Sprintf("%s %d %d", opNames[i.Op], i.A, i.B)
+	}
+	return fmt.Sprintf("op%d %d %d", i.Op, i.A, i.B)
+}
+
+// Capture kinds for closure capture specs.
+const (
+	capLocal     byte = 0 // capture current frame's local slot
+	capCapture   byte = 1 // re-capture from current closure's environment
+	capSelf      byte = 2 // the closure being constructed (let rec)
+	capFrameSelf byte = 3 // the executing frame's own closure (recursion via nesting)
+)
+
+// CaptureRef describes where a closure capture comes from.
+type CaptureRef struct {
+	Kind byte
+	Idx  uint16
+}
+
+// Chunk is one compiled function body.
+type Chunk struct {
+	Name    string // diagnostic name
+	NParams int
+	NLocals int // including params
+	Code    []Instr
+}
+
+// ImportRef records a dependency on another module: the names used and the
+// MD5 digest of the signature the module was compiled against. At link
+// time the digest must match the provider's export digest (paper §5.1:
+// "a link time error would result because the signatures would not match").
+type ImportRef struct {
+	Module string
+	Digest [16]byte
+	Names  []string
+}
+
+// Object is a compiled switchlet: the unit of transmission and dynamic
+// loading (the paper's Caml bytecode file).
+type Object struct {
+	ModName string
+	Imports []ImportRef
+	// ExportText is the canonical signature text; ExportDigest its MD5.
+	ExportText   string
+	ExportDigest [16]byte
+	StrPool      []string
+	Chunks       []*Chunk
+	CapSpecs     [][]CaptureRef
+	// NGlobals is the number of module-level slots.
+	NGlobals int
+	// Init is the chunk index of the module initialization code (the
+	// "top-level forms" that run at load and perform registration).
+	Init int
+	// GlobalNames maps export names to global slots.
+	GlobalNames map[string]int
+}
+
+// SigDigest computes the MD5 digest of a signature's canonical text.
+func SigDigest(sig *Signature) [16]byte { return md5.Sum([]byte(sig.Canonical())) }
+
+// ExportSignature reconstructs the Signature from the object's canonical
+// export text.
+func (o *Object) ExportSignature() (*Signature, error) {
+	return ParseSignatureText(o.ExportText)
+}
+
+// ParseSignatureText parses the canonical "module M\nval n : t\n..." form.
+func ParseSignatureText(text string) (*Signature, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "module ") {
+		return nil, errors.New("vm: malformed signature text")
+	}
+	sig := NewSignature(strings.TrimPrefix(lines[0], "module "))
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		if !strings.HasPrefix(ln, "val ") {
+			return nil, fmt.Errorf("vm: malformed signature line %q", ln)
+		}
+		rest := strings.TrimPrefix(ln, "val ")
+		i := strings.Index(rest, " : ")
+		if i < 0 {
+			return nil, fmt.Errorf("vm: malformed signature line %q", ln)
+		}
+		sch, err := ParseType(rest[i+3:])
+		if err != nil {
+			return nil, err
+		}
+		// Quantify all variables: canonical text loses level structure,
+		// and everything exported is fully determined or quantified.
+		markGeneric(sch.Body)
+		sig.Add(rest[:i], sch)
+	}
+	return sig, nil
+}
+
+func markGeneric(t Type) {
+	t = prune(t)
+	switch v := t.(type) {
+	case *TVar:
+		v.Generic = true
+	case *TFun:
+		markGeneric(v.Arg)
+		markGeneric(v.Ret)
+	case *TCon:
+		for _, a := range v.Args {
+			markGeneric(a)
+		}
+	}
+}
+
+// --- binary encoding -------------------------------------------------------
+
+var objMagic = []byte("SWO1")
+
+// ErrBadObject reports a malformed or corrupt object file.
+var ErrBadObject = errors.New("vm: malformed object file")
+
+type objWriter struct{ buf bytes.Buffer }
+
+func (w *objWriter) u8(v byte) { w.buf.WriteByte(v) }
+func (w *objWriter) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *objWriter) i64(v int64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	w.buf.Write(b[:])
+}
+func (w *objWriter) str(s string)   { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+func (w *objWriter) bytes(b []byte) { w.buf.Write(b) }
+
+// Encode serializes the object to the on-the-wire .swo format.
+func (o *Object) Encode() []byte {
+	w := &objWriter{}
+	w.bytes(objMagic)
+	w.str(o.ModName)
+	w.u32(uint32(len(o.Imports)))
+	for _, im := range o.Imports {
+		w.str(im.Module)
+		w.bytes(im.Digest[:])
+		w.u32(uint32(len(im.Names)))
+		for _, n := range im.Names {
+			w.str(n)
+		}
+	}
+	w.str(o.ExportText)
+	w.bytes(o.ExportDigest[:])
+	w.u32(uint32(len(o.StrPool)))
+	for _, s := range o.StrPool {
+		w.str(s)
+	}
+	w.u32(uint32(len(o.CapSpecs)))
+	for _, spec := range o.CapSpecs {
+		w.u32(uint32(len(spec)))
+		for _, c := range spec {
+			w.u8(c.Kind)
+			w.u32(uint32(c.Idx))
+		}
+	}
+	w.u32(uint32(len(o.Chunks)))
+	for _, c := range o.Chunks {
+		w.str(c.Name)
+		w.u32(uint32(c.NParams))
+		w.u32(uint32(c.NLocals))
+		w.u32(uint32(len(c.Code)))
+		for _, ins := range c.Code {
+			w.u8(ins.Op)
+			w.i64(ins.A)
+			w.u32(uint32(ins.B))
+		}
+	}
+	w.u32(uint32(o.NGlobals))
+	w.u32(uint32(o.Init))
+	w.u32(uint32(len(o.GlobalNames)))
+	for _, name := range sortedKeys(o.GlobalNames) {
+		w.str(name)
+		w.u32(uint32(o.GlobalNames[name]))
+	}
+	return w.buf.Bytes()
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; maps are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type objReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *objReader) fail() {
+	if r.err == nil {
+		r.err = ErrBadObject
+	}
+}
+
+func (r *objReader) u8() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *objReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *objReader) i64() int64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *objReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *objReader) digest() (d [16]byte) {
+	if r.err != nil || r.off+16 > len(r.b) {
+		r.fail()
+		return
+	}
+	copy(d[:], r.b[r.off:])
+	r.off += 16
+	return
+}
+
+// count reads a u32 length and bounds it: every element occupies at least
+// min bytes, so a length claiming more elements than remaining bytes allow
+// is corrupt, not a cause for a giant allocation.
+func (r *objReader) count(min int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if min > 0 && n > (len(r.b)-r.off)/min+1 {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// DecodeObject parses a .swo object file.
+func DecodeObject(b []byte) (*Object, error) {
+	if len(b) < 4 || !bytes.Equal(b[:4], objMagic) {
+		return nil, ErrBadObject
+	}
+	r := &objReader{b: b, off: 4}
+	o := &Object{GlobalNames: map[string]int{}}
+	o.ModName = r.str()
+	nImp := r.count(4)
+	for i := 0; i < nImp && r.err == nil; i++ {
+		var im ImportRef
+		im.Module = r.str()
+		im.Digest = r.digest()
+		nn := r.count(4)
+		for j := 0; j < nn && r.err == nil; j++ {
+			im.Names = append(im.Names, r.str())
+		}
+		o.Imports = append(o.Imports, im)
+	}
+	o.ExportText = r.str()
+	o.ExportDigest = r.digest()
+	nStr := r.count(4)
+	for i := 0; i < nStr && r.err == nil; i++ {
+		o.StrPool = append(o.StrPool, r.str())
+	}
+	nSpec := r.count(4)
+	for i := 0; i < nSpec && r.err == nil; i++ {
+		nc := r.count(5)
+		spec := make([]CaptureRef, 0, nc)
+		for j := 0; j < nc && r.err == nil; j++ {
+			k := r.u8()
+			idx := r.u32()
+			if k > capFrameSelf || idx > 0xffff {
+				r.fail()
+				break
+			}
+			spec = append(spec, CaptureRef{Kind: k, Idx: uint16(idx)})
+		}
+		o.CapSpecs = append(o.CapSpecs, spec)
+	}
+	nChunks := r.count(16)
+	for i := 0; i < nChunks && r.err == nil; i++ {
+		c := &Chunk{}
+		c.Name = r.str()
+		c.NParams = int(r.u32())
+		c.NLocals = int(r.u32())
+		nIns := r.count(13)
+		for j := 0; j < nIns && r.err == nil; j++ {
+			op := r.u8()
+			if op >= opMax {
+				r.fail()
+				break
+			}
+			a := r.i64()
+			bv := int32(r.u32())
+			c.Code = append(c.Code, Instr{Op: op, A: a, B: bv})
+		}
+		o.Chunks = append(o.Chunks, c)
+	}
+	o.NGlobals = int(r.u32())
+	o.Init = int(r.u32())
+	nG := r.count(8)
+	for i := 0; i < nG && r.err == nil; i++ {
+		name := r.str()
+		slot := int(r.u32())
+		o.GlobalNames[name] = slot
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if o.Init < 0 || o.Init >= len(o.Chunks) {
+		return nil, ErrBadObject
+	}
+	// Verify the export digest binds the export text.
+	if md5.Sum([]byte(o.ExportText)) != o.ExportDigest {
+		return nil, fmt.Errorf("vm: export signature digest mismatch in %s", o.ModName)
+	}
+	return o, nil
+}
+
+// Verify performs structural validation of chunk code: operand bounds,
+// jump targets, and stack-safety of slot references. Loading runs it so a
+// corrupted or hand-forged object cannot make the interpreter index out of
+// bounds. (Type safety of well-formed objects comes from the compiler;
+// Verify defends the interpreter itself.)
+func (o *Object) Verify() error {
+	for ci, c := range o.Chunks {
+		if c.NParams < 0 || c.NParams > 255 {
+			return fmt.Errorf("vm: chunk %d implausible parameter count", ci)
+		}
+		if c.NLocals < 0 || c.NLocals > 1<<16 {
+			return fmt.Errorf("vm: chunk %d implausible local count", ci)
+		}
+		if c.NParams > c.NLocals {
+			return fmt.Errorf("vm: chunk %d params exceed locals", ci)
+		}
+		for pc, ins := range c.Code {
+			switch ins.Op {
+			case opConstStr:
+				if ins.A < 0 || int(ins.A) >= len(o.StrPool) {
+					return fmt.Errorf("vm: chunk %d pc %d: string index out of range", ci, pc)
+				}
+			case opLocalGet, opLocalSet:
+				if ins.A < 0 || int(ins.A) >= c.NLocals {
+					return fmt.Errorf("vm: chunk %d pc %d: local slot out of range", ci, pc)
+				}
+			case opGlobalGet, opGlobalSet:
+				if ins.A < 0 || int(ins.A) >= o.NGlobals {
+					return fmt.Errorf("vm: chunk %d pc %d: global slot out of range", ci, pc)
+				}
+			case opClosure:
+				if ins.A < 0 || int(ins.A) >= len(o.Chunks) {
+					return fmt.Errorf("vm: chunk %d pc %d: closure chunk out of range", ci, pc)
+				}
+				if ins.B < 0 || int(ins.B) >= len(o.CapSpecs) {
+					return fmt.Errorf("vm: chunk %d pc %d: capture spec out of range", ci, pc)
+				}
+			case opJump, opJumpIfFalse, opJumpIfTrue, opPushHandler:
+				tgt := pc + 1 + int(ins.A)
+				if tgt < 0 || tgt > len(c.Code) {
+					return fmt.Errorf("vm: chunk %d pc %d: jump out of range", ci, pc)
+				}
+			case opCall, opTailCall:
+				if ins.A < 1 || ins.A > 255 {
+					return fmt.Errorf("vm: chunk %d pc %d: bad call arity", ci, pc)
+				}
+			case opTuple:
+				if ins.A < 2 || ins.A > 4 {
+					return fmt.Errorf("vm: chunk %d pc %d: bad tuple arity", ci, pc)
+				}
+			}
+		}
+	}
+	for name, slot := range o.GlobalNames {
+		if slot < 0 || slot >= o.NGlobals {
+			return fmt.Errorf("vm: export %s: global slot out of range", name)
+		}
+	}
+	if o.NGlobals < 0 || o.NGlobals > 1<<20 {
+		return fmt.Errorf("vm: implausible global count %d", o.NGlobals)
+	}
+	var nImports int
+	for _, im := range o.Imports {
+		nImports += len(im.Names)
+	}
+	for ci, c := range o.Chunks {
+		for pc, ins := range c.Code {
+			if ins.Op == opImportGet && (ins.A < 0 || int(ins.A) >= nImports) {
+				return fmt.Errorf("vm: chunk %d pc %d: import index out of range", ci, pc)
+			}
+		}
+	}
+	return nil
+}

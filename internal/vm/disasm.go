@@ -1,0 +1,94 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders an object file in a human-readable form: header,
+// imports with digests, export signature, and each chunk's instructions.
+// cmd/swc uses it; it is also invaluable when debugging switchlets.
+func Disassemble(o *Object) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", o.ModName)
+	fmt.Fprintf(&sb, "globals: %d, init chunk: %d\n", o.NGlobals, o.Init)
+	if len(o.Imports) > 0 {
+		sb.WriteString("imports:\n")
+		for i, im := range o.Imports {
+			fmt.Fprintf(&sb, "  [%d] %s.%s (sig %x)\n", i, im.Module, strings.Join(im.Names, ","), im.Digest[:4])
+		}
+	}
+	fmt.Fprintf(&sb, "export digest: %x\n", o.ExportDigest[:])
+	sb.WriteString("export signature:\n")
+	for _, ln := range strings.Split(strings.TrimRight(o.ExportText, "\n"), "\n") {
+		fmt.Fprintf(&sb, "  %s\n", ln)
+	}
+	for ci, c := range o.Chunks {
+		fmt.Fprintf(&sb, "\nchunk %d: %s (params=%d locals=%d)\n", ci, c.Name, c.NParams, c.NLocals)
+		for pc, ins := range c.Code {
+			sb.WriteString(formatInstr(o, c, pc, ins))
+			sb.WriteByte('\n')
+		}
+	}
+	if len(o.CapSpecs) > 0 {
+		sb.WriteString("\ncapture specs:\n")
+		for i, spec := range o.CapSpecs {
+			fmt.Fprintf(&sb, "  [%d]", i)
+			for _, cr := range spec {
+				switch cr.Kind {
+				case capLocal:
+					fmt.Fprintf(&sb, " local:%d", cr.Idx)
+				case capCapture:
+					fmt.Fprintf(&sb, " capture:%d", cr.Idx)
+				case capSelf:
+					sb.WriteString(" self")
+				case capFrameSelf:
+					sb.WriteString(" frame-self")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func formatInstr(o *Object, c *Chunk, pc int, ins Instr) string {
+	name := fmt.Sprintf("op%d", ins.Op)
+	if int(ins.Op) < len(opNames) {
+		name = opNames[ins.Op]
+	}
+	out := fmt.Sprintf("  %4d  %-14s", pc, name)
+	switch ins.Op {
+	case opConstInt:
+		out += fmt.Sprintf(" %d", ins.A)
+	case opConstBool:
+		out += fmt.Sprintf(" %t", ins.A != 0)
+	case opConstStr:
+		if int(ins.A) < len(o.StrPool) {
+			s := o.StrPool[ins.A]
+			if len(s) > 24 {
+				s = s[:24] + "..."
+			}
+			out += fmt.Sprintf(" %q", s)
+		}
+	case opLocalGet, opLocalSet, opCaptureGet, opGlobalGet, opGlobalSet, opImportGet:
+		out += fmt.Sprintf(" %d", ins.A)
+	case opClosure:
+		out += fmt.Sprintf(" chunk=%d caps=%d", ins.A, ins.B)
+	case opCall, opTailCall, opTuple, opTupleGet:
+		out += fmt.Sprintf(" %d", ins.A)
+	case opJump, opJumpIfFalse, opJumpIfTrue, opPushHandler:
+		out += fmt.Sprintf(" -> %d", pc+1+int(ins.A))
+	}
+	return out
+}
+
+// InstrCount returns the total instruction count across all chunks; the
+// swc tool reports it as a size/complexity measure.
+func InstrCount(o *Object) int {
+	n := 0
+	for _, c := range o.Chunks {
+		n += len(c.Code)
+	}
+	return n
+}

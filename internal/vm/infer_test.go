@@ -1,0 +1,277 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// tryCompile compiles against the standard environment and returns the error.
+func tryCompile(t *testing.T, src string) error {
+	t.Helper()
+	l := StdLoader(NewMachine())
+	_, _, err := Compile("T", src, l.SigEnv())
+	return err
+}
+
+func wantTypeError(t *testing.T, src, fragment string) {
+	t.Helper()
+	err := tryCompile(t, src)
+	if err == nil {
+		t.Errorf("expected type error for %q", src)
+		return
+	}
+	if _, ok := err.(*TypeError); !ok {
+		t.Errorf("expected *TypeError for %q, got %T: %v", src, err, err)
+		return
+	}
+	if fragment != "" && !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error for %q = %v, want fragment %q", src, err, fragment)
+	}
+}
+
+func wantOK(t *testing.T, src string) {
+	t.Helper()
+	if err := tryCompile(t, src); err != nil {
+		t.Errorf("expected %q to type check, got %v", src, err)
+	}
+}
+
+func TestTypeMismatchRejected(t *testing.T) {
+	wantTypeError(t, `let x = 1 + "a"`, "cannot unify")
+	wantTypeError(t, `let x = "a" ^ 1`, "cannot unify")
+	wantTypeError(t, `let f () = if 1 then 2 else 3`, "cannot unify")
+	wantTypeError(t, `let f () = if true then 1 else "x"`, "cannot unify")
+	wantTypeError(t, `let f x = x && 1`, "cannot unify")
+	wantTypeError(t, `let f () = not 3`, "cannot unify")
+}
+
+func TestApplicationErrors(t *testing.T) {
+	wantTypeError(t, `let f () = 3 4`, "")
+	wantTypeError(t, `let f x = x x`, "recursive type")
+	wantTypeError(t, `
+let g a b = a + b
+let h () = g 1 2 3`, "")
+}
+
+func TestUnboundNames(t *testing.T) {
+	wantTypeError(t, `let f () = mystery_function 1`, "unbound name")
+	wantTypeError(t, `let f () = Nonexistent.thing 1`, "unknown module")
+	wantTypeError(t, `let f () = String.nonexported "x"`, "no value")
+}
+
+func TestRefTyping(t *testing.T) {
+	wantOK(t, `
+let r = ref 0
+let bump () = r := !r + 1`)
+	wantTypeError(t, `
+let r = ref 0
+let bad () = r := "str"`, "cannot unify")
+	wantTypeError(t, `let f () = !3`, "cannot unify")
+	wantTypeError(t, `let f () = 3 := 4`, "cannot unify")
+}
+
+func TestSequenceRequiresUnit(t *testing.T) {
+	wantTypeError(t, `let f () = 3; 4`, "cannot unify")
+	wantOK(t, `let f () = ignore 3; 4`)
+}
+
+func TestPolymorphismGeneralizes(t *testing.T) {
+	wantOK(t, `
+let id x = x
+let use () = (id 1) + (if id true then 1 else 0)`)
+	wantOK(t, `
+let pair a b = (a, b)
+let use () = (pair 1 "x", pair true ())`)
+}
+
+func TestValueRestriction(t *testing.T) {
+	// `ref` applications must not generalize: this is the classic
+	// unsoundness that the value restriction prevents.
+	wantTypeError(t, `
+let cell = ref (fun x -> x)
+let _ = cell := (fun y -> y + 1)
+let use () = (!cell) true`, "")
+}
+
+func TestWeakExportRejected(t *testing.T) {
+	// A top-level table whose types never resolve cannot be exported.
+	wantTypeError(t, `let mystery = Hashtbl.create 8`, "not fully determined")
+	// But one whose use pins the types is fine.
+	wantOK(t, `
+let table = Hashtbl.create 8
+let _ = Hashtbl.add table "k" 1`)
+}
+
+func TestHashtblTyping(t *testing.T) {
+	wantTypeError(t, `
+let t = Hashtbl.create 8
+let _ = Hashtbl.add t "k" 1
+let _ = Hashtbl.add t 2 3`, "cannot unify")
+	wantOK(t, `
+let t = Hashtbl.create 8
+let _ = Hashtbl.add t "k" (1, "v")
+let get k = Hashtbl.find t k`)
+}
+
+func TestLetRecTyping(t *testing.T) {
+	wantOK(t, `let rec f n = if n = 0 then 0 else f (n - 1)`)
+	wantTypeError(t, `let rec f n = if n = 0 then 0 else f "x"`, "cannot unify")
+}
+
+func TestTupleTyping(t *testing.T) {
+	wantTypeError(t, `
+let f p = let (a, b) = p in a + b
+let use () = f (1, "x")`, "cannot unify")
+	wantTypeError(t, `
+let f p = let (a, b, c) = p in a
+let use () = f (1, 2)`, "cannot unify")
+}
+
+func TestTryTyping(t *testing.T) {
+	wantOK(t, `let f () = try 1 with 2`)
+	wantTypeError(t, `let f () = try 1 with "x"`, "cannot unify")
+	wantTypeError(t, `let f () = raise 3`, "cannot unify")
+	wantOK(t, `let f () = if true then raise "x" else 3`)
+}
+
+func TestForWhileTyping(t *testing.T) {
+	wantTypeError(t, `let f () = while 3 do () done`, "cannot unify")
+	wantTypeError(t, `let f () = while true do 3 done`, "cannot unify")
+	wantTypeError(t, `let f () = for i = true to 3 do () done`, "cannot unify")
+	wantTypeError(t, `let f () = for i = 1 to 3 do i done`, "cannot unify")
+	wantOK(t, `let f () = for i = 1 to 3 do ignore i done`)
+}
+
+func TestTypeStringCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"int -> int", "int -> int"},
+		{"int -> int -> bool", "int -> int -> bool"},
+		{"(int -> int) -> int", "(int -> int) -> int"},
+		{"'a -> 'a", "'a -> 'a"},
+		{"'a -> 'b -> 'a", "'a -> 'b -> 'a"},
+		{"('k, 'v) hashtbl -> 'k -> 'v", "('a, 'b) hashtbl -> 'a -> 'b"},
+		{"(int * string) -> int", "(int * string) -> int"},
+		{"'a ref -> 'a", "('a) ref -> 'a"},
+		{"int ref ref -> unit", "((int) ref) ref -> unit"},
+	}
+	for _, c := range cases {
+		sch, err := ParseType(c.in)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", c.in, err)
+			continue
+		}
+		if got := TypeString(sch.Body); got != c.want {
+			t.Errorf("TypeString(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, s := range []string{"", "badtype", "'", "(int", "int ->", "foo bar", "(int, string) frobnicator"} {
+		if _, err := ParseType(s); err == nil {
+			t.Errorf("ParseType(%q) should fail", s)
+		}
+	}
+}
+
+func TestSignatureCanonicalAndThin(t *testing.T) {
+	sig := NewSignature("M")
+	sig.Add("b", MustParseType("int -> int"))
+	sig.Add("a", MustParseType("string -> unit"))
+	sig.Add("danger", MustParseType("unit -> unit"))
+	text := sig.Canonical()
+	if !strings.HasPrefix(text, "module M\n") {
+		t.Errorf("canonical = %q", text)
+	}
+	// Sorted by name regardless of declaration order.
+	if strings.Index(text, "val a") > strings.Index(text, "val b") {
+		t.Error("canonical not sorted")
+	}
+	thin := sig.Thin("a", "b")
+	if _, ok := thin.Lookup("danger"); ok {
+		t.Error("thinned signature still exposes danger")
+	}
+	if SigDigest(thin) == SigDigest(sig) {
+		t.Error("thinning must change the digest")
+	}
+	// Round trip through the text form.
+	back, err := ParseSignatureText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SigDigest(back) != SigDigest(sig) {
+		t.Error("signature text round trip changed the digest")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{
+		`let`,
+		`let x`,
+		`let x =`,
+		`let 3 = 4`,
+		`let f = if true then 1`, // dangling non-unit if is a type error, but `then 1` with no else parses; use junk instead
+		`let f = (1,`,
+		`let f = "unterminated`,
+		`let f = 1 in 2`, // top-level let has no in
+		`x + 2`,          // no top-level expression
+		`let f () = begin 1`,
+		`let f () = while true do () `,
+		`let f = Module.`,
+		`let f = (* unclosed comment`,
+		`let f () = (1, 2, 3, 4, 5)`, // tuple arity limit
+	}
+	for _, src := range bad {
+		if _, err := ParseModule("T", src); err == nil {
+			// some of these are type errors instead; compile fully
+			if err2 := tryCompile(t, src); err2 == nil {
+				t.Errorf("expected parse/compile error for %q", src)
+			}
+		}
+	}
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	l, lm := compileAndLoad(t, "Lit", `
+(* outer comment (* nested *) still comment *)
+let hex = 0xff
+let escaped () = "a\tb\nc\\d\"e\x41"
+let big = 1000000007
+`)
+	if v := call(t, l, lm, "escaped", Unit{}); v != "a\tb\nc\\d\"eA" {
+		t.Errorf("escaped = %q", v)
+	}
+	hv, _ := lm.Global("hex")
+	if hv != int64(255) {
+		t.Errorf("hex = %v", hv)
+	}
+	bv, _ := lm.Global("big")
+	if bv != int64(1000000007) {
+		t.Errorf("big = %v", bv)
+	}
+}
+
+func TestExportSignatureContents(t *testing.T) {
+	l := StdLoader(NewMachine())
+	_, sig, err := Compile("Api", `
+let handle pkt port = ignore pkt; ignore port
+let count = ref 0
+let _ = count := 1
+`, l.SigEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, ok := sig.Lookup("handle")
+	if !ok {
+		t.Fatal("handle not exported")
+	}
+	if got := TypeString(sch.Body); got != "'a -> 'b -> unit" {
+		t.Errorf("handle : %s", got)
+	}
+	if _, ok := sig.Lookup("_"); ok {
+		t.Error("_ bindings must not be exported")
+	}
+	if _, ok := sig.Lookup("count"); !ok {
+		t.Error("count should be exported")
+	}
+}

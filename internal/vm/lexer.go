@@ -1,0 +1,316 @@
+// Package vm implements swl ("switchlet language"), a small statically and
+// strongly typed ML-dialect modelled on the Caml the paper uses, together
+// with its bytecode compiler, serializable object format, and interpreter.
+//
+// The package reproduces the security-relevant properties the paper builds
+// on (§5.1):
+//
+//   - strong static typing with full type inference and no casts: a
+//     switchlet cannot forge a reference or modify a function;
+//   - name-space based isolation: a module can only reach values named in
+//     the signatures it was compiled against;
+//   - module thinning: the loader offers deliberately narrowed signatures
+//     of the system modules, so dangerous operations are unnameable;
+//   - signature digests: object files carry MD5 digests of every imported
+//     interface and of the exported interface; linking against a forged
+//     signature fails at load time, exactly as Caml's Dynlink does;
+//   - interpretation cost accounting: the interpreter reports instructions
+//     executed and bytes allocated, which the bridge converts into virtual
+//     CPU time (the paper's dominant performance effect).
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokInt
+	tokString
+	tokIdent   // lowercase identifier
+	tokModule  // capitalized identifier (module name)
+	tokKeyword // let, rec, in, if, then, else, fun, while, do, done, for, to, begin, end, true, false, not, mod, and-keywords
+	tokOp      // operators and punctuation
+)
+
+var keywords = map[string]bool{
+	"let": true, "rec": true, "in": true, "if": true, "then": true,
+	"else": true, "fun": true, "while": true, "do": true, "done": true,
+	"for": true, "to": true, "begin": true, "end": true,
+	"true": true, "false": true, "not": true, "mod": true,
+	"try": true, "with": true, "raise": true,
+}
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+	// intVal is set for tokInt.
+	intVal int64
+}
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// SyntaxError is a lexing or parsing failure.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("syntax error at %v: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) errf(pos Pos, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace consumes whitespace and (* ... *) comments, which nest as in Caml.
+func (l *lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '(' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			depth := 1
+			for depth > 0 {
+				if l.off >= len(l.src) {
+					return l.errf(start, "unterminated comment")
+				}
+				if l.peekByte() == '(' && l.peek2() == '*' {
+					l.advance()
+					l.advance()
+					depth++
+				} else if l.peekByte() == '*' && l.peek2() == ')' {
+					l.advance()
+					l.advance()
+					depth--
+				} else {
+					l.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLower(c byte) bool  { return c >= 'a' && c <= 'z' }
+func isUpper(c byte) bool  { return c >= 'A' && c <= 'Z' }
+func isIdentC(c byte) bool { return isLower(c) || isUpper(c) || isDigit(c) || c == '_' || c == '\'' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == 'x' ||
+			(l.off > start && isHexDigit(l.peekByte()))) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := parseInt(text)
+		if err != nil {
+			return token{}, l.errf(pos, "bad integer literal %q", text)
+		}
+		return token{kind: tokInt, text: text, pos: pos, intVal: v}, nil
+
+	case isLower(c) || c == '_':
+		start := l.off
+		for l.off < len(l.src) && isIdentC(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+
+	case isUpper(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentC(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokModule, text: l.src[start:l.off], pos: pos}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return token{}, l.errf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return token{}, l.errf(pos, "unterminated escape")
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case '0':
+					sb.WriteByte(0)
+				case 'x':
+					if l.off+1 >= len(l.src) {
+						return token{}, l.errf(pos, "bad \\x escape")
+					}
+					h1, ok1 := hexVal(l.advance())
+					h2, ok2 := hexVal(l.advance())
+					if !ok1 || !ok2 {
+						return token{}, l.errf(pos, "bad \\x escape")
+					}
+					sb.WriteByte(h1<<4 | h2)
+				default:
+					return token{}, l.errf(pos, "unknown escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return token{kind: tokString, text: sb.String(), pos: pos}, nil
+	}
+
+	// Operators, longest match first.
+	ops := []string{
+		"->", ":=", "<>", "<=", ">=", "&&", "||", "<-",
+		"(", ")", ";", ",", "=", "<", ">", "+", "-", "*", "/", "^",
+		"!", ".",
+	}
+	rest := l.src[l.off:]
+	for _, op := range ops {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				l.advance()
+			}
+			return token{kind: tokOp, text: op, pos: pos}, nil
+		}
+	}
+	return token{}, l.errf(pos, "unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		if len(s) == 2 {
+			return 0, fmt.Errorf("empty hex literal")
+		}
+		for i := 2; i < len(s); i++ {
+			h, ok := hexVal(s[i])
+			if !ok {
+				return 0, fmt.Errorf("bad hex digit")
+			}
+			v = v*16 + int64(h)
+		}
+		return v, nil
+	}
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return 0, fmt.Errorf("bad digit")
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	return v, nil
+}
+
+// lexAll tokenizes the whole source (used by the parser, which buffers).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

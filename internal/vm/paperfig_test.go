@@ -1,0 +1,140 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperFigure2And3 reproduces the paper's example.mli / example.ml
+// (Figures 2 and 3): name-space based security. The module exports
+// pub_hash and pub_func; priv_func and some_func are private. Initially
+// pub_hash leads nowhere; evaluating pub_func makes some_func reachable
+// *only* through the reference path via the hash table.
+//
+// swl rendering (our Func-style tables hold string->string functions, so
+// the int function is wrapped accordingly; the reachability story is
+// identical).
+func TestPaperFigure2And3(t *testing.T) {
+	l := StdLoader(NewMachine())
+	example := mustLoad(t, l, "Example", `
+let pub_hash = Hashtbl.create 15
+let priv_func x = x - 7
+let some_func x = (priv_func x) + 5
+let pub_func () = Hashtbl.add pub_hash "func" some_func
+`)
+	// The interface exposes exactly the public names plus the helpers the
+	// type checker saw; thinning decides what *importers* may name.
+	exportSig := example.Export
+	full := exportSig.Names()
+	if len(full) != 4 {
+		t.Fatalf("exports = %v", full)
+	}
+	thinned := exportSig.Thin("pub_hash", "pub_func")
+	if _, ok := thinned.Lookup("priv_func"); ok {
+		t.Fatal("thinning failed")
+	}
+
+	// Install the *thinned* view for future compilations, exactly the
+	// loader's module-thinning move. (A fresh loader stands in for a node
+	// whose Example is private.)
+	node := StdLoader(NewMachine())
+	node.SigEnv().Add(thinned)
+	nodeVals := map[string]Value{}
+	for _, n := range []string{"pub_hash", "pub_func"} {
+		v, _ := example.Global(n)
+		nodeVals[n] = v
+	}
+	// AddUnit requires providing values for each thinned name.
+	sigCopy := thinned
+	if err := node.AddUnit(sigCopy, nodeVals); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Attempts to access other objects result in compile time errors."
+	_, _, err := Compile("Attacker", `let steal x = Example.priv_func x`, node.SigEnv())
+	if err == nil || !strings.Contains(err.Error(), "no value") {
+		t.Fatalf("private access should fail to compile: %v", err)
+	}
+
+	// "Initially, example.pub_hash is empty and does not lead to any
+	// functions."
+	client := mustLoad(t, node, "Client", `
+let probe x = try (Hashtbl.find Example.pub_hash "func") x with 0 - 999
+let unlock () = Example.pub_func ()
+`)
+	probe, _ := client.Global("probe")
+	v, err := node.Machine().Invoke(probe, int64(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(-999) {
+		t.Fatalf("pub_hash should be empty initially, probe = %v", v)
+	}
+
+	// "When example.pub_func is evaluated, then the function
+	// example.some_func becomes accessible because there is a reference
+	// path to it through pub_hash."
+	unlock, _ := client.Global("unlock")
+	if _, err := node.Machine().Invoke(unlock, Unit{}); err != nil {
+		t.Fatal(err)
+	}
+	v, err = node.Machine().Invoke(probe, int64(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(10-7+5) {
+		t.Fatalf("some_func through pub_hash = %v, want 8", v)
+	}
+}
+
+// TestForgedSignatureLinkError reproduces the paper's other failure mode:
+// "If the other module were compiled against a signature built by an
+// attacker that included some private objects, a link time error would
+// result because the signatures would not match."
+func TestForgedSignatureLinkError(t *testing.T) {
+	node := StdLoader(NewMachine())
+	mustLoad(t, node, "Example", `
+let pub_hash = Hashtbl.create 15
+let priv_func x = x - 7
+let pub_func () = Hashtbl.add pub_hash "func" priv_func
+`)
+	// Build the attacker's signature: the real one plus priv_func.
+	real, _ := node.SigEnv().Lookup("Example")
+	forged := NewSignature("Example")
+	for _, n := range real.Names() {
+		sch, _ := real.Lookup(n)
+		forged.Add(n, sch)
+	}
+	// (Example's real signature includes priv_func here since the module
+	// exports all top-levels; emulate a node that had thinned it out.)
+	thinned := real.Thin("pub_hash", "pub_func")
+	nodeView := StdLoader(NewMachine())
+	vals := map[string]Value{}
+	lm, _ := node.Module("Example")
+	for _, n := range thinned.Names() {
+		v, _ := lm.Global(n)
+		vals[n] = v
+	}
+	if err := nodeView.AddUnit(thinned, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	attackEnv := NewSigEnv()
+	for _, m := range nodeView.SigEnv().Modules() {
+		if m == "Example" {
+			continue
+		}
+		s, _ := nodeView.SigEnv().Lookup(m)
+		attackEnv.Add(s)
+	}
+	attackEnv.Add(forged) // the doctored interface
+
+	obj, _, err := Compile("Attacker", `let steal x = Example.priv_func x`, attackEnv)
+	if err != nil {
+		t.Fatalf("attacker compiles locally against the forged signature: %v", err)
+	}
+	_, err = nodeView.Load(obj.Encode())
+	if err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("link must fail with a digest mismatch, got %v", err)
+	}
+}

@@ -1,0 +1,481 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Machine is the swl interpreter. It is single-threaded (like the paper's
+// user-mode Caml threads: "no speedup occurs due to our multiprocessor")
+// and meters execution: Steps and AllocBytes accumulate across invocations,
+// and the bridge converts the per-invocation deltas into virtual CPU time.
+type Machine struct {
+	// Steps counts executed instructions, cumulatively.
+	Steps uint64
+	// AllocBytes estimates heap allocation by switchlet code,
+	// cumulatively; the cost model turns it into GC pressure.
+	AllocBytes uint64
+
+	// MaxSteps is the per-invocation fuel. A switchlet that loops forever
+	// is stopped with a trap — part of the bridge protecting itself.
+	MaxSteps uint64
+	// MaxFrames bounds the call stack depth.
+	MaxFrames int
+
+	fuel  uint64
+	depth int
+}
+
+// Default execution limits.
+const (
+	DefaultMaxSteps  = 20_000_000
+	DefaultMaxFrames = 4096
+)
+
+// NewMachine creates an interpreter with default limits.
+func NewMachine() *Machine {
+	return &Machine{MaxSteps: DefaultMaxSteps, MaxFrames: DefaultMaxFrames}
+}
+
+// Ctx is passed to native functions so they can call back into switchlet
+// code (e.g. Hashtbl.iter, or the bridge dispatching a packet handler).
+type Ctx struct {
+	M *Machine
+}
+
+// Call invokes a switchlet-level function value from native code.
+func (c *Ctx) Call(fn Value, args ...Value) (Value, error) {
+	return c.M.Invoke(fn, args...)
+}
+
+// ErrFuel is wrapped in the trap produced when an invocation exceeds
+// MaxSteps.
+var ErrFuel = errors.New("fuel exhausted")
+
+// Invoke applies a callable value to args, metering execution. The fuel
+// budget covers the outermost invocation and everything it causes.
+func (m *Machine) Invoke(fn Value, args ...Value) (Value, error) {
+	if m.depth == 0 {
+		m.fuel = m.MaxSteps
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+	return m.apply(fn, args)
+}
+
+// apply implements the full curried application rules. Zero-parameter
+// closures (module init chunks) run when applied to zero arguments.
+func (m *Machine) apply(fn Value, args []Value) (Value, error) {
+	for {
+		if c, ok := fn.(*Closure); ok && c.Chunk.NParams == len(args) {
+			return m.run(c, args)
+		}
+		if len(args) == 0 {
+			return fn, nil
+		}
+		switch f := fn.(type) {
+		case *Closure:
+			n := f.Chunk.NParams
+			switch {
+			case len(args) == n:
+				return m.run(f, args)
+			case len(args) < n:
+				m.AllocBytes += uint64(24 + 16*len(args))
+				return &Partial{Fn: f, Args: append([]Value(nil), args...)}, nil
+			default:
+				res, err := m.run(f, args[:n])
+				if err != nil {
+					return nil, err
+				}
+				fn, args = res, args[n:]
+			}
+		case *Native:
+			switch {
+			case len(args) == f.Arity:
+				return f.Fn(&Ctx{M: m}, args)
+			case len(args) < f.Arity:
+				m.AllocBytes += uint64(24 + 16*len(args))
+				return &Partial{Fn: f, Args: append([]Value(nil), args...)}, nil
+			default:
+				res, err := f.Fn(&Ctx{M: m}, args[:f.Arity])
+				if err != nil {
+					return nil, err
+				}
+				fn, args = res, args[f.Arity:]
+			}
+		case *Partial:
+			combined := make([]Value, 0, len(f.Args)+len(args))
+			combined = append(combined, f.Args...)
+			combined = append(combined, args...)
+			fn, args = f.Fn, combined
+		default:
+			return nil, &Trap{Msg: fmt.Sprintf("cannot apply non-function %s", FormatValue(fn))}
+		}
+	}
+}
+
+// handler is an installed try/with handler.
+type handler struct {
+	sp     int // operand stack depth to restore
+	target int // instruction index of the handler code
+}
+
+// frame is one activation record.
+type frame struct {
+	clo      *Closure
+	locals   []Value
+	stack    []Value
+	ip       int
+	handlers []handler
+}
+
+// run executes a closure with exactly-matching arguments.
+func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
+	frames := make([]*frame, 0, 8)
+	push := func(c *Closure, as []Value) error {
+		if len(frames) >= m.MaxFrames {
+			return &Trap{Msg: "call stack overflow"}
+		}
+		locals := make([]Value, c.Chunk.NLocals)
+		copy(locals, as)
+		frames = append(frames, &frame{clo: c, locals: locals})
+		return nil
+	}
+	if err := push(clo, args); err != nil {
+		return nil, err
+	}
+
+	// trap unwinds to the nearest handler; returns false if none exists.
+	trap := func() bool {
+		for len(frames) > 0 {
+			f := frames[len(frames)-1]
+			if n := len(f.handlers); n > 0 {
+				h := f.handlers[n-1]
+				f.handlers = f.handlers[:n-1]
+				f.stack = f.stack[:h.sp]
+				f.ip = h.target
+				return true
+			}
+			frames = frames[:len(frames)-1]
+		}
+		return false
+	}
+
+	for {
+		f := frames[len(frames)-1]
+		if f.ip >= len(f.clo.Chunk.Code) {
+			return nil, &Trap{Msg: "fell off end of chunk " + f.clo.Chunk.Name}
+		}
+		ins := f.clo.Chunk.Code[f.ip]
+		f.ip++
+		if m.fuel == 0 {
+			return nil, &Trap{Msg: ErrFuel.Error()}
+		}
+		m.fuel--
+		m.Steps++
+
+		var trapErr *Trap
+		switch ins.Op {
+		case opNop:
+		case opConstInt:
+			f.stack = append(f.stack, ins.A)
+		case opConstStr:
+			f.stack = append(f.stack, f.clo.Mod.Obj.StrPool[ins.A])
+		case opConstBool:
+			f.stack = append(f.stack, ins.A != 0)
+		case opConstUnit:
+			f.stack = append(f.stack, Unit{})
+		case opLocalGet:
+			f.stack = append(f.stack, f.locals[ins.A])
+		case opLocalSet:
+			f.locals[ins.A] = f.pop()
+		case opCaptureGet:
+			if int(ins.A) >= len(f.clo.Caps) {
+				trapErr = &Trap{Msg: "capture index out of range"}
+				break
+			}
+			f.stack = append(f.stack, f.clo.Caps[ins.A])
+		case opGlobalGet:
+			f.stack = append(f.stack, f.clo.Mod.Globals[ins.A])
+		case opGlobalSet:
+			f.clo.Mod.Globals[ins.A] = f.pop()
+		case opImportGet:
+			f.stack = append(f.stack, f.clo.Mod.Imports[ins.A])
+		case opClosure:
+			spec := f.clo.Mod.Obj.CapSpecs[ins.B]
+			caps := make([]Value, len(spec))
+			nc := &Closure{Mod: f.clo.Mod, Chunk: f.clo.Mod.Obj.Chunks[ins.A]}
+			for i, c := range spec {
+				switch c.Kind {
+				case capLocal:
+					if int(c.Idx) >= len(f.locals) {
+						trapErr = &Trap{Msg: "capture refers past frame locals"}
+						break
+					}
+					caps[i] = f.locals[c.Idx]
+				case capCapture:
+					if int(c.Idx) >= len(f.clo.Caps) {
+						trapErr = &Trap{Msg: "capture refers past closure environment"}
+						break
+					}
+					caps[i] = f.clo.Caps[c.Idx]
+				case capSelf:
+					caps[i] = nc
+				case capFrameSelf:
+					caps[i] = f.clo
+				}
+			}
+			if trapErr != nil {
+				break
+			}
+			nc.Caps = caps
+			m.AllocBytes += uint64(32 + 16*len(caps))
+			f.stack = append(f.stack, nc)
+		case opCall, opTailCall:
+			n := int(ins.A)
+			if len(f.stack) < n+1 {
+				trapErr = &Trap{Msg: "operand stack underflow"}
+				break
+			}
+			cargs := append([]Value(nil), f.stack[len(f.stack)-n:]...)
+			fnv := f.stack[len(f.stack)-n-1]
+			f.stack = f.stack[:len(f.stack)-n-1]
+			if c, ok := fnv.(*Closure); ok && c.Chunk.NParams == n {
+				if ins.Op == opTailCall && len(f.handlers) == 0 {
+					// Reuse the current frame slot.
+					locals := make([]Value, c.Chunk.NLocals)
+					copy(locals, cargs)
+					frames[len(frames)-1] = &frame{clo: c, locals: locals}
+					continue
+				}
+				if err := push(c, cargs); err != nil {
+					trapErr = err.(*Trap)
+					break
+				}
+				continue
+			}
+			res, err := m.apply(fnv, cargs)
+			if err != nil {
+				var t *Trap
+				if errors.As(err, &t) {
+					trapErr = t
+					break
+				}
+				return nil, err
+			}
+			if ins.Op == opTailCall {
+				// Return res from this frame.
+				frames = frames[:len(frames)-1]
+				if len(frames) == 0 {
+					return res, nil
+				}
+				g := frames[len(frames)-1]
+				g.stack = append(g.stack, res)
+				continue
+			}
+			f.stack = append(f.stack, res)
+		case opReturn:
+			res := f.pop()
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				return res, nil
+			}
+			g := frames[len(frames)-1]
+			g.stack = append(g.stack, res)
+		case opJump:
+			f.ip += int(ins.A)
+		case opJumpIfFalse:
+			v := f.pop()
+			b, ok := v.(bool)
+			if !ok {
+				trapErr = &Trap{Msg: "condition is not a boolean"}
+				break
+			}
+			if !b {
+				f.ip += int(ins.A)
+			}
+		case opJumpIfTrue:
+			v := f.pop()
+			b, ok := v.(bool)
+			if !ok {
+				trapErr = &Trap{Msg: "condition is not a boolean"}
+				break
+			}
+			if b {
+				f.ip += int(ins.A)
+			}
+		case opPop:
+			f.pop()
+		case opAdd, opSub, opMul, opDiv, opMod:
+			b, ok1 := f.pop().(int64)
+			a, ok2 := f.pop().(int64)
+			if !ok1 || !ok2 {
+				trapErr = &Trap{Msg: "arithmetic on non-integer"}
+				break
+			}
+			var r int64
+			switch ins.Op {
+			case opAdd:
+				r = a + b
+			case opSub:
+				r = a - b
+			case opMul:
+				r = a * b
+			case opDiv:
+				if b == 0 {
+					trapErr = &Trap{Msg: "division by zero"}
+				} else {
+					r = a / b
+				}
+			case opMod:
+				if b == 0 {
+					trapErr = &Trap{Msg: "division by zero"}
+				} else {
+					r = a % b
+				}
+			}
+			if trapErr == nil {
+				f.stack = append(f.stack, r)
+			}
+		case opConcat:
+			b, ok1 := f.pop().(string)
+			a, ok2 := f.pop().(string)
+			if !ok1 || !ok2 {
+				trapErr = &Trap{Msg: "concatenation of non-strings"}
+				break
+			}
+			m.AllocBytes += uint64(len(a) + len(b))
+			f.stack = append(f.stack, a+b)
+		case opEq, opNe:
+			b := f.pop()
+			a := f.pop()
+			eq, err := valueEq(a, b)
+			if err != nil {
+				trapErr = err.(*Trap)
+				break
+			}
+			if ins.Op == opNe {
+				eq = !eq
+			}
+			f.stack = append(f.stack, eq)
+		case opLt, opLe, opGt, opGe:
+			b := f.pop()
+			a := f.pop()
+			c, err := valueCmp(a, b)
+			if err != nil {
+				trapErr = err.(*Trap)
+				break
+			}
+			var r bool
+			switch ins.Op {
+			case opLt:
+				r = c < 0
+			case opLe:
+				r = c <= 0
+			case opGt:
+				r = c > 0
+			case opGe:
+				r = c >= 0
+			}
+			f.stack = append(f.stack, r)
+		case opNot:
+			v, ok := f.pop().(bool)
+			if !ok {
+				trapErr = &Trap{Msg: "not of non-boolean"}
+				break
+			}
+			f.stack = append(f.stack, !v)
+		case opNeg:
+			v, ok := f.pop().(int64)
+			if !ok {
+				trapErr = &Trap{Msg: "negation of non-integer"}
+				break
+			}
+			f.stack = append(f.stack, -v)
+		case opTuple:
+			n := int(ins.A)
+			if len(f.stack) < n {
+				trapErr = &Trap{Msg: "operand stack underflow"}
+				break
+			}
+			t := make(Tuple, n)
+			copy(t, f.stack[len(f.stack)-n:])
+			f.stack = f.stack[:len(f.stack)-n]
+			m.AllocBytes += uint64(16 * n)
+			f.stack = append(f.stack, t)
+		case opTupleGet:
+			t, ok := f.pop().(Tuple)
+			if !ok || int(ins.A) >= len(t) {
+				trapErr = &Trap{Msg: "tuple projection error"}
+				break
+			}
+			f.stack = append(f.stack, t[ins.A])
+		case opRaise:
+			msg, ok := f.pop().(string)
+			if !ok {
+				msg = "raise"
+			}
+			trapErr = &Trap{Msg: msg}
+		case opPushHandler:
+			f.handlers = append(f.handlers, handler{sp: len(f.stack), target: f.ip + int(ins.A)})
+		case opPopHandler:
+			if n := len(f.handlers); n > 0 {
+				f.handlers = f.handlers[:n-1]
+			}
+		case opRefGet:
+			r, ok := f.pop().(*Ref)
+			if !ok {
+				trapErr = &Trap{Msg: "dereference of non-reference"}
+				break
+			}
+			f.stack = append(f.stack, r.V)
+		case opRefSet:
+			v := f.pop()
+			r, ok := f.pop().(*Ref)
+			if !ok {
+				trapErr = &Trap{Msg: "assignment to non-reference"}
+				break
+			}
+			r.V = v
+			f.stack = append(f.stack, Unit{})
+		default:
+			return nil, &Trap{Msg: fmt.Sprintf("bad opcode %d", ins.Op)}
+		}
+
+		if trapErr != nil {
+			if !trap() {
+				return nil, trapErr
+			}
+		}
+	}
+}
+
+// pop removes and returns the top of the operand stack. The compiler
+// guarantees balance; Verify guards slot indices; a nil fallback keeps a
+// corrupted object from panicking the host.
+func (f *frame) pop() Value {
+	if len(f.stack) == 0 {
+		return nil
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// LinkedModule is a loaded, linked switchlet: its object code, resolved
+// import values and global slots.
+type LinkedModule struct {
+	Obj     *Object
+	Export  *Signature
+	Globals []Value
+	Imports []Value
+}
+
+// Global returns the value of an exported binding.
+func (lm *LinkedModule) Global(name string) (Value, bool) {
+	slot, ok := lm.Obj.GlobalNames[name]
+	if !ok {
+		return nil, false
+	}
+	return lm.Globals[slot], true
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/tftp"
+)
+
+// Uploader drives a TFTP write transfer from a host to an active bridge's
+// network switchlet loader (paper §5.2): the standard way new switchlets
+// arrive over the LAN.
+type Uploader struct {
+	host      *Host
+	server    ipv4.Addr
+	put       *tftp.Put
+	localPort uint16
+
+	started  netsim.Time
+	finished netsim.Time
+	err      error
+}
+
+// NewUploader prepares an upload of data as filename to the TFTP server.
+func NewUploader(h *Host, server ipv4.Addr, filename string, data []byte) *Uploader {
+	u := &Uploader{
+		host: h, server: server,
+		put:       tftp.NewPut(filename, data),
+		localPort: 32768,
+	}
+	h.BindUDP(u.localPort, u.onReply)
+	return u
+}
+
+// Start transmits the write request.
+func (u *Uploader) Start() {
+	u.started = u.host.sim.Now()
+	_ = u.host.SendUDP(u.server, u.localPort, tftp.Port, u.put.Start())
+}
+
+func (u *Uploader) onReply(src ipv4.Addr, srcPort uint16, payload []byte) {
+	if src != u.server {
+		return
+	}
+	next := u.put.Next(payload)
+	if next != nil {
+		_ = u.host.SendUDP(u.server, u.localPort, srcPort, next)
+		return
+	}
+	if u.put.Done() && u.finished == 0 {
+		u.finished = u.host.sim.Now()
+	}
+	if err := u.put.Err(); err != nil {
+		u.err = err
+	}
+}
+
+// Done reports successful completion.
+func (u *Uploader) Done() bool { return u.put.Done() }
+
+// Err returns the transfer error, if any (e.g. the bridge rejected the
+// switchlet's digests).
+func (u *Uploader) Err() error { return u.err }
+
+// Elapsed is the transfer duration.
+func (u *Uploader) Elapsed() netsim.Duration {
+	if u.finished == 0 {
+		return 0
+	}
+	return u.finished.Sub(u.started)
+}
