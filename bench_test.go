@@ -32,6 +32,7 @@ func printTable(b *testing.B, key, s string) {
 // BenchmarkFig9PingLatency regenerates Figure 9 and reports the 64-byte
 // RTT through the active bridge in milliseconds.
 func BenchmarkFig9PingLatency(b *testing.B) {
+	b.ReportAllocs()
 	cost := netsim.DefaultCostModel()
 	var rtt netsim.Duration
 	for i := 0; i < b.N; i++ {
@@ -46,6 +47,7 @@ func BenchmarkFig9PingLatency(b *testing.B) {
 // BenchmarkFig10TtcpThroughput regenerates Figure 10 and reports the
 // active bridge's 8 KB-write throughput (paper: 16 Mb/s).
 func BenchmarkFig10TtcpThroughput(b *testing.B) {
+	b.ReportAllocs()
 	cost := netsim.DefaultCostModel()
 	var mbps float64
 	for i := 0; i < b.N; i++ {
@@ -60,6 +62,7 @@ func BenchmarkFig10TtcpThroughput(b *testing.B) {
 // BenchmarkFrameRates regenerates the §7.3 frame-rate series and reports
 // frames/s at 1024-byte frames (paper: ~1790).
 func BenchmarkFrameRates(b *testing.B) {
+	b.ReportAllocs()
 	cost := netsim.DefaultCostModel()
 	var fps float64
 	for i := 0; i < b.N; i++ {
@@ -75,6 +78,7 @@ func BenchmarkFrameRates(b *testing.B) {
 // cost decomposition and reports the switchlet execution share (paper:
 // ~0.34 ms of Caml per frame on the ping path).
 func BenchmarkLatencyDecomposition(b *testing.B) {
+	b.ReportAllocs()
 	cost := netsim.DefaultCostModel()
 	var vmMs float64
 	for i := 0; i < b.N; i++ {

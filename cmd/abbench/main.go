@@ -1,23 +1,108 @@
 // abbench regenerates every table and figure of the paper's evaluation and
-// prints them. With -short the slower sweeps are skipped.
+// prints them. With -short the slower sweeps are skipped. With -json the
+// headline numbers are emitted as machine-readable JSON instead, so the
+// performance trajectory can be tracked across PRs (BENCH_*.json).
 //
-// All times are virtual: the output is deterministic and identical on any
-// machine.
+// All virtual-time metrics are deterministic and identical on any machine;
+// the wall-clock and allocation figures in -json output measure this
+// build on this machine.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 
 	"github.com/switchware/activebridge/internal/experiments"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/testbed"
 )
+
+// benchResult is one headline measurement.
+type benchResult struct {
+	Name string `json:"name"`
+	// Virtual-time metrics (deterministic).
+	RTTMs    float64 `json:"rtt_ms,omitempty"`
+	Mbps     float64 `json:"mbps,omitempty"`
+	FramesPS float64 `json:"frames_per_s,omitempty"`
+	// Wall-clock metrics for this build/machine.
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Schema  string        `json:"schema"`
+	Results []benchResult `json:"results"`
+}
+
+// measure benchmarks fn with the same harness the repo's benchmarks use
+// (calibrated iterations, consistent malloc accounting), reporting mean
+// wall-clock ns and heap allocations per run.
+func measure(fn func()) (nsPerOp, allocsPerOp float64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return float64(res.NsPerOp()), float64(res.AllocsPerOp())
+}
+
+func jsonReport(cost netsim.CostModel) benchReport {
+	rep := benchReport{Schema: "abbench/v1"}
+
+	var rtt netsim.Duration
+	ns, allocs := measure(func() {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		rtt = tb.PingRTT(64, 10)
+	})
+	rep.Results = append(rep.Results, benchResult{
+		Name: "fig9_ping_latency", RTTMs: float64(rtt) / 1e6,
+		WallNsPerOp: ns, AllocsPerOp: allocs,
+	})
+
+	var mbps float64
+	ns, allocs = measure(func() {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		mbps = tb.TtcpRun(8192, 4<<20).ThroughputMbps()
+	})
+	rep.Results = append(rep.Results, benchResult{
+		Name: "fig10_ttcp_throughput", Mbps: mbps,
+		WallNsPerOp: ns, AllocsPerOp: allocs,
+	})
+
+	var fps float64
+	ns, allocs = measure(func() {
+		tb := testbed.New(testbed.ActiveBridge, cost)
+		tb.Warm()
+		fps = tb.TtcpRun(1024, 2<<20).FramesPerSecond()
+	})
+	rep.Results = append(rep.Results, benchResult{
+		Name: "frame_rates_1024B", FramesPS: fps,
+		WallNsPerOp: ns, AllocsPerOp: allocs,
+	})
+	return rep
+}
 
 func main() {
 	short := flag.Bool("short", false, "skip the slower parameter sweeps")
+	jsonOut := flag.Bool("json", false, "emit headline results as JSON (for BENCH_*.json tracking)")
 	flag.Parse()
 	cost := netsim.DefaultCostModel()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport(cost)); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("Active Bridging — reproduction of the evaluation (virtual-time simulator)")
 	fmt.Println("paper: Alexander, Shaw, Nettles, Smith. MS-CIS-97-02 / SIGCOMM 1997")

@@ -1,0 +1,3 @@
+module github.com/switchware/activebridge
+
+go 1.22

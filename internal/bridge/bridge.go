@@ -22,6 +22,7 @@ package bridge
 
 import (
 	"fmt"
+	"unsafe"
 
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
@@ -98,13 +99,36 @@ type Bridge struct {
 
 	defaultHandler FrameHandler
 	dstHandlers    map[ethernet.MAC]FrameHandler
-	timers         map[string]*timerState
+	// unicastDsts counts non-multicast registrations in dstHandlers. In
+	// steady-state forwarding every data frame has a unicast destination
+	// while registrations are almost always multicast (the All Bridges
+	// address), so the per-frame map lookup is skipped entirely.
+	unicastDsts int
+	timers      map[string]*timerState
 
 	inDispatch   bool
 	pendingSends []pendingSend
 	spawnQueue   []vm.Value
 	// lastVMCost is the metered cost of the most recent VM dispatch.
 	lastVMCost netsim.Duration
+
+	// sendBufs is a free-list of pendingSend buffers; each dispatch
+	// borrows one and returns it after its sends are emitted.
+	sendBufs [][]pendingSend
+	// doneQueue holds collected send lists awaiting their CPU completion.
+	// CPU completions fire in submission order (the CPU is a FIFO
+	// resource), so the frame path can use one cached callback
+	// (emitHeadFn) instead of allocating a closure per frame.
+	doneQueue     [][]pendingSend
+	doneQueueHead int
+	emitHeadFn    func()
+	// frameArgs is the reusable argument buffer for frame dispatches
+	// (the VM does not retain it).
+	frameArgs [2]vm.Value
+	// curRaw is the frame being dispatched; a switchlet send of the
+	// identical bytes (the forwarding fast path) reuses this buffer
+	// instead of copying and re-validating the FCS.
+	curRaw []byte
 
 	// LogSink receives switchlet log output; nil discards.
 	LogSink func(at netsim.Time, bridge, msg string)
@@ -132,6 +156,7 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 		dstHandlers: map[ethernet.MAC]FrameHandler{},
 		timers:      map[string]*timerState{},
 	}
+	b.emitHeadFn = b.emitHead
 	b.Machine = vm.NewMachine()
 	b.Loader = vm.StdLoader(b.Machine)
 	b.Funcs = env.NewFuncRegistry()
@@ -189,9 +214,20 @@ func (b *Bridge) Send(port int, data string, ctl bool) error {
 		b.Stats.OutputBlocked++
 		return nil // silently suppressed, like a filtering bridge port
 	}
-	raw, err := normalizeFrame([]byte(data))
-	if err != nil {
-		return err
+	var raw []byte
+	if b.curRaw != nil && len(data) == len(b.curRaw) && string(b.curRaw) == data {
+		// Forwarding fast path: the switchlet is sending the frame it is
+		// currently dispatching, unmodified. The received frame already
+		// carries a valid FCS, so reuse its buffer — no copy, no
+		// re-validation. (string(b.curRaw) == data compiles to an
+		// allocation-free comparison.)
+		raw = b.curRaw
+	} else {
+		var err error
+		raw, err = normalizeFrame([]byte(data))
+		if err != nil {
+			return err
+		}
 	}
 	ps := pendingSend{port: port, data: raw, ctl: ctl}
 	if b.inDispatch {
@@ -272,19 +308,22 @@ func (b *Bridge) DefaultHandlerName() string { return b.defaultHandler.Name }
 func (b *Bridge) SetDstHandler(mac string, fn vm.Value) error {
 	var m ethernet.MAC
 	copy(m[:], mac)
-	if _, taken := b.dstHandlers[m]; taken {
-		return fmt.Errorf("destination %v already bound", m)
-	}
-	b.dstHandlers[m] = FrameHandler{VM: fn, Name: "vm-dst-" + m.String()}
-	return nil
+	return b.setDstHandler(m, FrameHandler{VM: fn, Name: "vm-dst-" + m.String()})
 }
 
 // SetNativeDstHandler registers a native destination handler.
 func (b *Bridge) SetNativeDstHandler(m ethernet.MAC, name string, fn func(data []byte, inPort int)) error {
+	return b.setDstHandler(m, FrameHandler{Native: fn, Name: name})
+}
+
+func (b *Bridge) setDstHandler(m ethernet.MAC, h FrameHandler) error {
 	if _, taken := b.dstHandlers[m]; taken {
 		return fmt.Errorf("destination %v already bound", m)
 	}
-	b.dstHandlers[m] = FrameHandler{Native: fn, Name: name}
+	b.dstHandlers[m] = h
+	if !m.IsMulticast() {
+		b.unicastDsts++
+	}
 	return nil
 }
 
@@ -292,11 +331,18 @@ func (b *Bridge) SetNativeDstHandler(m ethernet.MAC, name string, fn func(data [
 func (b *Bridge) ClearDstHandler(mac string) {
 	var m ethernet.MAC
 	copy(m[:], mac)
-	delete(b.dstHandlers, m)
+	b.ClearDstHandlerMAC(m)
 }
 
-// ClearDstHandlerMAC removes a native registration by address.
-func (b *Bridge) ClearDstHandlerMAC(m ethernet.MAC) { delete(b.dstHandlers, m) }
+// ClearDstHandlerMAC removes a registration by address.
+func (b *Bridge) ClearDstHandlerMAC(m ethernet.MAC) {
+	if _, ok := b.dstHandlers[m]; ok {
+		delete(b.dstHandlers, m)
+		if !m.IsMulticast() {
+			b.unicastDsts--
+		}
+	}
+}
 
 // SetTimer implements env.Host.
 func (b *Bridge) SetTimer(name string, periodMs int64, fn vm.Value) {
@@ -362,6 +408,67 @@ func (b *Bridge) Log(msg string) {
 
 // --- frame path -------------------------------------------------------------
 
+// frameString views raw as a string without copying. This is safe because
+// frames on the simulated medium are immutable once transmitted (the
+// netsim receive contract: "the slice must not be mutated") and swl
+// strings are immutable, so no writer exists on either side.
+func frameString(raw []byte) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(raw), len(raw))
+}
+
+// getSendBuf borrows a pendingSend buffer from the pool.
+func (b *Bridge) getSendBuf() []pendingSend {
+	if n := len(b.sendBufs); n > 0 {
+		buf := b.sendBufs[n-1]
+		b.sendBufs = b.sendBufs[:n-1]
+		return buf
+	}
+	return make([]pendingSend, 0, 4)
+}
+
+// putSendBuf returns a dispatch's send list to the pool, dropping frame
+// references so they do not outlive their transmission.
+func (b *Bridge) putSendBuf(buf []pendingSend) {
+	if buf == nil {
+		return
+	}
+	for i := range buf {
+		buf[i].data = nil
+	}
+	if len(b.sendBufs) < 16 {
+		b.sendBufs = append(b.sendBufs, buf[:0])
+	}
+}
+
+// emitSends transmits a dispatch's collected frames and recycles the
+// buffer; it runs as the CPU completion callback.
+func (b *Bridge) emitSends(sends []pendingSend) {
+	for i := range sends {
+		b.emit(sends[i])
+	}
+	b.putSendBuf(sends)
+}
+
+// emitHead emits the oldest queued send list (see doneQueue).
+func (b *Bridge) emitHead() {
+	sends := b.doneQueue[b.doneQueueHead]
+	b.doneQueue[b.doneQueueHead] = nil
+	b.doneQueueHead++
+	if b.doneQueueHead == len(b.doneQueue) {
+		b.doneQueue = b.doneQueue[:0]
+		b.doneQueueHead = 0
+	} else if b.doneQueueHead >= 64 {
+		// Compact under sustained backlog so the backing array stays
+		// bounded by the outstanding dispatches, not the run length.
+		b.doneQueue = b.doneQueue[:copy(b.doneQueue, b.doneQueue[b.doneQueueHead:])]
+		b.doneQueueHead = 0
+	}
+	b.emitSends(sends)
+}
+
 func (b *Bridge) onFrame(inPort int, raw []byte) {
 	b.Stats.FramesIn++
 	if b.netLoader != nil && b.netLoader.maybeHandle(inPort, raw) {
@@ -371,7 +478,14 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 	if err != nil {
 		return
 	}
-	h, isDst := b.dstHandlers[dst]
+	var h FrameHandler
+	isDst := false
+	// Unicast fast path: data frames are unicast and destination
+	// registrations are (almost always) multicast, so the map is rarely
+	// consulted per frame.
+	if len(b.dstHandlers) > 0 && (b.unicastDsts > 0 || dst.IsMulticast()) {
+		h, isDst = b.dstHandlers[dst]
+	}
 	if !isDst {
 		if b.blocked[inPort] {
 			// A blocked port still receives control traffic (handled
@@ -390,21 +504,25 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 	recvCost := b.cost.KernelCrossing(len(raw))
 	var execCost netsim.Duration
 	var sends []pendingSend
+	b.curRaw = raw
 	if h.Native != nil {
 		sends = b.collectSends(func() { h.Native(raw, inPort) })
 		execCost = b.cost.NativePerFrame
 	} else {
 		var trapped bool
-		sends, trapped = b.invokeVM(h.VM, string(raw), int64(inPort))
+		b.frameArgs[0] = frameString(raw)
+		b.frameArgs[1] = int64(inPort)
+		sends, trapped = b.invokeVM(h.VM, b.frameArgs[:])
 		execCost = b.lastVMCost
 		if trapped {
 			b.Stats.HandlerTraps++
 		}
 	}
+	b.curRaw = nil
 
 	var sendCost netsim.Duration
-	for _, s := range sends {
-		sendCost += b.cost.KernelCrossing(len(s.data))
+	for i := range sends {
+		sendCost += b.cost.KernelCrossing(len(sends[i].data))
 	}
 	b.Stats.VMTime += execCost
 	b.Stats.KernelTime += recvCost + sendCost
@@ -418,20 +536,18 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 	}
 
 	total := recvCost + execCost + sendCost
-	b.cpu.Exec(total, func() {
-		for _, s := range sends {
-			b.emit(s)
-		}
-	})
+	b.doneQueue = append(b.doneQueue, sends)
+	b.cpu.Exec(total, b.emitHeadFn)
 }
 
 // collectSends runs fn with send collection enabled and returns the frames
-// it queued.
+// it queued. The returned slice is pooled: pass it to emitSends (or
+// putSendBuf) exactly once.
 func (b *Bridge) collectSends(fn func()) []pendingSend {
 	wasIn := b.inDispatch
 	b.inDispatch = true
 	saved := b.pendingSends
-	b.pendingSends = nil
+	b.pendingSends = b.getSendBuf()
 	fn()
 	out := b.pendingSends
 	b.pendingSends = saved
@@ -441,18 +557,26 @@ func (b *Bridge) collectSends(fn func()) []pendingSend {
 }
 
 // invokeVM runs a switchlet function, metering VM cost into lastVMCost.
-func (b *Bridge) invokeVM(fn vm.Value, args ...vm.Value) (sends []pendingSend, trapped bool) {
+// args may be a caller-owned scratch buffer (the VM does not retain it).
+func (b *Bridge) invokeVM(fn vm.Value, args []vm.Value) (sends []pendingSend, trapped bool) {
 	steps0, alloc0 := b.Machine.Steps, b.Machine.AllocBytes
-	sends = b.collectSends(func() {
-		if _, err := b.Machine.Invoke(fn, args...); err != nil {
-			trapped = true
-			b.Log("switchlet trap: " + err.Error())
-		}
-	})
+	wasIn := b.inDispatch
+	b.inDispatch = true
+	saved := b.pendingSends
+	b.pendingSends = b.getSendBuf()
+	if _, err := b.Machine.InvokeArgs(fn, args); err != nil {
+		trapped = true
+		b.Log("switchlet trap: " + err.Error())
+	}
+	sends = b.pendingSends
+	b.pendingSends = saved
+	b.inDispatch = wasIn
+	b.drainSpawns()
 	b.lastVMCost = b.cost.VMCost(b.Machine.Steps-steps0, b.Machine.AllocBytes-alloc0)
 	if trapped {
 		// A trapped handler forwards nothing: drop its queued sends, the
 		// conservative failure mode.
+		b.putSendBuf(sends)
 		sends = nil
 	}
 	return sends, trapped
@@ -461,21 +585,17 @@ func (b *Bridge) invokeVM(fn vm.Value, args ...vm.Value) (sends []pendingSend, t
 // runVMDispatch runs a VM callback outside the frame path (timers, spawns)
 // and charges its cost plus overhead to the CPU.
 func (b *Bridge) runVMDispatch(fn vm.Value, extra netsim.Duration, args ...vm.Value) {
-	sends, trapped := b.invokeVM(fn, args...)
+	sends, trapped := b.invokeVM(fn, args)
 	if trapped {
 		b.Stats.HandlerTraps++
 	}
 	var sendCost netsim.Duration
-	for _, s := range sends {
-		sendCost += b.cost.KernelCrossing(len(s.data))
+	for i := range sends {
+		sendCost += b.cost.KernelCrossing(len(sends[i].data))
 	}
 	b.Stats.VMTime += b.lastVMCost
 	b.Stats.KernelTime += sendCost
-	b.cpu.Exec(b.lastVMCost+sendCost+extra, func() {
-		for _, s := range sends {
-			b.emit(s)
-		}
-	})
+	b.cpu.Exec(b.lastVMCost+sendCost+extra, func() { b.emitSends(sends) })
 }
 
 // runNativeDispatch is runVMDispatch for native callbacks.
@@ -483,14 +603,10 @@ func (b *Bridge) runNativeDispatch(fn func(), extra netsim.Duration) {
 	sends := b.collectSends(fn)
 	cost := b.cost.NativePerFrame
 	var sendCost netsim.Duration
-	for _, s := range sends {
-		sendCost += b.cost.KernelCrossing(len(s.data))
+	for i := range sends {
+		sendCost += b.cost.KernelCrossing(len(sends[i].data))
 	}
-	b.cpu.Exec(cost+sendCost+extra, func() {
-		for _, s := range sends {
-			b.emit(s)
-		}
-	})
+	b.cpu.Exec(cost+sendCost+extra, func() { b.emitSends(sends) })
 }
 
 func (b *Bridge) drainSpawns() {

@@ -39,8 +39,14 @@ type NIC struct {
 
 	// TxQueueLimit bounds the output queue in frames (default 128).
 	TxQueueLimit int
-	txQueue      [][]byte
-	txBusy       bool
+	// txQueue[txHead:] is the transmit backlog; the consumed prefix is
+	// reclaimed when the queue drains, so steady-state sends do not
+	// allocate.
+	txQueue [][]byte
+	txHead  int
+	txBusy  bool
+	// drainFn is the drain callback allocated once, not per transmission.
+	drainFn func()
 
 	// Stats.
 	RxFrames, TxFrames uint64
@@ -51,7 +57,9 @@ type NIC struct {
 
 // NewNIC creates an interface with the given MAC bound to the simulation.
 func NewNIC(sim *Sim, name string, mac ethernet.MAC) *NIC {
-	return &NIC{Name: name, MAC: mac, sim: sim, TxQueueLimit: 128, groups: make(map[ethernet.MAC]bool)}
+	n := &NIC{Name: name, MAC: mac, sim: sim, TxQueueLimit: 128, groups: make(map[ethernet.MAC]bool)}
+	n.drainFn = n.drain
+	return n
 }
 
 // SetRecv installs the receive handler.
@@ -99,7 +107,7 @@ func (n *NIC) Send(raw []byte) bool {
 	if n.segment == nil {
 		panic(fmt.Sprintf("netsim: NIC %s (%v) not attached to a segment", n.Name, n.MAC))
 	}
-	if len(n.txQueue) >= n.TxQueueLimit {
+	if len(n.txQueue)-n.txHead >= n.TxQueueLimit {
 		n.TxDrops++
 		return false
 	}
@@ -121,19 +129,28 @@ func (n *NIC) SendFrame(f *ethernet.Frame) (bool, error) {
 }
 
 func (n *NIC) drain() {
-	if len(n.txQueue) == 0 {
+	if n.txHead == len(n.txQueue) {
+		n.txQueue = n.txQueue[:0]
+		n.txHead = 0
 		n.txBusy = false
 		return
 	}
-	raw := n.txQueue[0]
-	n.txQueue = n.txQueue[1:]
+	if n.txHead >= 64 {
+		// Compact under sustained backlog so the backing array stays
+		// bounded by the queue limit, not the run length.
+		n.txQueue = n.txQueue[:copy(n.txQueue, n.txQueue[n.txHead:])]
+		n.txHead = 0
+	}
+	raw := n.txQueue[n.txHead]
+	n.txQueue[n.txHead] = nil
+	n.txHead++
 	n.TxFrames++
 	n.TxBytes += uint64(len(raw))
 	done := n.segment.transmit(n, raw)
-	n.sim.Schedule(done, n.drain)
+	n.sim.Schedule(done, n.drainFn)
 }
 
 // TxQueueLen reports the current transmit backlog in frames.
-func (n *NIC) TxQueueLen() int { return len(n.txQueue) }
+func (n *NIC) TxQueueLen() int { return len(n.txQueue) - n.txHead }
 
 func (n *NIC) String() string { return fmt.Sprintf("%s(%v)", n.Name, n.MAC) }

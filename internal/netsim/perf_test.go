@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+)
+
+// TestSteadyStateForwardingZeroAllocs is the allocation-budget regression
+// test for the event queue and NIC pipeline: once the heap, payload slab
+// and transmit queues are warm, pushing a frame across a segment and
+// running the resulting events does zero Go-heap work. The value-typed
+// 4-ary heap, the payload free list, the inline deliver events and the
+// reclaiming transmit queue are what this pins down.
+func TestSteadyStateForwardingZeroAllocs(t *testing.T) {
+	sim := New()
+	seg := NewSegment(sim, "lan")
+	a := NewNIC(sim, "a", mac(1))
+	b := NewNIC(sim, "b", mac(2))
+	seg.Attach(a)
+	seg.Attach(b)
+	received := 0
+	b.SetRecv(func(*NIC, []byte) { received++ })
+	raw := frameBytes(t, mac(2), mac(1), 256)
+
+	cycle := func() {
+		a.Send(raw)
+		sim.RunAll()
+	}
+	cycle() // warm heap, slab and queues
+	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+		t.Fatalf("steady-state forwarding allocs/cycle = %v, want 0", allocs)
+	}
+	if received == 0 {
+		t.Fatal("no frames delivered")
+	}
+}
+
+// TestScheduleBytesOrdering verifies the closure-free scheduling variants
+// interleave with Schedule in strict (time, scheduling-order) sequence —
+// the determinism contract every experiment depends on.
+func TestScheduleBytesOrdering(t *testing.T) {
+	sim := New()
+	var order []int
+	sim.Schedule(10, func() { order = append(order, 0) })
+	sim.ScheduleBytes(10, func([]byte) { order = append(order, 1) }, nil)
+	sim.Schedule(5, func() { order = append(order, 2) })
+	sim.ScheduleBytes(10, func([]byte) { order = append(order, 3) }, nil)
+	sim.Schedule(10, func() { order = append(order, 4) })
+	sim.RunAll()
+	want := []int{2, 0, 1, 3, 4}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestHeapOrderingRandomized cross-checks the 4-ary heap against the
+// (time, seq) total order with an adversarial schedule: many ties, past
+// timestamps, and interleaved pops.
+func TestHeapOrderingRandomized(t *testing.T) {
+	sim := New()
+	var got []int
+	// Deterministic pseudo-random times with heavy ties.
+	x := uint32(12345)
+	times := make([]Time, 300)
+	for i := range times {
+		x = x*1664525 + 1013904223
+		times[i] = Time(x % 16)
+	}
+	for i, at := range times {
+		i := i
+		sim.Schedule(at, func() { got = append(got, i) })
+	}
+	sim.RunAll()
+	if len(got) != len(times) {
+		t.Fatalf("executed %d events, want %d", len(got), len(times))
+	}
+	for k := 1; k < len(got); k++ {
+		a, b := got[k-1], got[k]
+		if times[a] > times[b] {
+			t.Fatalf("time order violated at %d: event %d (t=%d) before %d (t=%d)", k, a, times[a], b, times[b])
+		}
+		if times[a] == times[b] && a > b {
+			t.Fatalf("FIFO tie-break violated at %d: event %d before %d at t=%d", k, a, b, times[a])
+		}
+	}
+}
+
+// BenchmarkEventQueue measures raw scheduler throughput: push/pop of a
+// churning event population.
+func BenchmarkEventQueue(b *testing.B) {
+	sim := New()
+	fn := func() {}
+	// Standing population of 1024 events, then steady churn.
+	for i := 0; i < 1024; i++ {
+		sim.Schedule(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(sim.Now()+Time(1024), fn)
+		sim.MaxEvents = 1
+		sim.Run(sim.Now() + 1<<40)
+	}
+}
+
+// BenchmarkSegmentForward measures the full NIC -> segment -> NIC frame
+// pipeline in events per second.
+func BenchmarkSegmentForward(b *testing.B) {
+	sim := New()
+	seg := NewSegment(sim, "lan")
+	src := NewNIC(sim, "src", mac(1))
+	dst := NewNIC(sim, "dst", mac(2))
+	seg.Attach(src)
+	seg.Attach(dst)
+	dst.SetRecv(func(*NIC, []byte) {})
+	f := ethernet.Frame{Dst: mac(2), Src: mac(1), Type: ethernet.TypeTest, Payload: make([]byte, 1024)}
+	raw, err := f.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(raw)
+		sim.RunAll()
+	}
+}

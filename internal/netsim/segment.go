@@ -78,8 +78,7 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 		if nic == from {
 			continue
 		}
-		nic := nic
-		g.sim.Schedule(arrive, func() { nic.deliver(raw) })
+		g.sim.scheduleDeliver(arrive, nic, raw)
 	}
 	return end
 }

@@ -19,35 +19,105 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// event is a scheduled callback.
-type event struct {
+// eventKey is a heap entry: the (at, seq) ordering key plus the index of
+// the event's payload in the simulation's payload slab. Keys are
+// pointer-free, so sifting them around the heap involves no GC write
+// barriers — the dominant cost of a pointer-per-event heap.
+type eventKey struct {
 	at  Time
-	seq uint64 // tie-break for determinism
+	seq uint64
+	idx int32
+}
+
+// eventPayload holds what a scheduled event does. Frame deliveries (nic +
+// raw) and single-[]byte callbacks (bfn + raw) — the overwhelming majority
+// of events in a forwarding simulation — are represented inline instead of
+// as closures, so scheduling one does not allocate. Payload slots are
+// recycled through a free list.
+type eventPayload struct {
 	fn  func()
+	bfn func([]byte)
+	nic *NIC // when non-nil, the event is nic.deliver(raw)
+	raw []byte
 }
 
-type eventQueue []*event
+// eventQueue is an index-addressed 4-ary min-heap of keys ordered by
+// (at, seq), stored by value: pushing and popping never boxes through
+// interface{} and never allocates per event (the backing arrays grow
+// amortized and are reused). A 4-ary layout does fewer, cache-friendlier
+// levels than the binary container/heap it replaces.
+type eventQueue struct {
+	keys     []eventKey
+	payloads []eventPayload
+	free     []int32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (q *eventQueue) len() int { return len(q.keys) }
+
+// push schedules a payload under the given key, sifting up.
+func (q *eventQueue) push(at Time, seq uint64, p eventPayload) {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		idx = int32(len(q.payloads))
+		q.payloads = append(q.payloads, eventPayload{})
 	}
-	return q[i].seq < q[j].seq
+	q.payloads[idx] = p
+
+	q.keys = append(q.keys, eventKey{at: at, seq: seq, idx: idx})
+	h := q.keys
+	i := len(h) - 1
+	for i > 0 {
+		par := (i - 1) / 4
+		if h[par].at < h[i].at || (h[par].at == h[i].at && h[par].seq < h[i].seq) {
+			break
+		}
+		h[i], h[par] = h[par], h[i]
+		i = par
+	}
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// pop removes the minimum event and returns its payload. The payload slot
+// is released back to the free list; the returned copy stays valid.
+func (q *eventQueue) pop() (Time, eventPayload) {
+	h := q.keys
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	q.keys = h
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].at < h[min].at || (h[c].at == h[min].at && h[c].seq < h[min].seq) {
+				min = c
+			}
+		}
+		if h[i].at < h[min].at || (h[i].at == h[min].at && h[i].seq < h[min].seq) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	p := q.payloads[top.idx]
+	q.payloads[top.idx] = eventPayload{} // release references
+	q.free = append(q.free, top.idx)
+	return top.at, p
 }
 
 // Sim is a discrete-event simulation. The zero value is not usable; call New.
@@ -65,9 +135,7 @@ type Sim struct {
 
 // New creates an empty simulation at time zero.
 func New() *Sim {
-	s := &Sim{}
-	heap.Init(&s.queue)
-	return s
+	return &Sim{}
 }
 
 // Now returns the current virtual time.
@@ -82,7 +150,41 @@ func (s *Sim) Schedule(at Time, fn func()) {
 		at = s.now
 	}
 	s.nextID++
-	heap.Push(&s.queue, &event{at: at, seq: s.nextID, fn: fn})
+	s.queue.push(at, s.nextID, eventPayload{fn: fn})
+}
+
+// ScheduleBytes runs fn(raw) at the given absolute time without allocating
+// a closure; fn is typically a callback cached once per component.
+// Ordering is identical to Schedule with the same timestamp.
+func (s *Sim) ScheduleBytes(at Time, fn func([]byte), raw []byte) {
+	if at < s.now {
+		at = s.now
+	}
+	s.nextID++
+	s.queue.push(at, s.nextID, eventPayload{bfn: fn, raw: raw})
+}
+
+// scheduleDeliver schedules delivery of raw to nic without allocating a
+// closure; ordering is identical to Schedule with the same timestamp.
+func (s *Sim) scheduleDeliver(at Time, nic *NIC, raw []byte) {
+	if at < s.now {
+		at = s.now
+	}
+	s.nextID++
+	s.queue.push(at, s.nextID, eventPayload{nic: nic, raw: raw})
+}
+
+// dispatch runs one popped event.
+func (e *eventPayload) dispatch() {
+	if e.nic != nil {
+		e.nic.deliver(e.raw)
+		return
+	}
+	if e.bfn != nil {
+		e.bfn(e.raw)
+		return
+	}
+	e.fn()
 }
 
 // After schedules fn to run d from now.
@@ -95,20 +197,19 @@ func (s *Sim) Stop() { s.halted = true }
 // called, or MaxEvents is exceeded. It returns the number of events executed.
 func (s *Sim) Run(until Time) uint64 {
 	start := s.executed
-	for len(s.queue) > 0 && !s.halted {
-		e := s.queue[0]
-		if e.at > until {
+	for s.queue.len() > 0 && !s.halted {
+		if s.queue.keys[0].at > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = e.at
-		e.fn()
+		at, e := s.queue.pop()
+		s.now = at
+		e.dispatch()
 		s.executed++
 		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
 			break
 		}
 	}
-	if s.now < until && !s.halted && len(s.queue) == 0 {
+	if s.now < until && !s.halted && s.queue.len() == 0 {
 		s.now = until
 	}
 	return s.executed - start
@@ -117,10 +218,10 @@ func (s *Sim) Run(until Time) uint64 {
 // RunAll executes events until the queue is empty or Stop is called.
 func (s *Sim) RunAll() uint64 {
 	start := s.executed
-	for len(s.queue) > 0 && !s.halted {
-		e := heap.Pop(&s.queue).(*event)
-		s.now = e.at
-		e.fn()
+	for s.queue.len() > 0 && !s.halted {
+		at, e := s.queue.pop()
+		s.now = at
+		e.dispatch()
 		s.executed++
 		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
 			break
@@ -130,7 +231,7 @@ func (s *Sim) RunAll() uint64 {
 }
 
 // Pending reports the number of queued events.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.queue.len() }
 
 // CPU models a serially shared processing resource (one per node). Work
 // submitted to the CPU executes in submission order; each item occupies the
@@ -157,6 +258,20 @@ func (c *CPU) Exec(cost Duration, fn func()) Time {
 	c.busyUntil = done
 	c.Busy += cost
 	c.sim.Schedule(done, fn)
+	return done
+}
+
+// ExecBytes is Exec for a cached func([]byte) callback: scheduling the
+// completion does not allocate a closure.
+func (c *CPU) ExecBytes(cost Duration, fn func([]byte), raw []byte) Time {
+	start := c.sim.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start.Add(cost)
+	c.busyUntil = done
+	c.Busy += cost
+	c.sim.ScheduleBytes(done, fn, raw)
 	return done
 }
 

@@ -108,6 +108,35 @@ func (tb *Testbed) Warm() {
 	tb.Sim.Run(tb.Sim.Now() + netsim.Time(50*netsim.Millisecond))
 }
 
+// Fingerprint is the determinism-relevant state of a finished experiment:
+// if any optimization changes scheduling order, interpreter accounting or
+// frame handling, some field here moves. All values are virtual-time
+// quantities, identical on any machine.
+type Fingerprint struct {
+	Now        netsim.Time
+	Steps      uint64
+	AllocBytes uint64
+	FramesIn   uint64
+	FramesSent uint64
+	VMTimeNs   int64
+	KernelNs   int64
+}
+
+// Fingerprint captures the bridge-path determinism state (zero-valued for
+// configurations without a bridge).
+func (tb *Testbed) Fingerprint() Fingerprint {
+	fp := Fingerprint{Now: tb.Sim.Now()}
+	if tb.Bridge != nil {
+		fp.Steps = tb.Bridge.Machine.Steps
+		fp.AllocBytes = tb.Bridge.Machine.AllocBytes
+		fp.FramesIn = tb.Bridge.Stats.FramesIn
+		fp.FramesSent = tb.Bridge.Stats.FramesSent
+		fp.VMTimeNs = int64(tb.Bridge.Stats.VMTime)
+		fp.KernelNs = int64(tb.Bridge.Stats.KernelTime)
+	}
+	return fp
+}
+
 // PingRTT measures the mean ICMP round-trip time for the given data size.
 func (tb *Testbed) PingRTT(size, count int) netsim.Duration {
 	p := workload.NewPinger(tb.H1, H2IP, size, count)

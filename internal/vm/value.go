@@ -85,6 +85,49 @@ func (h *Hashtbl) Clear() {
 	h.Keys = nil
 }
 
+// Small-integer cache. Converting an int64 to the Value interface heap-
+// allocates a box for anything the Go runtime does not cache (it only
+// caches 0..255). Frame offsets, port numbers, counters and protocol
+// constants fall overwhelmingly in a small range, so pre-boxing that range
+// removes the dominant allocation of the dispatch loop. The boxes are
+// immutable and shared by every Machine.
+const (
+	smallIntMin = -256
+	smallIntMax = 4095
+)
+
+var smallInts [smallIntMax - smallIntMin + 1]Value
+
+// Pre-boxed values for the other per-instruction results.
+var (
+	valTrue  Value = true
+	valFalse Value = false
+	valUnit  Value = Unit{}
+)
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = int64(i + smallIntMin)
+	}
+}
+
+// boxInt converts an int64 to a Value without allocating for the common
+// small range.
+func boxInt(v int64) Value {
+	if v >= smallIntMin && v <= smallIntMax {
+		return smallInts[v-smallIntMin]
+	}
+	return v
+}
+
+// boxBool converts a bool to a Value without allocating.
+func boxBool(b bool) Value {
+	if b {
+		return valTrue
+	}
+	return valFalse
+}
+
 // Trap is a runtime failure inside switchlet code: raise, a failed
 // Hashtbl.find, division by zero, fuel exhaustion. The bridge catches
 // traps at the invocation boundary — a faulty switchlet cannot take the

@@ -9,6 +9,12 @@ import (
 // user-mode Caml threads: "no speedup occurs due to our multiprocessor")
 // and meters execution: Steps and AllocBytes accumulate across invocations,
 // and the bridge converts the per-invocation deltas into virtual CPU time.
+//
+// The interpreter is allocation-free in steady state: all activation
+// records live in a pooled frame array, and locals plus operand stacks
+// share one growable value arena that is reused across invocations. Only
+// switchlet-level allocation (closures, tuples, strings — the operations
+// metered by AllocBytes) touches the Go heap.
 type Machine struct {
 	// Steps counts executed instructions, cumulatively.
 	Steps uint64
@@ -19,11 +25,26 @@ type Machine struct {
 	// MaxSteps is the per-invocation fuel. A switchlet that loops forever
 	// is stopped with a trap — part of the bridge protecting itself.
 	MaxSteps uint64
-	// MaxFrames bounds the call stack depth.
+	// MaxFrames bounds the call stack depth of one run.
 	MaxFrames int
 
 	fuel  uint64
 	depth int
+
+	// ctx is the reusable callback context handed to native functions.
+	ctx Ctx
+
+	// vals is the shared locals + operand-stack arena. Every frame of
+	// every (possibly nested) run occupies a contiguous region; the arena
+	// grows once and is reused for the lifetime of the machine.
+	vals []Value
+	// frames is the pooled activation-record stack, shared by nested runs.
+	frames   []frameSlot
+	frameTop int
+
+	// argBufs is a free-list of argument buffers for the slow apply path
+	// (natives, partials, arity mismatches).
+	argBufs [][]Value
 }
 
 // Default execution limits.
@@ -34,7 +55,9 @@ const (
 
 // NewMachine creates an interpreter with default limits.
 func NewMachine() *Machine {
-	return &Machine{MaxSteps: DefaultMaxSteps, MaxFrames: DefaultMaxFrames}
+	m := &Machine{MaxSteps: DefaultMaxSteps, MaxFrames: DefaultMaxFrames}
+	m.ctx.M = m
+	return m
 }
 
 // Ctx is passed to native functions so they can call back into switchlet
@@ -45,7 +68,7 @@ type Ctx struct {
 
 // Call invokes a switchlet-level function value from native code.
 func (c *Ctx) Call(fn Value, args ...Value) (Value, error) {
-	return c.M.Invoke(fn, args...)
+	return c.M.InvokeArgs(fn, args)
 }
 
 // ErrFuel is wrapped in the trap produced when an invocation exceeds
@@ -55,6 +78,15 @@ var ErrFuel = errors.New("fuel exhausted")
 // Invoke applies a callable value to args, metering execution. The fuel
 // budget covers the outermost invocation and everything it causes.
 func (m *Machine) Invoke(fn Value, args ...Value) (Value, error) {
+	return m.InvokeArgs(fn, args)
+}
+
+// InvokeArgs is Invoke without the variadic allocation: args may be a
+// caller-owned scratch buffer, which is not retained.
+func (m *Machine) InvokeArgs(fn Value, args []Value) (Value, error) {
+	if m.ctx.M == nil {
+		m.ctx.M = m // Machine built without NewMachine
+	}
 	if m.depth == 0 {
 		m.fuel = m.MaxSteps
 	}
@@ -63,22 +95,59 @@ func (m *Machine) Invoke(fn Value, args ...Value) (Value, error) {
 	return m.apply(fn, args)
 }
 
+// nativeCtx returns the shared callback context, initializing it for
+// machines constructed without NewMachine.
+func (m *Machine) nativeCtx() *Ctx {
+	if m.ctx.M == nil {
+		m.ctx.M = m
+	}
+	return &m.ctx
+}
+
+// getArgBuf returns a pooled argument buffer of length n. Callers must
+// release it with putArgBuf once no callee can reference it; every code
+// path below does, because neither run (which copies into the arena) nor
+// Partial construction (which copies) nor natives (which must not retain
+// their argument slice) keep the buffer.
+func (m *Machine) getArgBuf(n int) []Value {
+	for i := len(m.argBufs) - 1; i >= 0; i-- {
+		if cap(m.argBufs[i]) >= n {
+			buf := m.argBufs[i]
+			m.argBufs[i] = m.argBufs[len(m.argBufs)-1]
+			m.argBufs = m.argBufs[:len(m.argBufs)-1]
+			return buf[:n]
+		}
+	}
+	c := n
+	if c < 8 {
+		c = 8
+	}
+	return make([]Value, n, c)
+}
+
+func (m *Machine) putArgBuf(buf []Value) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	if len(m.argBufs) < 16 {
+		m.argBufs = append(m.argBufs, buf)
+	}
+}
+
 // apply implements the full curried application rules. Zero-parameter
-// closures (module init chunks) run when applied to zero arguments.
+// closures (module init chunks) run when applied to zero arguments, and a
+// zero-arity native applied to zero arguments executes immediately (it is
+// an exact-arity call, not an under-application).
 func (m *Machine) apply(fn Value, args []Value) (Value, error) {
 	for {
-		if c, ok := fn.(*Closure); ok && c.Chunk.NParams == len(args) {
-			return m.run(c, args)
-		}
-		if len(args) == 0 {
-			return fn, nil
-		}
 		switch f := fn.(type) {
 		case *Closure:
 			n := f.Chunk.NParams
 			switch {
 			case len(args) == n:
 				return m.run(f, args)
+			case len(args) == 0:
+				return fn, nil
 			case len(args) < n:
 				m.AllocBytes += uint64(24 + 16*len(args))
 				return &Partial{Fn: f, Args: append([]Value(nil), args...)}, nil
@@ -92,23 +161,31 @@ func (m *Machine) apply(fn Value, args []Value) (Value, error) {
 		case *Native:
 			switch {
 			case len(args) == f.Arity:
-				return f.Fn(&Ctx{M: m}, args)
+				return f.Fn(m.nativeCtx(), args)
+			case len(args) == 0:
+				return fn, nil
 			case len(args) < f.Arity:
 				m.AllocBytes += uint64(24 + 16*len(args))
 				return &Partial{Fn: f, Args: append([]Value(nil), args...)}, nil
 			default:
-				res, err := f.Fn(&Ctx{M: m}, args[:f.Arity])
+				res, err := f.Fn(m.nativeCtx(), args[:f.Arity])
 				if err != nil {
 					return nil, err
 				}
 				fn, args = res, args[f.Arity:]
 			}
 		case *Partial:
+			if len(args) == 0 {
+				return fn, nil
+			}
 			combined := make([]Value, 0, len(f.Args)+len(args))
 			combined = append(combined, f.Args...)
 			combined = append(combined, args...)
 			fn, args = f.Fn, combined
 		default:
+			if len(args) == 0 {
+				return fn, nil
+			}
 			return nil, &Trap{Msg: fmt.Sprintf("cannot apply non-function %s", FormatValue(fn))}
 		}
 	}
@@ -116,91 +193,133 @@ func (m *Machine) apply(fn Value, args []Value) (Value, error) {
 
 // handler is an installed try/with handler.
 type handler struct {
-	sp     int // operand stack depth to restore
+	sp     int // absolute arena depth to restore
 	target int // instruction index of the handler code
 }
 
-// frame is one activation record.
-type frame struct {
+// frameSlot is one pooled activation record. Locals occupy
+// vals[base:opBase] (opBase = base + NLocals) and the operand stack is
+// vals[opBase:len(vals)] while the frame is topmost. retBase is the arena
+// depth the caller's stack returns to when this frame pops (for called
+// frames that is the slot holding the callee value).
+type frameSlot struct {
 	clo      *Closure
-	locals   []Value
-	stack    []Value
+	base     int
+	opBase   int
+	retBase  int
 	ip       int
 	handlers []handler
 }
 
-// run executes a closure with exactly-matching arguments.
-func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
-	frames := make([]*frame, 0, 8)
-	push := func(c *Closure, as []Value) error {
-		if len(frames) >= m.MaxFrames {
-			return &Trap{Msg: "call stack overflow"}
-		}
-		locals := make([]Value, c.Chunk.NLocals)
-		copy(locals, as)
-		frames = append(frames, &frame{clo: c, locals: locals})
-		return nil
+// pushFrame activates c whose len(args)=c.Chunk.NParams arguments are the
+// topmost values of the arena; they become the first locals in place.
+// retBase is the arena depth to restore on return.
+func (m *Machine) pushFrame(c *Closure, nArgs, retBase int) *frameSlot {
+	base := len(m.vals) - nArgs
+	for i := nArgs; i < c.Chunk.NLocals; i++ {
+		m.vals = append(m.vals, nil)
 	}
-	if err := push(clo, args); err != nil {
-		return nil, err
+	if m.frameTop == len(m.frames) {
+		m.frames = append(m.frames, frameSlot{})
 	}
+	f := &m.frames[m.frameTop]
+	m.frameTop++
+	f.clo = c
+	f.base = base
+	f.opBase = base + c.Chunk.NLocals
+	f.retBase = retBase
+	f.ip = 0
+	f.handlers = f.handlers[:0]
+	return f
+}
 
-	// trap unwinds to the nearest handler; returns false if none exists.
-	trap := func() bool {
-		for len(frames) > 0 {
-			f := frames[len(frames)-1]
-			if n := len(f.handlers); n > 0 {
-				h := f.handlers[n-1]
-				f.handlers = f.handlers[:n-1]
-				f.stack = f.stack[:h.sp]
-				f.ip = h.target
-				return true
-			}
-			frames = frames[:len(frames)-1]
+// restore rewinds the shared stacks; deferred by run so that a panicking
+// native cannot leave the machine inconsistent.
+func (m *Machine) restore(frameFloor, valFloor int) {
+	m.frameTop = frameFloor
+	m.vals = m.vals[:valFloor]
+}
+
+// unwind pops frames down to (but not past) frameFloor until a try/with
+// handler is found; it reports whether one was.
+func (m *Machine) unwind(frameFloor int) bool {
+	for m.frameTop > frameFloor {
+		f := &m.frames[m.frameTop-1]
+		if n := len(f.handlers); n > 0 {
+			h := f.handlers[n-1]
+			f.handlers = f.handlers[:n-1]
+			m.vals = m.vals[:h.sp]
+			f.ip = h.target
+			return true
 		}
-		return false
+		m.vals = m.vals[:f.retBase]
+		m.frameTop--
 	}
+	return false
+}
+
+// run executes a closure with exactly-matching arguments. Fuel and step
+// counts are mirrored into locals (registers) for the duration of the
+// loop and flushed around every call-out, so the per-instruction cost is a
+// register decrement while Machine.Steps stays exact at every point native
+// code can observe it.
+func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
+	frameFloor := m.frameTop
+	valFloor := len(m.vals)
+	defer m.restore(frameFloor, valFloor)
+
+	if m.frameTop-frameFloor >= m.MaxFrames {
+		return nil, &Trap{Msg: "call stack overflow"}
+	}
+	m.vals = append(m.vals, args...)
+	m.pushFrame(clo, len(args), valFloor)
+
+	fuel := m.fuel
+	var steps uint64
 
 	for {
-		f := frames[len(frames)-1]
-		if f.ip >= len(f.clo.Chunk.Code) {
+		f := &m.frames[m.frameTop-1]
+		code := f.clo.Chunk.Code
+		if f.ip >= len(code) {
+			m.fuel, m.Steps = fuel, m.Steps+steps
 			return nil, &Trap{Msg: "fell off end of chunk " + f.clo.Chunk.Name}
 		}
-		ins := f.clo.Chunk.Code[f.ip]
+		ins := &code[f.ip]
 		f.ip++
-		if m.fuel == 0 {
+		if fuel == 0 {
+			m.fuel, m.Steps = 0, m.Steps+steps
 			return nil, &Trap{Msg: ErrFuel.Error()}
 		}
-		m.fuel--
-		m.Steps++
+		fuel--
+		steps++
 
 		var trapErr *Trap
 		switch ins.Op {
 		case opNop:
 		case opConstInt:
-			f.stack = append(f.stack, ins.A)
+			m.vals = append(m.vals, boxInt(ins.A))
 		case opConstStr:
-			f.stack = append(f.stack, f.clo.Mod.Obj.StrPool[ins.A])
+			m.vals = append(m.vals, f.clo.Mod.Obj.StrPool[ins.A])
 		case opConstBool:
-			f.stack = append(f.stack, ins.A != 0)
+			m.vals = append(m.vals, boxBool(ins.A != 0))
 		case opConstUnit:
-			f.stack = append(f.stack, Unit{})
+			m.vals = append(m.vals, valUnit)
 		case opLocalGet:
-			f.stack = append(f.stack, f.locals[ins.A])
+			m.vals = append(m.vals, m.vals[f.base+int(ins.A)])
 		case opLocalSet:
-			f.locals[ins.A] = f.pop()
+			m.vals[f.base+int(ins.A)] = m.pop(f.opBase)
 		case opCaptureGet:
 			if int(ins.A) >= len(f.clo.Caps) {
 				trapErr = &Trap{Msg: "capture index out of range"}
 				break
 			}
-			f.stack = append(f.stack, f.clo.Caps[ins.A])
+			m.vals = append(m.vals, f.clo.Caps[ins.A])
 		case opGlobalGet:
-			f.stack = append(f.stack, f.clo.Mod.Globals[ins.A])
+			m.vals = append(m.vals, f.clo.Mod.Globals[ins.A])
 		case opGlobalSet:
-			f.clo.Mod.Globals[ins.A] = f.pop()
+			f.clo.Mod.Globals[ins.A] = m.pop(f.opBase)
 		case opImportGet:
-			f.stack = append(f.stack, f.clo.Mod.Imports[ins.A])
+			m.vals = append(m.vals, f.clo.Mod.Imports[ins.A])
 		case opClosure:
 			spec := f.clo.Mod.Obj.CapSpecs[ins.B]
 			caps := make([]Value, len(spec))
@@ -208,11 +327,11 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 			for i, c := range spec {
 				switch c.Kind {
 				case capLocal:
-					if int(c.Idx) >= len(f.locals) {
+					if f.base+int(c.Idx) >= f.opBase {
 						trapErr = &Trap{Msg: "capture refers past frame locals"}
 						break
 					}
-					caps[i] = f.locals[c.Idx]
+					caps[i] = m.vals[f.base+int(c.Idx)]
 				case capCapture:
 					if int(c.Idx) >= len(f.clo.Caps) {
 						trapErr = &Trap{Msg: "capture refers past closure environment"}
@@ -230,62 +349,111 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 			}
 			nc.Caps = caps
 			m.AllocBytes += uint64(32 + 16*len(caps))
-			f.stack = append(f.stack, nc)
+			m.vals = append(m.vals, nc)
 		case opCall, opTailCall:
 			n := int(ins.A)
-			if len(f.stack) < n+1 {
+			if len(m.vals)-f.opBase < n+1 {
 				trapErr = &Trap{Msg: "operand stack underflow"}
 				break
 			}
-			cargs := append([]Value(nil), f.stack[len(f.stack)-n:]...)
-			fnv := f.stack[len(f.stack)-n-1]
-			f.stack = f.stack[:len(f.stack)-n-1]
+			fnv := m.vals[len(m.vals)-n-1]
 			if c, ok := fnv.(*Closure); ok && c.Chunk.NParams == n {
 				if ins.Op == opTailCall && len(f.handlers) == 0 {
-					// Reuse the current frame slot.
-					locals := make([]Value, c.Chunk.NLocals)
-					copy(locals, cargs)
-					frames[len(frames)-1] = &frame{clo: c, locals: locals}
+					// Reuse the current frame slot: slide the arguments
+					// down over the old locals and rebind.
+					copy(m.vals[f.base:], m.vals[len(m.vals)-n:])
+					m.vals = m.vals[:f.base+n]
+					for i := n; i < c.Chunk.NLocals; i++ {
+						m.vals = append(m.vals, nil)
+					}
+					f.clo = c
+					f.opBase = f.base + c.Chunk.NLocals
+					f.ip = 0
 					continue
 				}
-				if err := push(c, cargs); err != nil {
-					trapErr = err.(*Trap)
+				if m.frameTop-frameFloor >= m.MaxFrames {
+					trapErr = &Trap{Msg: "call stack overflow"}
 					break
 				}
+				// The arguments on the arena top become the callee's
+				// first locals in place; the callee slot below them is
+				// reclaimed when the frame returns (retBase).
+				m.pushFrame(c, n, len(m.vals)-n-1)
 				continue
 			}
+			if nat, ok := fnv.(*Native); ok && nat.Arity == n {
+				// Direct native call: the arguments are passed as a view
+				// of the arena top (natives must not retain the slice).
+				m.fuel, m.Steps = fuel, m.Steps+steps
+				steps = 0
+				res, err := nat.Fn(m.nativeCtx(), m.vals[len(m.vals)-n:])
+				fuel = m.fuel
+				m.vals = m.vals[:len(m.vals)-n-1]
+				if err != nil {
+					var t *Trap
+					if errors.As(err, &t) {
+						trapErr = t
+					} else {
+						m.fuel = fuel
+						return nil, err
+					}
+				} else if ins.Op == opTailCall {
+					m.vals = m.vals[:f.retBase]
+					m.frameTop--
+					if m.frameTop == frameFloor {
+						m.fuel, m.Steps = fuel, m.Steps+steps
+						return res, nil
+					}
+					m.vals = append(m.vals, res)
+					continue
+				} else {
+					m.vals = append(m.vals, res)
+				}
+				break
+			}
+			// Slow path: partials, arity mismatches, non-functions.
+			cargs := m.getArgBuf(n)
+			copy(cargs, m.vals[len(m.vals)-n:])
+			m.vals = m.vals[:len(m.vals)-n-1]
+			m.fuel, m.Steps = fuel, m.Steps+steps
+			steps = 0
 			res, err := m.apply(fnv, cargs)
+			fuel = m.fuel
+			m.putArgBuf(cargs)
 			if err != nil {
 				var t *Trap
 				if errors.As(err, &t) {
 					trapErr = t
 					break
 				}
+				m.fuel = fuel
 				return nil, err
 			}
 			if ins.Op == opTailCall {
 				// Return res from this frame.
-				frames = frames[:len(frames)-1]
-				if len(frames) == 0 {
+				m.vals = m.vals[:f.retBase]
+				m.frameTop--
+				if m.frameTop == frameFloor {
+					m.fuel, m.Steps = fuel, m.Steps+steps
 					return res, nil
 				}
-				g := frames[len(frames)-1]
-				g.stack = append(g.stack, res)
+				m.vals = append(m.vals, res)
 				continue
 			}
-			f.stack = append(f.stack, res)
+			m.vals = append(m.vals, res)
 		case opReturn:
-			res := f.pop()
-			frames = frames[:len(frames)-1]
-			if len(frames) == 0 {
+			res := m.pop(f.opBase)
+			m.vals = m.vals[:f.retBase]
+			m.frameTop--
+			if m.frameTop == frameFloor {
+				m.fuel, m.Steps = fuel, m.Steps+steps
 				return res, nil
 			}
-			g := frames[len(frames)-1]
-			g.stack = append(g.stack, res)
+			m.vals = append(m.vals, res)
 		case opJump:
 			f.ip += int(ins.A)
 		case opJumpIfFalse:
-			v := f.pop()
+			v := m.pop(f.opBase)
 			b, ok := v.(bool)
 			if !ok {
 				trapErr = &Trap{Msg: "condition is not a boolean"}
@@ -295,7 +463,7 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 				f.ip += int(ins.A)
 			}
 		case opJumpIfTrue:
-			v := f.pop()
+			v := m.pop(f.opBase)
 			b, ok := v.(bool)
 			if !ok {
 				trapErr = &Trap{Msg: "condition is not a boolean"}
@@ -305,10 +473,10 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 				f.ip += int(ins.A)
 			}
 		case opPop:
-			f.pop()
+			m.pop(f.opBase)
 		case opAdd, opSub, opMul, opDiv, opMod:
-			b, ok1 := f.pop().(int64)
-			a, ok2 := f.pop().(int64)
+			b, ok1 := m.pop(f.opBase).(int64)
+			a, ok2 := m.pop(f.opBase).(int64)
 			if !ok1 || !ok2 {
 				trapErr = &Trap{Msg: "arithmetic on non-integer"}
 				break
@@ -335,20 +503,20 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 				}
 			}
 			if trapErr == nil {
-				f.stack = append(f.stack, r)
+				m.vals = append(m.vals, boxInt(r))
 			}
 		case opConcat:
-			b, ok1 := f.pop().(string)
-			a, ok2 := f.pop().(string)
+			b, ok1 := m.pop(f.opBase).(string)
+			a, ok2 := m.pop(f.opBase).(string)
 			if !ok1 || !ok2 {
 				trapErr = &Trap{Msg: "concatenation of non-strings"}
 				break
 			}
 			m.AllocBytes += uint64(len(a) + len(b))
-			f.stack = append(f.stack, a+b)
+			m.vals = append(m.vals, a+b)
 		case opEq, opNe:
-			b := f.pop()
-			a := f.pop()
+			b := m.pop(f.opBase)
+			a := m.pop(f.opBase)
 			eq, err := valueEq(a, b)
 			if err != nil {
 				trapErr = err.(*Trap)
@@ -357,10 +525,10 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 			if ins.Op == opNe {
 				eq = !eq
 			}
-			f.stack = append(f.stack, eq)
+			m.vals = append(m.vals, boxBool(eq))
 		case opLt, opLe, opGt, opGe:
-			b := f.pop()
-			a := f.pop()
+			b := m.pop(f.opBase)
+			a := m.pop(f.opBase)
 			c, err := valueCmp(a, b)
 			if err != nil {
 				trapErr = err.(*Trap)
@@ -377,88 +545,90 @@ func (m *Machine) run(clo *Closure, args []Value) (Value, error) {
 			case opGe:
 				r = c >= 0
 			}
-			f.stack = append(f.stack, r)
+			m.vals = append(m.vals, boxBool(r))
 		case opNot:
-			v, ok := f.pop().(bool)
+			v, ok := m.pop(f.opBase).(bool)
 			if !ok {
 				trapErr = &Trap{Msg: "not of non-boolean"}
 				break
 			}
-			f.stack = append(f.stack, !v)
+			m.vals = append(m.vals, boxBool(!v))
 		case opNeg:
-			v, ok := f.pop().(int64)
+			v, ok := m.pop(f.opBase).(int64)
 			if !ok {
 				trapErr = &Trap{Msg: "negation of non-integer"}
 				break
 			}
-			f.stack = append(f.stack, -v)
+			m.vals = append(m.vals, boxInt(-v))
 		case opTuple:
 			n := int(ins.A)
-			if len(f.stack) < n {
+			if len(m.vals)-f.opBase < n {
 				trapErr = &Trap{Msg: "operand stack underflow"}
 				break
 			}
 			t := make(Tuple, n)
-			copy(t, f.stack[len(f.stack)-n:])
-			f.stack = f.stack[:len(f.stack)-n]
+			copy(t, m.vals[len(m.vals)-n:])
+			m.vals = m.vals[:len(m.vals)-n]
 			m.AllocBytes += uint64(16 * n)
-			f.stack = append(f.stack, t)
+			m.vals = append(m.vals, t)
 		case opTupleGet:
-			t, ok := f.pop().(Tuple)
+			t, ok := m.pop(f.opBase).(Tuple)
 			if !ok || int(ins.A) >= len(t) {
 				trapErr = &Trap{Msg: "tuple projection error"}
 				break
 			}
-			f.stack = append(f.stack, t[ins.A])
+			m.vals = append(m.vals, t[ins.A])
 		case opRaise:
-			msg, ok := f.pop().(string)
+			msg, ok := m.pop(f.opBase).(string)
 			if !ok {
 				msg = "raise"
 			}
 			trapErr = &Trap{Msg: msg}
 		case opPushHandler:
-			f.handlers = append(f.handlers, handler{sp: len(f.stack), target: f.ip + int(ins.A)})
+			f.handlers = append(f.handlers, handler{sp: len(m.vals), target: f.ip + int(ins.A)})
 		case opPopHandler:
 			if n := len(f.handlers); n > 0 {
 				f.handlers = f.handlers[:n-1]
 			}
 		case opRefGet:
-			r, ok := f.pop().(*Ref)
+			r, ok := m.pop(f.opBase).(*Ref)
 			if !ok {
 				trapErr = &Trap{Msg: "dereference of non-reference"}
 				break
 			}
-			f.stack = append(f.stack, r.V)
+			m.vals = append(m.vals, r.V)
 		case opRefSet:
-			v := f.pop()
-			r, ok := f.pop().(*Ref)
+			v := m.pop(f.opBase)
+			r, ok := m.pop(f.opBase).(*Ref)
 			if !ok {
 				trapErr = &Trap{Msg: "assignment to non-reference"}
 				break
 			}
 			r.V = v
-			f.stack = append(f.stack, Unit{})
+			m.vals = append(m.vals, valUnit)
 		default:
+			m.fuel, m.Steps = fuel, m.Steps+steps
 			return nil, &Trap{Msg: fmt.Sprintf("bad opcode %d", ins.Op)}
 		}
 
 		if trapErr != nil {
-			if !trap() {
+			if !m.unwind(frameFloor) {
+				m.fuel, m.Steps = fuel, m.Steps+steps
 				return nil, trapErr
 			}
 		}
 	}
 }
 
-// pop removes and returns the top of the operand stack. The compiler
-// guarantees balance; Verify guards slot indices; a nil fallback keeps a
-// corrupted object from panicking the host.
-func (f *frame) pop() Value {
-	if len(f.stack) == 0 {
+// pop removes and returns the top of the current operand stack. The
+// compiler guarantees balance; Verify guards slot indices; a nil fallback
+// keeps a corrupted object from panicking the host.
+func (m *Machine) pop(opBase int) Value {
+	if len(m.vals) <= opBase {
 		return nil
 	}
-	v := f.stack[len(f.stack)-1]
-	f.stack = f.stack[:len(f.stack)-1]
+	v := m.vals[len(m.vals)-1]
+	m.vals = m.vals[:len(m.vals)-1]
 	return v
 }
 

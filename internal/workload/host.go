@@ -35,6 +35,11 @@ type Host struct {
 	cost  netsim.CostModel
 	reasm *ipv4.Reassembler
 
+	// deliverFn/nicSendFn are the per-frame CPU completion callbacks,
+	// allocated once instead of per frame.
+	deliverFn func([]byte)
+	nicSendFn func([]byte)
+
 	neighbors map[ipv4.Addr]ethernet.MAC
 	// arpPending queues IP sends awaiting resolution, keyed by next hop.
 	arpPending map[ipv4.Addr][]pendingIP
@@ -64,6 +69,8 @@ func NewHost(sim *netsim.Sim, name string, mac ethernet.MAC, ip ipv4.Addr, cost 
 	}
 	h.NIC = netsim.NewNIC(sim, name+".eth0", mac)
 	h.NIC.SetRecv(func(_ *netsim.NIC, raw []byte) { h.receive(raw) })
+	h.deliverFn = h.deliver
+	h.nicSendFn = func(raw []byte) { h.NIC.Send(raw) }
 	return h
 }
 
@@ -81,7 +88,7 @@ func (h *Host) BindUDP(port uint16, fn func(src ipv4.Addr, srcPort uint16, paylo
 // receive is the host's input path: one stack charge per frame, then demux.
 func (h *Host) receive(raw []byte) {
 	h.FramesIn++
-	h.cpu.Exec(h.cost.HostStack(len(raw)), func() { h.deliver(raw) })
+	h.cpu.ExecBytes(h.cost.HostStack(len(raw)), h.deliverFn, raw)
 }
 
 func (h *Host) deliver(raw []byte) {
@@ -252,5 +259,5 @@ func (h *Host) SendTest(dst ethernet.MAC, payload []byte) error {
 
 func (h *Host) sendRaw(raw []byte) {
 	h.FramesOut++
-	h.cpu.Exec(h.cost.HostStack(len(raw)), func() { h.NIC.Send(raw) })
+	h.cpu.ExecBytes(h.cost.HostStack(len(raw)), h.nicSendFn, raw)
 }

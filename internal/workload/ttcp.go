@@ -25,8 +25,11 @@ type Ttcp struct {
 	Total     int64 // bytes to transfer
 	Window    int   // segments in flight
 
-	segSize   int
-	inflight  int
+	segSize int
+	// payloadScratch is reused across pump calls: SendTest copies the
+	// payload into the marshalled frame and does not retain it.
+	payloadScratch []byte
+	inflight       int
 	sent      int64
 	delivered int64
 	frames    uint64
@@ -75,7 +78,12 @@ func (t *Ttcp) pump() {
 				n = 2
 			}
 		}
-		payload := make([]byte, n)
+		if int64(cap(t.payloadScratch)) < n {
+			t.payloadScratch = make([]byte, n)
+		}
+		// Only the 2-byte length prefix is ever nonzero, so the scratch
+		// needs no re-clearing between frames.
+		payload := t.payloadScratch[:n]
 		binary.BigEndian.PutUint16(payload[0:2], uint16(n))
 		t.sent += n
 		t.inflight++
