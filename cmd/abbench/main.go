@@ -1,11 +1,17 @@
-// abbench regenerates every table and figure of the paper's evaluation and
-// prints them. With -short the slower sweeps are skipped. With -json the
-// headline numbers are emitted as machine-readable JSON instead, so the
-// performance trajectory can be tracked across PRs (BENCH_*.json).
+// abbench regenerates the tables and figures of the paper's evaluation
+// from the scenario registry and prints them.
 //
-// All virtual-time metrics are deterministic and identical on any machine;
-// the wall-clock and allocation figures in -json output measure this
-// build on this machine.
+//	-list          print every registered scenario and exit
+//	-run regexp    run only scenarios whose names match
+//	-parallel N    run N scenarios concurrently (0 = one per core);
+//	               outputs are byte-identical to serial, only faster
+//	-short         skip the slower parameter sweeps
+//	-json          emit headline numbers plus one entry per scenario as
+//	               machine-readable JSON (BENCH_*.json tracking)
+//
+// All virtual-time metrics are deterministic and identical on any machine
+// and any -parallel setting; the wall-clock and allocation figures in
+// -json output measure this build on this machine.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"github.com/switchware/activebridge/internal/experiments"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/testbed"
 )
 
@@ -32,9 +39,21 @@ type benchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// scenarioResult is one registry scenario's outcome.
+type scenarioResult struct {
+	Name string `json:"name"`
+	// Fingerprint digests the rendered virtual-time output; it must be
+	// identical across machines, runs and parallelism levels.
+	Fingerprint string `json:"fingerprint"`
+	WallNs      int64  `json:"wall_ns"`
+	OK          bool   `json:"ok"`
+	Error       string `json:"error,omitempty"`
+}
+
 type benchReport struct {
-	Schema  string        `json:"schema"`
-	Results []benchResult `json:"results"`
+	Schema    string           `json:"schema"`
+	Results   []benchResult    `json:"results"`
+	Scenarios []scenarioResult `json:"scenarios"`
 }
 
 // measure benchmarks fn with the same harness the repo's benchmarks use
@@ -50,8 +69,8 @@ func measure(fn func()) (nsPerOp, allocsPerOp float64) {
 	return float64(res.NsPerOp()), float64(res.AllocsPerOp())
 }
 
-func jsonReport(cost netsim.CostModel) benchReport {
-	rep := benchReport{Schema: "abbench/v1"}
+func headlines(cost netsim.CostModel) []benchResult {
+	var out []benchResult
 
 	var rtt netsim.Duration
 	ns, allocs := measure(func() {
@@ -59,7 +78,7 @@ func jsonReport(cost netsim.CostModel) benchReport {
 		tb.Warm()
 		rtt = tb.PingRTT(64, 10)
 	})
-	rep.Results = append(rep.Results, benchResult{
+	out = append(out, benchResult{
 		Name: "fig9_ping_latency", RTTMs: float64(rtt) / 1e6,
 		WallNsPerOp: ns, AllocsPerOp: allocs,
 	})
@@ -70,7 +89,7 @@ func jsonReport(cost netsim.CostModel) benchReport {
 		tb.Warm()
 		mbps = tb.TtcpRun(8192, 4<<20).ThroughputMbps()
 	})
-	rep.Results = append(rep.Results, benchResult{
+	out = append(out, benchResult{
 		Name: "fig10_ttcp_throughput", Mbps: mbps,
 		WallNsPerOp: ns, AllocsPerOp: allocs,
 	})
@@ -81,25 +100,93 @@ func jsonReport(cost netsim.CostModel) benchReport {
 		tb.Warm()
 		fps = tb.TtcpRun(1024, 2<<20).FramesPerSecond()
 	})
-	rep.Results = append(rep.Results, benchResult{
+	out = append(out, benchResult{
 		Name: "frame_rates_1024B", FramesPS: fps,
 		WallNsPerOp: ns, AllocsPerOp: allocs,
 	})
-	return rep
+	return out
 }
 
 func main() {
 	short := flag.Bool("short", false, "skip the slower parameter sweeps")
 	jsonOut := flag.Bool("json", false, "emit headline results as JSON (for BENCH_*.json tracking)")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	runPat := flag.String("run", "", "run only scenarios whose names match this regexp")
+	parallel := flag.Int("parallel", 1, "scenarios to run concurrently (0 = one per core)")
 	flag.Parse()
 	cost := netsim.DefaultCostModel()
 
+	experiments.RegisterAll()
+
+	if *list {
+		for _, s := range scenario.All() {
+			slow := ""
+			if s.Slow {
+				slow = " [slow]"
+			}
+			fmt.Printf("%-28s %s%s\n", s.Name, s.Desc, slow)
+		}
+		return
+	}
+
+	scs := scenario.All()
+	if *runPat != "" {
+		// An explicit -run selection wins over -short: skipping a
+		// scenario the user named would be silent success.
+		var err error
+		scs, err = scenario.Match(*runPat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abbench: %v\n", err)
+			os.Exit(2)
+		}
+		if len(scs) == 0 {
+			fmt.Fprintf(os.Stderr, "abbench: no scenario matches %q (try -list)\n", *runPat)
+			os.Exit(2)
+		}
+	} else if *short {
+		kept := scs[:0:0]
+		for _, s := range scs {
+			if !s.Slow {
+				kept = append(kept, s)
+			}
+		}
+		scs = kept
+	}
+
 	if *jsonOut {
+		results := scenario.RunAll(scs, cost, *parallel)
+		rep := benchReport{Schema: "abbench/v2"}
+		// The headline macro-benchmarks cost seconds of wall clock; only
+		// run them for full-registry reports, not a -run subset.
+		if *runPat == "" {
+			rep.Results = headlines(cost)
+		}
+		for i := range results {
+			r := &results[i]
+			sr := scenarioResult{
+				Name: r.Name, Fingerprint: r.Fingerprint,
+				WallNs: r.Wall.Nanoseconds(), OK: r.OK(),
+			}
+			if r.Err != nil {
+				sr.Error = r.Err.Error()
+			} else if r.CheckErr != nil {
+				sr.Error = "check: " + r.CheckErr.Error()
+			}
+			rep.Scenarios = append(rep.Scenarios, sr)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonReport(cost)); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			os.Exit(1)
+		}
+		// A failed scenario must fail the process in JSON mode too, so CI
+		// cannot commit a BENCH_*.json with broken entries.
+		for _, sr := range rep.Scenarios {
+			if !sr.OK {
+				fmt.Fprintf(os.Stderr, "abbench: %s: %s\n", sr.Name, sr.Error)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -108,41 +195,23 @@ func main() {
 	fmt.Println("paper: Alexander, Shaw, Nettles, Smith. MS-CIS-97-02 / SIGCOMM 1997")
 	fmt.Println()
 
-	fmt.Println(experiments.Table1Transition(cost))
-	fmt.Println(experiments.Table1Fallback(cost))
-
-	fmt.Println(experiments.Fig9PingLatency(cost))
-	fmt.Println(experiments.Fig10TtcpThroughput(cost))
-	fmt.Println(experiments.FrameRates(cost))
-	fmt.Println(experiments.LatencyDecomposition(cost))
-
-	agil, _, err := experiments.AgilityRing(cost)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "agility: %v\n", err)
+	// Stream each table as soon as it (and its predecessors) finish, so a
+	// wedged scenario is visible by name rather than as a silent terminal.
+	failed := 0
+	scenario.RunEach(scs, cost, *parallel, func(r *scenario.Result) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
+			failed++
+			return
+		}
+		fmt.Println(r.Table)
+		if r.CheckErr != nil {
+			fmt.Fprintf(os.Stderr, "%s: check failed: %v\n", r.Name, r.CheckErr)
+			failed++
+		}
+	})
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "abbench: %d of %d scenarios failed\n", failed, len(scs))
 		os.Exit(1)
 	}
-	fmt.Println(agil)
-
-	nl, err := experiments.NetworkLoad(cost)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "netload: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Println(nl)
-
-	dep, err := experiments.IncrementalDeployment(cost)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "deployment: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Println(dep)
-
-	if *short {
-		return
-	}
-	fmt.Println(experiments.Scalability(cost))
-	fmt.Println(experiments.AblationNativeVsBytecode(cost))
-	fmt.Println(experiments.AblationLearning(cost))
-	fmt.Println(experiments.AblationKernelCost(cost))
-	fmt.Println(experiments.AblationGCPressure(cost))
 }

@@ -143,8 +143,15 @@ type Bridge struct {
 	netLoader *netLoader
 }
 
+// IdentityMAC derives the bridge identity address from the id byte:
+// 02:bb:00:00:<id>:00. New and topology validation share this single
+// definition.
+func IdentityMAC(id byte) ethernet.MAC {
+	return ethernet.MAC{0x02, 0xbb, 0x00, 0x00, id, 0x00}
+}
+
 // New creates a bridge with the given number of ports. MACs are derived
-// from the id byte: bridge id is 02:bb:00:00:<id>:00 and ports share it
+// from the id byte (IdentityMAC) and ports share the identity address
 // (transparent bridges do not source data frames).
 func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostModel) *Bridge {
 	b := &Bridge{
@@ -152,7 +159,7 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 		sim:         sim,
 		cost:        cost,
 		cpu:         netsim.NewCPU(sim),
-		mac:         ethernet.MAC{0x02, 0xbb, 0x00, 0x00, id, 0x00},
+		mac:         IdentityMAC(id),
 		dstHandlers: map[ethernet.MAC]FrameHandler{},
 		timers:      map[string]*timerState{},
 	}

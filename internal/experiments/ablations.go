@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/testbed"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
 )
 
@@ -40,22 +39,28 @@ func AblationLearning(cost netsim.CostModel) *trace.Table {
 		Title:  "Ablation: dumb vs learning switchlet (frames leaked onto an uninvolved LAN)",
 		Header: []string{"switchlet", "frames on third LAN", "of total sent"},
 	}
-	run := func(load func(*bridge.Bridge) error, name string) {
-		sim := netsim.New()
-		b := bridge.New(sim, "br0", 1, 3, cost)
-		segs := make([]*netsim.Segment, 3)
-		hosts := make([]*netsim.NIC, 3)
+	run := func(kind topo.BridgeKind, name string) {
+		g := topo.New("ablation-learning")
+		bID := g.AddBridge("br0", kind, 3)
+		segs := make([]topo.SegmentID, 3)
+		taps := make([]topo.TapID, 3)
 		for i := range segs {
-			segs[i] = netsim.NewSegment(sim, fmt.Sprintf("lan%d", i+1))
-			hosts[i] = netsim.NewNIC(sim, fmt.Sprintf("h%d", i+1),
+			segs[i] = g.AddSegment(fmt.Sprintf("lan%d", i+1))
+			taps[i] = g.AddTap(fmt.Sprintf("h%d", i+1),
 				ethernet.MAC{2, 0, 0, 0, 0, byte(i + 1)})
-			hosts[i].SetRecv(func(*netsim.NIC, []byte) {})
-			segs[i].Attach(hosts[i])
-			segs[i].Attach(b.Port(i))
+			g.Link(taps[i], segs[i])
+			g.Link(bID, segs[i])
 		}
-		if err := load(b); err != nil {
+		net, err := g.Build(cost)
+		if err != nil {
 			t.AddNote("%s failed to load: %v", name, err)
 			return
+		}
+		sim := net.Sim
+		hosts := make([]*netsim.NIC, 3)
+		for i := range taps {
+			hosts[i] = net.Tap(taps[i])
+			hosts[i].SetRecv(func(*netsim.NIC, []byte) {})
 		}
 		send := func(from, to int) {
 			fr := ethernet.Frame{
@@ -79,12 +84,13 @@ func AblationLearning(cost netsim.CostModel) *trace.Table {
 			})
 		}
 		sim.Run(netsim.Time(5 * netsim.Second))
+		third := net.Segment(segs[2])
 		t.AddRow(name,
-			fmt.Sprintf("%d", segs[2].Frames),
-			fmt.Sprintf("%.0f%%", 100*float64(segs[2].Frames)/float64(exchanges)))
+			fmt.Sprintf("%d", third.Frames),
+			fmt.Sprintf("%.0f%%", 100*float64(third.Frames)/float64(exchanges)))
 	}
-	run(switchlets.LoadDumb, "dumb (repeater)")
-	run(switchlets.LoadLearning, "learning")
+	run(topo.DumbBridge, "dumb (repeater)")
+	run(topo.LearningBridge, "learning")
 	t.AddNote("the learning bridge leaks only the initial flood; the dumb bridge repeats every frame everywhere (paper §4)")
 	return t
 }

@@ -3,13 +3,12 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/icmp"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/stp"
-	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
 )
 
@@ -36,35 +35,31 @@ func AgilityRing(cost netsim.CostModel) (*trace.Table, AgilityResult, error) {
 		Title:  "§7.5 function agility (3-bridge chain, protocol switch-over)",
 		Header: []string{"metric", "measured", "paper"},
 	}
-	sim := netsim.New()
 
 	const nBridges = 3
-	segs := make([]*netsim.Segment, nBridges+1)
+	g := topo.New("agility-ring")
+	segs := make([]topo.SegmentID, nBridges+1)
 	for i := range segs {
-		segs[i] = netsim.NewSegment(sim, fmt.Sprintf("s%d", i))
+		segs[i] = g.AddSegment(fmt.Sprintf("s%d", i))
 	}
-	var bridges []*bridge.Bridge
 	for i := 0; i < nBridges; i++ {
-		b := bridge.New(sim, fmt.Sprintf("b%d", i+1), byte(i+1), 2, cost)
-		segs[i].Attach(b.Port(0))
-		segs[i+1].Attach(b.Port(1))
-		bridges = append(bridges, b)
-		for _, load := range []func(*bridge.Bridge) error{
-			switchlets.LoadLearning, switchlets.LoadDEC,
-			switchlets.LoadSpanning, switchlets.LoadControl,
-		} {
-			if err := load(b); err != nil {
-				return nil, AgilityResult{}, err
-			}
-		}
+		b := g.AddBridge(fmt.Sprintf("b%d", i+1), topo.AgilityBridge, 2)
+		g.Link(b, segs[i])
+		g.Link(b, segs[i+1])
 	}
-
 	// The measurement node: eth0 on the first segment, eth1 on the last.
-	eth0 := netsim.NewNIC(sim, "node.eth0", ethernet.MAC{2, 0, 0, 0, 0xee, 0})
-	eth1 := netsim.NewNIC(sim, "node.eth1", ethernet.MAC{2, 0, 0, 0, 0xee, 1})
+	e0 := g.AddTap("node.eth0", ethernet.MAC{2, 0, 0, 0, 0xee, 0})
+	e1 := g.AddTap("node.eth1", ethernet.MAC{2, 0, 0, 0, 0xee, 1})
+	g.Link(e0, segs[0])
+	g.Link(e1, segs[nBridges])
+
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, AgilityResult{}, err
+	}
+	sim := net.Sim
+	eth0, eth1 := net.Tap(e0), net.Tap(e1)
 	eth1.Promiscuous = true // reads all packets, like the paper's test program
-	segs[0].Attach(eth0)
-	segs[nBridges].Attach(eth1)
 
 	var res AgilityResult
 	var t0 netsim.Time

@@ -8,6 +8,7 @@ import (
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
@@ -28,45 +29,49 @@ func IncrementalDeployment(cost netsim.CostModel) (*trace.Table, error) {
 		Title:  "§5.2 incremental switchlet deployment (frontier grows one hop per step)",
 		Header: []string{"step", "target", "upload", "reachable frontier (hosts answering ping)"},
 	}
-	sim := netsim.New()
 	const n = 3
 
 	// Topology: admin -- s0 -- b1 -- s1 -- b2 -- s2 -- b3 -- s3
 	// with a probe host on every segment.
-	segs := make([]*netsim.Segment, n+1)
+	g := topo.New("incremental-deployment")
+	segs := make([]topo.SegmentID, n+1)
 	for i := range segs {
-		segs[i] = netsim.NewSegment(sim, fmt.Sprintf("s%d", i))
+		segs[i] = g.AddSegment(fmt.Sprintf("s%d", i))
 	}
-	var bridges []*bridge.Bridge
+	bIDs := make([]topo.BridgeID, n)
 	for i := 0; i < n; i++ {
-		b := bridge.New(sim, fmt.Sprintf("b%d", i+1), byte(i+1), 2, cost)
-		b.EnableNetLoader(ipv4.Addr{10, 0, 0, byte(100 + i)})
-		segs[i].Attach(b.Port(0))
-		segs[i+1].Attach(b.Port(1))
-		bridges = append(bridges, b)
+		bIDs[i] = g.AddBridge(fmt.Sprintf("b%d", i+1), topo.EmptyBridge, 2,
+			topo.WithBridgeID(byte(i+1)),
+			topo.WithNetLoader(ipv4.Addr{10, 0, 0, byte(100 + i)}))
+		g.Link(bIDs[i], segs[i])
+		g.Link(bIDs[i], segs[i+1])
 	}
-	admin := workload.NewHost(sim, "admin", ethernet.MAC{2, 0, 0, 0, 0xaa, 0},
-		ipv4.Addr{10, 0, 0, 1}, cost)
-	segs[0].Attach(admin.NIC)
-	var probes []*workload.Host
+	adminID := g.AddHost("admin",
+		topo.WithMAC(ethernet.MAC{2, 0, 0, 0, 0xaa, 0}),
+		topo.WithIP(ipv4.Addr{10, 0, 0, 1}))
+	g.Link(adminID, segs[0])
+	probeIDs := make([]topo.HostID, n+1)
 	for i := 0; i <= n; i++ {
-		p := workload.NewHost(sim, fmt.Sprintf("p%d", i), ethernet.MAC{2, 0, 0, 0, 0xbb, byte(i)},
-			ipv4.Addr{10, 0, 1, byte(i + 1)}, cost)
-		segs[i].Attach(p.NIC)
-		admin.AddNeighbor(p.IP, p.MAC)
-		p.AddNeighbor(admin.IP, admin.MAC)
-		probes = append(probes, p)
+		probeIDs[i] = g.AddHost(fmt.Sprintf("p%d", i),
+			topo.WithMAC(ethernet.MAC{2, 0, 0, 0, 0xbb, byte(i)}),
+			topo.WithIP(ipv4.Addr{10, 0, 1, byte(i + 1)}))
+		g.Link(probeIDs[i], segs[i])
 	}
-	for i, b := range bridges {
-		admin.AddNeighbor(b.NetLoaderAddr(), b.MAC())
-		_ = i
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	sim, admin := net.Sim, net.Host(adminID)
+	bridges := make([]*bridge.Bridge, n)
+	for i := range bIDs {
+		bridges[i] = net.Bridge(bIDs[i])
 	}
 
 	// reachable counts probe hosts that answer a ping from the admin.
 	reachable := func() int {
 		count := 0
-		for _, p := range probes {
-			pinger := workload.NewPinger(admin, p.IP, 32, 1)
+		for _, pid := range probeIDs {
+			pinger := workload.NewPinger(admin, net.Host(pid).IP, 32, 1)
 			pinger.Run(sim.Now() + netsim.Time(2*netsim.Second))
 			if pinger.Completed() == 1 {
 				count++

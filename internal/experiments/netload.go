@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/switchware/activebridge/internal/bridge"
-	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
@@ -23,22 +22,22 @@ func NetworkLoad(cost netsim.CostModel) (*trace.Table, error) {
 		Title:  "§5.2 network switchlet loading (TFTP over minimal UDP/IP)",
 		Header: []string{"metric", "value"},
 	}
-	sim := netsim.New()
-	b := bridge.New(sim, "br0", 1, 2, cost)
-	bridgeIP := ipv4.Addr{10, 0, 0, 100}
-	b.EnableNetLoader(bridgeIP)
-
-	lan1 := netsim.NewSegment(sim, "lan1")
-	lan2 := netsim.NewSegment(sim, "lan2")
-	h1 := workload.NewHost(sim, "h1", ethernet.MAC{2, 0, 0, 0, 0, 1}, ipv4.Addr{10, 0, 0, 1}, cost)
-	h2 := workload.NewHost(sim, "h2", ethernet.MAC{2, 0, 0, 0, 0, 2}, ipv4.Addr{10, 0, 0, 2}, cost)
-	h1.AddNeighbor(bridgeIP, b.MAC())
-	h1.AddNeighbor(h2.IP, h2.MAC)
-	h2.AddNeighbor(h1.IP, h1.MAC)
-	lan1.Attach(h1.NIC)
-	lan1.Attach(b.Port(0))
-	lan2.Attach(h2.NIC)
-	lan2.Attach(b.Port(1))
+	g := topo.New("netload")
+	bID := g.AddBridge("br0", topo.EmptyBridge, 2,
+		topo.WithNetLoader(ipv4.Addr{10, 0, 0, 100}))
+	lan1, lan2 := g.AddSegment("lan1"), g.AddSegment("lan2")
+	h1ID := g.AddHost("h1") // auto 10.0.0.1
+	h2ID := g.AddHost("h2") // auto 10.0.0.2
+	g.Link(h1ID, lan1)
+	g.Link(bID, lan1)
+	g.Link(h2ID, lan2)
+	g.Link(bID, lan2)
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	sim, b := net.Sim, net.Bridge(bID)
+	h1, h2 := net.Host(h1ID), net.Host(h2ID)
 
 	// Compile the learning switchlet against the bridge's environment.
 	obj, _, err := vm.Compile(switchlets.ModLearning, switchlets.LearningSrc, b.Loader.SigEnv())
@@ -52,7 +51,7 @@ func NetworkLoad(cost netsim.CostModel) (*trace.Table, error) {
 	sim.Run(netsim.Time(200 * netsim.Millisecond))
 	dropsBefore := b.Stats.NoHandlerDrops
 
-	up := workload.NewUploader(h1, bridgeIP, "learning.swo", enc)
+	up := workload.NewUploader(h1, b.NetLoaderAddr(), "learning.swo", enc)
 	sim.Schedule(sim.Now()+1, func() { up.Start() })
 	sim.Run(sim.Now() + netsim.Time(10*netsim.Second))
 	if !up.Done() {

@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/workload"
 )
@@ -37,30 +36,33 @@ func Scalability(cost netsim.CostModel) *trace.Table {
 }
 
 func runScalability(pairs int, cost netsim.CostModel) (aggregate, perStream, utilization float64) {
-	sim := netsim.New()
-	b := bridge.New(sim, "br", 1, 2*pairs, cost)
-	if err := switchlets.LoadLearning(b); err != nil {
-		panic("scalability: " + err.Error())
+	g := topo.New("scalability")
+	bID := g.AddBridge("br", topo.LearningBridge, 2*pairs)
+	srcs := make([]topo.HostID, pairs)
+	dsts := make([]topo.HostID, pairs)
+	for i := 0; i < pairs; i++ {
+		lanA := g.AddSegment(fmt.Sprintf("a%d", i))
+		lanB := g.AddSegment(fmt.Sprintf("b%d", i))
+		srcs[i] = g.AddHost(fmt.Sprintf("s%d", i),
+			topo.WithMAC(ethernet.MAC{2, 0, 0, 1, byte(i), 1}),
+			topo.WithIP(ipv4.Addr{10, 4, byte(i), 1}))
+		dsts[i] = g.AddHost(fmt.Sprintf("d%d", i),
+			topo.WithMAC(ethernet.MAC{2, 0, 0, 1, byte(i), 2}),
+			topo.WithIP(ipv4.Addr{10, 4, byte(i), 2}))
+		g.Link(srcs[i], lanA)
+		g.Link(bID, lanA) // bridge port 2i
+		g.Link(dsts[i], lanB)
+		g.Link(bID, lanB) // bridge port 2i+1
 	}
+	net := g.MustBuild(cost)
+	sim, b := net.Sim, net.Bridge(bID)
+
 	var ts []*workload.Ttcp
 	const perStreamBytes = 1 << 20
 	for i := 0; i < pairs; i++ {
-		lanA := netsim.NewSegment(sim, fmt.Sprintf("a%d", i))
-		lanB := netsim.NewSegment(sim, fmt.Sprintf("b%d", i))
-		src := workload.NewHost(sim, fmt.Sprintf("s%d", i),
-			ethernet.MAC{2, 0, 0, 1, byte(i), 1}, ipv4.Addr{10, 4, byte(i), 1}, cost)
-		dst := workload.NewHost(sim, fmt.Sprintf("d%d", i),
-			ethernet.MAC{2, 0, 0, 1, byte(i), 2}, ipv4.Addr{10, 4, byte(i), 2}, cost)
-		lanA.Attach(src.NIC)
-		lanA.Attach(b.Port(2 * i))
-		lanB.Attach(dst.NIC)
-		lanB.Attach(b.Port(2*i + 1))
 		// Prime the learning table in both directions.
-		mac := dst.MAC
-		srcMac := src.MAC
-		sim.Schedule(sim.Now(), func() { _ = src.SendTest(mac, []byte{0, 2}) })
-		sim.Schedule(sim.Now()+1, func() { _ = dst.SendTest(srcMac, []byte{0, 2}) })
-		ts = append(ts, workload.NewTtcp(src, dst, 8192, perStreamBytes))
+		net.ScheduleWarm(srcs[i], dsts[i], sim.Now())
+		ts = append(ts, workload.NewTtcp(net.Host(srcs[i]), net.Host(dsts[i]), 8192, perStreamBytes))
 	}
 	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
 

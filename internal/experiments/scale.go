@@ -1,0 +1,489 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/scenario"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
+	"github.com/switchware/activebridge/internal/trace"
+	"github.com/switchware/activebridge/internal/vm"
+	"github.com/switchware/activebridge/internal/workload"
+)
+
+// This file holds the large-scale scenarios that go beyond the paper's
+// measured configurations: multi-bridge fabrics the physical testbed
+// could not build, declared with the topology layer and registered like
+// every reproduced figure.
+
+// Chain16 runs a 16-bridge linear extended LAN — the paper's two-LAN
+// testbed stretched to 17 segments — and measures end-to-end latency and
+// streaming throughput. Per-hop interpretation costs add linearly in
+// RTT, while throughput stays pinned to a single interpreter's service
+// rate because the bridges pipeline.
+func Chain16(cost netsim.CostModel) (*trace.Table, error) {
+	const nBridges = 16
+	t := &trace.Table{
+		Title:  fmt.Sprintf("Scale: %d-bridge linear chain", nBridges),
+		Header: []string{"metric", "value"},
+	}
+	g := topo.New("chain16")
+	segs := make([]topo.SegmentID, nBridges+1)
+	for i := range segs {
+		segs[i] = g.AddSegment(fmt.Sprintf("s%d", i))
+	}
+	h1 := g.AddHost("")
+	h2 := g.AddHost("")
+	for i := 0; i < nBridges; i++ {
+		b := g.AddBridge("", topo.LearningBridge, 2)
+		g.Link(b, segs[i])
+		g.Link(b, segs[i+1])
+	}
+	g.Link(h1, segs[0])
+	g.Link(h2, segs[nBridges])
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	net.Warm(h1, h2)
+
+	p := workload.NewPinger(net.Host(h1), net.Host(h2).IP, 64, 5)
+	p.Run(net.Sim.Now() + netsim.Time(60*netsim.Second))
+	rtt := p.MeanRTT()
+
+	tr := workload.NewTtcp(net.Host(h1), net.Host(h2), 8192, 1<<20)
+	tr.Run(net.Sim.Now() + netsim.Time(600*netsim.Second))
+
+	t.AddRow("bridges in path", fmt.Sprintf("%d", nBridges))
+	t.AddRow("ping RTT 64B (ms)", trace.Ms(rtt))
+	t.AddRow("ttcp Mb/s (8KB writes)", trace.Mbps(tr.ThroughputMbps()))
+	t.AddRow("transfer complete", fmt.Sprintf("%v", tr.Done()))
+	t.AddNote("RTT grows ~linearly with hop count (per-hop VM cost); throughput pipelines to a single bridge's service rate")
+	return t, nil
+}
+
+// STPRing builds a 6-bridge ring — a physical loop the paper's
+// configurations never dared — running learning plus the IEEE 802.1D
+// switchlet on every bridge. The spanning tree must block exactly one
+// redundant link, after which unicast connectivity works with no
+// broadcast storm.
+func STPRing(cost netsim.CostModel) (*trace.Table, error) {
+	const nBridges = 6
+	t := &trace.Table{
+		Title:  fmt.Sprintf("Scale: %d-bridge STP ring with redundant link", nBridges),
+		Header: []string{"metric", "value"},
+	}
+	g := topo.New("stp-ring")
+	segs := make([]topo.SegmentID, nBridges)
+	for i := range segs {
+		segs[i] = g.AddSegment(fmt.Sprintf("r%d", i))
+	}
+	for i := 0; i < nBridges; i++ {
+		b := g.AddBridge("", topo.STPBridge, 2)
+		g.Link(b, segs[i])
+		g.Link(b, segs[(i+1)%nBridges])
+	}
+	h1 := g.AddHost("")
+	h2 := g.AddHost("")
+	g.Link(h1, segs[0])
+	g.Link(h2, segs[nBridges/2])
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	sim := net.Sim
+	// Cap the simulation as a storm guard: if the spanning tree failed to
+	// break the loop, the cap (not the heat death of the process) ends
+	// the run and the frame counts betray the storm.
+	sim.MaxEvents = 5_000_000
+	sim.Run(netsim.Time(45 * netsim.Second)) // protocol convergence
+
+	blocked := 0
+	for _, b := range net.Bridges() {
+		for p := 0; p < b.NumPorts(); p++ {
+			if b.PortBlocked(p) {
+				blocked++
+			}
+		}
+	}
+
+	net.Warm(h1, h2)
+	p := workload.NewPinger(net.Host(h1), net.Host(h2).IP, 64, 5)
+	p.Run(sim.Now() + netsim.Time(60*netsim.Second))
+
+	t.AddRow("bridges in ring", fmt.Sprintf("%d", nBridges))
+	t.AddRow("ports blocked by STP", fmt.Sprintf("%d", blocked))
+	t.AddRow("pings completed", fmt.Sprintf("%d/5", p.Completed()))
+	t.AddRow("ping RTT 64B (ms)", trace.Ms(p.MeanRTT()))
+	t.AddNote("the tree breaks the loop by blocking one redundant port; traffic takes the surviving path")
+	return t, nil
+}
+
+// Tree64 builds a 3-level bridged tree: one root bridge, 4 distribution
+// bridges, 16 leaf LANs and 64 hosts — the "capacity to support many
+// LANs and their associated endpoints" question of §7.4 posed as a
+// campus topology. It verifies cross-tree connectivity and that learning
+// confines a settled unicast conversation to its own subtree.
+func Tree64(cost netsim.CostModel) (*trace.Table, error) {
+	const (
+		nMids        = 4
+		leavesPerMid = 4
+		hostsPerLeaf = 4
+	)
+	t := &trace.Table{
+		Title:  "Scale: 3-level tree, 64 hosts on 16 leaf LANs",
+		Header: []string{"metric", "value"},
+	}
+	g := topo.New("tree64")
+	root := g.AddBridge("root", topo.LearningBridge, nMids)
+	trunks := make([]topo.SegmentID, nMids)
+	mids := make([]topo.BridgeID, nMids)
+	var leaves []topo.SegmentID
+	var hosts []topo.HostID
+	for m := 0; m < nMids; m++ {
+		trunks[m] = g.AddSegment(fmt.Sprintf("trunk%d", m))
+		mids[m] = g.AddBridge(fmt.Sprintf("mid%d", m), topo.LearningBridge, 1+leavesPerMid)
+		g.Link(root, trunks[m])
+		g.Link(mids[m], trunks[m])
+		for l := 0; l < leavesPerMid; l++ {
+			leaf := g.AddSegment(fmt.Sprintf("leaf%d.%d", m, l))
+			leaves = append(leaves, leaf)
+			g.Link(mids[m], leaf)
+			for h := 0; h < hostsPerLeaf; h++ {
+				id := g.AddHost("")
+				hosts = append(hosts, id)
+				g.Link(id, leaf)
+			}
+		}
+	}
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	first, last := hosts[0], hosts[len(hosts)-1]
+
+	// Settle the conversation, then measure cross-tree latency.
+	net.Warm(first, last)
+	p := workload.NewPinger(net.Host(first), net.Host(last).IP, 64, 5)
+	p.Run(net.Sim.Now() + netsim.Time(60*netsim.Second))
+
+	// An uninvolved leaf in a different subtree must see none of a
+	// settled unicast exchange.
+	bystander := net.Segment(leaves[leavesPerMid*2]) // first leaf of mid2
+	before := bystander.Frames
+	exch := workload.NewTtcp(net.Host(first), net.Host(last), 1024, 64<<10)
+	exch.Run(net.Sim.Now() + netsim.Time(60*netsim.Second))
+	leaked := bystander.Frames - before
+
+	t.AddRow("hosts", fmt.Sprintf("%d", len(hosts)))
+	t.AddRow("bridges", fmt.Sprintf("%d", 1+nMids))
+	t.AddRow("leaf LANs", fmt.Sprintf("%d", len(leaves)))
+	t.AddRow("cross-tree RTT 64B (ms)", trace.Ms(p.MeanRTT()))
+	t.AddRow("pings completed", fmt.Sprintf("%d/5", p.Completed()))
+	t.AddRow("frames leaked to uninvolved leaf", fmt.Sprintf("%d", leaked))
+	t.AddNote("after learning settles, a unicast conversation stays inside its root-path; other subtrees see nothing (paper §4)")
+	return t, nil
+}
+
+// MixedFabric chains the paper's node types — C buffered repeaters, the
+// bytecode active bridge and the native-code ablation — into one
+// heterogeneous path and measures the composition.
+func MixedFabric(cost netsim.CostModel) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Scale: mixed repeater/active-bridge fabric (5 hops)",
+		Header: []string{"metric", "value"},
+	}
+	g := topo.New("mixed-fabric")
+	segs := make([]topo.SegmentID, 5)
+	for i := range segs {
+		segs[i] = g.AddSegment(fmt.Sprintf("m%d", i))
+	}
+	h1 := g.AddHost("")
+	h2 := g.AddHost("")
+	rep0 := g.AddRepeater("")
+	br1 := g.AddBridge("", topo.LearningBridge, 2)
+	rep1 := g.AddRepeater("")
+	br2 := g.AddBridge("", topo.NativeLearningBridge, 2)
+	g.Link(h1, segs[0])
+	g.Link(rep0, segs[0])
+	g.Link(rep0, segs[1])
+	g.Link(br1, segs[1])
+	g.Link(br1, segs[2])
+	g.Link(rep1, segs[2])
+	g.Link(rep1, segs[3])
+	g.Link(br2, segs[3])
+	g.Link(br2, segs[4])
+	g.Link(h2, segs[4])
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	net.Warm(h1, h2)
+
+	p := workload.NewPinger(net.Host(h1), net.Host(h2).IP, 64, 5)
+	p.Run(net.Sim.Now() + netsim.Time(60*netsim.Second))
+	tr := workload.NewTtcp(net.Host(h1), net.Host(h2), 8192, 1<<20)
+	tr.Run(net.Sim.Now() + netsim.Time(600*netsim.Second))
+
+	t.AddRow("path", "host-rep-swl.bridge-rep-native.bridge-host")
+	t.AddRow("ping RTT 64B (ms)", trace.Ms(p.MeanRTT()))
+	t.AddRow("ttcp Mb/s (8KB writes)", trace.Mbps(tr.ThroughputMbps()))
+	t.AddRow("transfer complete", fmt.Sprintf("%v", tr.Done()))
+	t.AddNote("the slowest element — the interpreted bridge — sets the end-to-end rate; repeaters and the native bridge add latency only")
+	return t, nil
+}
+
+// HotSwap upgrades a bridge under load: a dumb (flooding) switchlet
+// carries a live ttcp stream while the learning switchlet is delivered
+// over the network loader (§5.2). The swap happens between two frames of
+// the stream; after one reverse probe re-warms the new table, the flood
+// onto an uninvolved LAN stops.
+func HotSwap(cost netsim.CostModel) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Scale: hot-swap dumb→learning under a live ttcp stream",
+		Header: []string{"metric", "value"},
+	}
+	g := topo.New("hotswap")
+	bID := g.AddBridge("br0", topo.DumbBridge, 3,
+		topo.WithNetLoader(ipv4.Addr{10, 0, 0, 100}))
+	lan1, lan2, lan3 := g.AddSegment("lan1"), g.AddSegment("lan2"), g.AddSegment("lan3")
+	h1 := g.AddHost("")
+	h2 := g.AddHost("")
+	bystander := g.AddTap("bystander", ethernet.MAC{2, 0, 0, 0, 0xcd, 1})
+	g.Link(h1, lan1)
+	g.Link(bID, lan1)
+	g.Link(h2, lan2)
+	g.Link(bID, lan2)
+	g.Link(bystander, lan3)
+	g.Link(bID, lan3)
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	sim, b := net.Sim, net.Bridge(bID)
+	net.Tap(bystander).SetRecv(func(*netsim.NIC, []byte) {})
+	third := net.Segment(lan3)
+
+	obj, _, err := vm.Compile(switchlets.ModLearning, switchlets.LearningSrc, b.Loader.SigEnv())
+	if err != nil {
+		return nil, err
+	}
+
+	tr := workload.NewTtcp(net.Host(h1), net.Host(h2), 8192, 4<<20)
+	sim.Schedule(sim.Now()+1, tr.Start)
+
+	up := workload.NewUploader(net.Host(h1), b.NetLoaderAddr(), "learning.swo", obj.Encode())
+	sim.Schedule(sim.Now()+netsim.Time(500*netsim.Millisecond), up.Start)
+
+	// Watch for the swap taking effect: snapshot the bystander LAN the
+	// instant the network load lands, then re-warm the reverse path so
+	// the fresh learning table finds h2 (the one-way stream never would).
+	var leakedBefore uint64
+	swapAt := netsim.Time(0)
+	var watch func()
+	watch = func() {
+		if b.NetLoads() > 0 {
+			leakedBefore = third.Frames
+			swapAt = sim.Now()
+			net.ScheduleWarm(h2, h1, sim.Now()+1)
+			return
+		}
+		sim.After(10*netsim.Millisecond, watch)
+	}
+	sim.Schedule(sim.Now()+2, watch)
+
+	sim.Run(sim.Now() + netsim.Time(600*netsim.Second))
+	leakedAfter := third.Frames - leakedBefore
+
+	t.AddRow("stream complete", fmt.Sprintf("%v", tr.Done()))
+	t.AddRow("ttcp Mb/s (8KB writes)", trace.Mbps(tr.ThroughputMbps()))
+	t.AddRow("switchlets loaded via network", fmt.Sprintf("%d", b.NetLoads()))
+	t.AddRow("swap at (s)", fmt.Sprintf("%.3f", swapAt.Seconds()))
+	t.AddRow("frames leaked to third LAN before swap", fmt.Sprintf("%d", leakedBefore))
+	t.AddRow("frames leaked after swap+rewarm", fmt.Sprintf("%d", leakedAfter))
+	t.AddNote("behaviour is code: the upgrade rides the same frames it will later forward, and no frame of the stream is lost")
+	return t, nil
+}
+
+// BroadcastStorm is the control experiment for STPRing: the same
+// physical loop with no spanning tree (three dumb bridges in a triangle)
+// melts down from a single broadcast. The simulator's event cap is the
+// only thing that ends it — exactly why the paper's bridges carry a
+// spanning tree switchlet.
+func BroadcastStorm(cost netsim.CostModel) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Scale: broadcast storm in an unprotected 3-bridge loop",
+		Header: []string{"metric", "value"},
+	}
+	g := topo.New("broadcast-storm")
+	segs := make([]topo.SegmentID, 3)
+	for i := range segs {
+		segs[i] = g.AddSegment(fmt.Sprintf("loop%d", i))
+	}
+	for i := 0; i < 3; i++ {
+		b := g.AddBridge("", topo.DumbBridge, 2)
+		g.Link(b, segs[i])
+		g.Link(b, segs[(i+1)%3])
+	}
+	tap := g.AddTap("storm-source", ethernet.MAC{2, 0, 0, 0, 0xdd, 1})
+	g.Link(tap, segs[0])
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	sim := net.Sim
+	const eventCap = 100_000
+	sim.MaxEvents = eventCap
+
+	fr := ethernet.Frame{Dst: ethernet.Broadcast, Src: net.Tap(tap).MAC,
+		Type: ethernet.TypeTest, Payload: make([]byte, 64)}
+	raw, err := fr.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	sim.Schedule(1, func() { net.Tap(tap).Send(raw) })
+	executed := sim.Run(netsim.Time(10 * netsim.Second))
+
+	var frames uint64
+	for _, s := range segs {
+		frames += net.Segment(s).Frames
+	}
+	t.AddRow("broadcasts injected", "1")
+	t.AddRow("events executed", fmt.Sprintf("%d (cap %d)", executed, eventCap))
+	t.AddRow("frames on the loop", fmt.Sprintf("%d", frames))
+	t.AddRow("virtual time elapsed (ms)", fmt.Sprintf("%.3f", float64(sim.Now())/1e6))
+	t.AddNote("one frame multiplies without bound and circulates at wire speed until the run is cut off; compare scale-stp-ring")
+	return t, nil
+}
+
+// registerScale registers the beyond-the-paper scenarios; called from
+// RegisterAll after the paper set so abbench prints the reproduction
+// first.
+func registerScale() {
+	scenario.Register("scale-chain16",
+		"16-bridge linear chain: latency adds per hop, throughput pipelines",
+		Chain16,
+		func(t *trace.Table) error {
+			if err := wantRows(4)(t); err != nil {
+				return err
+			}
+			if t.Rows[3][1] != "true" {
+				return fmt.Errorf("chain transfer did not complete")
+			}
+			rtt, err := cellFloat(t, 1, 1)
+			if err != nil {
+				return err
+			}
+			mbps, err := cellFloat(t, 2, 1)
+			if err != nil {
+				return err
+			}
+			if rtt <= 0 || mbps <= 0 {
+				return fmt.Errorf("degenerate chain metrics: rtt=%v mbps=%v", rtt, mbps)
+			}
+			return nil
+		})
+
+	scenario.Register("scale-stp-ring",
+		"6-bridge ring: 802.1D blocks the redundant link, traffic survives",
+		STPRing,
+		func(t *trace.Table) error {
+			if err := wantRows(4)(t); err != nil {
+				return err
+			}
+			blocked, err := cellFloat(t, 1, 1)
+			if err != nil {
+				return err
+			}
+			if blocked < 1 {
+				return fmt.Errorf("spanning tree blocked no ports: loop not broken")
+			}
+			if t.Rows[2][1] != "5/5" {
+				return fmt.Errorf("pings incomplete across ring: %s", t.Rows[2][1])
+			}
+			return nil
+		})
+
+	scenario.Register("scale-tree64",
+		"3-level tree, 64 hosts: cross-tree reachability with subtree isolation",
+		Tree64,
+		func(t *trace.Table) error {
+			if err := wantRows(6)(t); err != nil {
+				return err
+			}
+			if t.Rows[4][1] != "5/5" {
+				return fmt.Errorf("cross-tree pings incomplete: %s", t.Rows[4][1])
+			}
+			leaked, err := cellFloat(t, 5, 1)
+			if err != nil {
+				return err
+			}
+			if leaked != 0 {
+				return fmt.Errorf("settled unicast leaked %v frames into another subtree", leaked)
+			}
+			return nil
+		})
+
+	scenario.Register("scale-mixed-fabric",
+		"heterogeneous 5-hop path: repeaters + bytecode + native bridges",
+		MixedFabric,
+		func(t *trace.Table) error {
+			if err := wantRows(4)(t); err != nil {
+				return err
+			}
+			if t.Rows[3][1] != "true" {
+				return fmt.Errorf("fabric transfer did not complete")
+			}
+			return nil
+		})
+
+	scenario.Register("scale-hotswap",
+		"dumb→learning switchlet swap under a live ttcp stream (§5.2 loader)",
+		HotSwap,
+		func(t *trace.Table) error {
+			if err := wantRows(6)(t); err != nil {
+				return err
+			}
+			if t.Rows[0][1] != "true" {
+				return fmt.Errorf("stream did not survive the swap")
+			}
+			if t.Rows[2][1] != "1" {
+				return fmt.Errorf("expected exactly one network load, got %s", t.Rows[2][1])
+			}
+			before, err := cellFloat(t, 4, 1)
+			if err != nil {
+				return err
+			}
+			after, err := cellFloat(t, 5, 1)
+			if err != nil {
+				return err
+			}
+			if before < 10 {
+				return fmt.Errorf("dumb phase leaked only %v frames; stream not flooding as expected", before)
+			}
+			if after >= before/2 {
+				return fmt.Errorf("swap did not contain the flood: %v leaked after vs %v before", after, before)
+			}
+			return nil
+		})
+
+	scenario.Register("scale-broadcast-storm",
+		"control for stp-ring: the same loop with no spanning tree melts down",
+		BroadcastStorm,
+		func(t *trace.Table) error {
+			if err := wantRows(4)(t); err != nil {
+				return err
+			}
+			frames, err := cellFloat(t, 2, 1)
+			if err != nil {
+				return err
+			}
+			if frames < 1000 {
+				return fmt.Errorf("expected a storm (>1000 frames from one broadcast), got %v", frames)
+			}
+			return nil
+		})
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
 )
 
@@ -25,34 +26,34 @@ type TransitionNet struct {
 // returns the network ready for injection. spanningSrc lets callers choose
 // the correct or the deliberately buggy 802.1D implementation.
 func NewTransitionNet(n int, spanningSrc string, cost netsim.CostModel) (*TransitionNet, error) {
-	tn := &TransitionNet{Sim: netsim.New()}
-	segs := make([]*netsim.Segment, n+1)
+	tn := &TransitionNet{}
+	sink := func(at netsim.Time, br, msg string) {
+		tn.Logs = append(tn.Logs, fmt.Sprintf("%8.3fs %s: %s", at.Seconds(), br, msg))
+	}
+	g := topo.New("transition")
+	segs := make([]topo.SegmentID, n+1)
 	for i := range segs {
-		segs[i] = netsim.NewSegment(tn.Sim, fmt.Sprintf("lan%d", i))
+		segs[i] = g.AddSegment(fmt.Sprintf("lan%d", i))
 	}
+	bIDs := make([]topo.BridgeID, n)
 	for i := 0; i < n; i++ {
-		b := bridge.New(tn.Sim, fmt.Sprintf("b%d", i+1), byte(i+1), 2, cost)
-		b.LogSink = func(at netsim.Time, br, msg string) {
-			tn.Logs = append(tn.Logs, fmt.Sprintf("%8.3fs %s: %s", at.Seconds(), br, msg))
-		}
-		segs[i].Attach(b.Port(0))
-		segs[i+1].Attach(b.Port(1))
-		tn.Bridges = append(tn.Bridges, b)
-		if err := switchlets.LoadLearning(b); err != nil {
-			return nil, err
-		}
-		if err := switchlets.LoadDEC(b); err != nil {
-			return nil, err
-		}
-		if err := b.CompileAndLoad(switchlets.ModSpanning, spanningSrc); err != nil {
-			return nil, err
-		}
-		if err := switchlets.LoadControl(b); err != nil {
-			return nil, err
-		}
+		bIDs[i] = g.AddBridge(fmt.Sprintf("b%d", i+1), topo.AgilityBridge, 2,
+			topo.WithSpanningSrc(spanningSrc),
+			topo.WithLogSink(sink))
+		g.Link(bIDs[i], segs[i])
+		g.Link(bIDs[i], segs[i+1])
 	}
-	tn.Injector = netsim.NewNIC(tn.Sim, "injector", ethernet.MAC{2, 0, 0, 0, 0, 0x99})
-	segs[0].Attach(tn.Injector)
+	inj := g.AddTap("injector", ethernet.MAC{2, 0, 0, 0, 0, 0x99})
+	g.Link(inj, segs[0])
+	net, err := g.Build(cost)
+	if err != nil {
+		return nil, err
+	}
+	tn.Sim = net.Sim
+	for _, id := range bIDs {
+		tn.Bridges = append(tn.Bridges, net.Bridge(id))
+	}
+	tn.Injector = net.Tap(inj)
 	return tn, nil
 }
 

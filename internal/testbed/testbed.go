@@ -5,15 +5,20 @@
 //
 // where node is the active bridge (swl switchlets), the active bridge with
 // native-code switchlets (ablation), or the C buffered repeater.
+//
+// It is a thin wrapper over the declarative topology layer
+// (internal/topo): the four Paths are just four small graphs. Arbitrary
+// multi-bridge extended LANs are declared directly with topo.
 package testbed
 
 import (
+	"fmt"
+
 	"github.com/switchware/activebridge/internal/baseline"
 	"github.com/switchware/activebridge/internal/bridge"
-	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -30,10 +35,34 @@ const (
 
 var pathNames = [...]string{"direct", "repeater", "active-bridge", "native-bridge"}
 
-func (p Path) String() string { return pathNames[p] }
+// Paths lists every measured configuration in presentation order.
+var Paths = []Path{Direct, Repeater, ActiveBridge, NativeBridge}
+
+// Valid reports whether p names a measured configuration.
+func (p Path) Valid() bool { return p >= 0 && int(p) < len(pathNames) }
+
+func (p Path) String() string {
+	if !p.Valid() {
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+	return pathNames[p]
+}
+
+// ParsePath resolves a configuration name (as printed by String) to its
+// Path, for CLI flag parsing.
+func ParsePath(s string) (Path, error) {
+	for i, name := range pathNames {
+		if s == name {
+			return Path(i), nil
+		}
+	}
+	return 0, fmt.Errorf("testbed: unknown path %q (want one of %v)", s, pathNames[:])
+}
 
 // Testbed is a wired two-host measurement network.
 type Testbed struct {
+	// Net is the materialized topology; Sim aliases Net.Sim.
+	Net    *topo.Net
 	Sim    *netsim.Sim
 	Cost   netsim.CostModel
 	H1, H2 *workload.Host
@@ -42,71 +71,72 @@ type Testbed struct {
 	Bridge *bridge.Bridge
 	// Rep is set for the Repeater path.
 	Rep *baseline.Repeater
+
+	h1, h2 topo.HostID
 }
 
-// Addresses of the two hosts.
+// Addresses of the two hosts (the topo auto-assignment for hosts 1 and 2).
 var (
 	H1IP = ipv4.Addr{10, 0, 0, 1}
 	H2IP = ipv4.Addr{10, 0, 0, 2}
-	h1M  = ethernet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
-	h2M  = ethernet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
 )
 
 // New builds the configuration. An error can only come from switchlet
 // compilation, which is deterministic; it panics because it means the
 // shipped sources are broken.
 func New(path Path, cost netsim.CostModel) *Testbed {
-	sim := netsim.New()
-	tb := &Testbed{Sim: sim, Cost: cost}
-	tb.H1 = workload.NewHost(sim, "h1", h1M, H1IP, cost)
-	tb.H2 = workload.NewHost(sim, "h2", h2M, H2IP, cost)
-	tb.H1.AddNeighbor(H2IP, h2M)
-	tb.H2.AddNeighbor(H1IP, h1M)
-
+	g := topo.New("testbed-" + path.String())
+	h1 := g.AddHost("h1") // auto: 02:00:00:00:00:01 / 10.0.0.1
+	h2 := g.AddHost("h2") // auto: 02:00:00:00:00:02 / 10.0.0.2
+	var (
+		brID  topo.BridgeID
+		repID topo.RepeaterID
+	)
 	switch path {
 	case Direct:
-		lan := netsim.NewSegment(sim, "lan")
-		lan.Attach(tb.H1.NIC)
-		lan.Attach(tb.H2.NIC)
+		lan := g.AddSegment("lan")
+		g.Link(h1, lan)
+		g.Link(h2, lan)
 	case Repeater:
-		lan1 := netsim.NewSegment(sim, "lan1")
-		lan2 := netsim.NewSegment(sim, "lan2")
-		tb.Rep = baseline.NewRepeater(sim, "rep", cost)
-		lan1.Attach(tb.H1.NIC)
-		lan1.Attach(tb.Rep.Port(0))
-		lan2.Attach(tb.H2.NIC)
-		lan2.Attach(tb.Rep.Port(1))
+		lan1, lan2 := g.AddSegment("lan1"), g.AddSegment("lan2")
+		repID = g.AddRepeater("rep")
+		g.Link(h1, lan1)
+		g.Link(repID, lan1)
+		g.Link(h2, lan2)
+		g.Link(repID, lan2)
 	case ActiveBridge, NativeBridge:
-		lan1 := netsim.NewSegment(sim, "lan1")
-		lan2 := netsim.NewSegment(sim, "lan2")
-		tb.Bridge = bridge.New(sim, "br0", 1, 2, cost)
-		lan1.Attach(tb.H1.NIC)
-		lan1.Attach(tb.Bridge.Port(0))
-		lan2.Attach(tb.H2.NIC)
-		lan2.Attach(tb.Bridge.Port(1))
-		if path == ActiveBridge {
-			if err := switchlets.LoadLearning(tb.Bridge); err != nil {
-				panic("testbed: learning switchlet failed to load: " + err.Error())
-			}
-		} else {
-			switchlets.InstallNativeLearning(tb.Bridge)
+		kind := topo.LearningBridge
+		if path == NativeBridge {
+			kind = topo.NativeLearningBridge
 		}
+		lan1, lan2 := g.AddSegment("lan1"), g.AddSegment("lan2")
+		brID = g.AddBridge("br0", kind, 2)
+		g.Link(h1, lan1)
+		g.Link(brID, lan1)
+		g.Link(h2, lan2)
+		g.Link(brID, lan2)
+	default:
+		panic("testbed: unknown path " + path.String())
+	}
+	net := g.MustBuild(cost)
+	tb := &Testbed{
+		Net: net, Sim: net.Sim, Cost: cost,
+		H1: net.Host(h1), H2: net.Host(h2),
+		h1: h1, h2: h2,
+	}
+	switch path {
+	case Repeater:
+		tb.Rep = net.Repeater(repID)
+	case ActiveBridge, NativeBridge:
+		tb.Bridge = net.Bridge(brID)
 	}
 	return tb
 }
 
-// Warm primes the learning table (and any caches) with one frame in each
-// direction so measurements see steady state, then returns.
-func (tb *Testbed) Warm() {
-	tb.Sim.Schedule(tb.Sim.Now(), func() {
-		_ = tb.H1.SendTest(tb.H2.MAC, []byte{0, 2})
-	})
-	tb.Sim.Run(tb.Sim.Now() + netsim.Time(50*netsim.Millisecond))
-	tb.Sim.Schedule(tb.Sim.Now(), func() {
-		_ = tb.H2.SendTest(tb.H1.MAC, []byte{0, 2})
-	})
-	tb.Sim.Run(tb.Sim.Now() + netsim.Time(50*netsim.Millisecond))
-}
+// Warm primes the learning table (and any caches) with one probe in each
+// direction so measurements see steady state. It routes through the topo
+// warm-up helper, so every scenario warms identically (topo.WarmProbe).
+func (tb *Testbed) Warm() { tb.Net.Warm(tb.h1, tb.h2) }
 
 // Fingerprint is the determinism-relevant state of a finished experiment:
 // if any optimization changes scheduling order, interpreter accounting or

@@ -6,6 +6,41 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 )
 
+func TestPathStringBounds(t *testing.T) {
+	for p, want := range map[Path]string{
+		Direct: "direct", Repeater: "repeater",
+		ActiveBridge: "active-bridge", NativeBridge: "native-bridge",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Path(%d).String() = %q, want %q", int(p), got, want)
+		}
+		if !p.Valid() {
+			t.Errorf("Path(%d) should be valid", int(p))
+		}
+	}
+	// Out-of-range values must render, not panic.
+	for _, p := range []Path{Path(-1), Path(4), Path(99)} {
+		if p.Valid() {
+			t.Errorf("Path(%d) should be invalid", int(p))
+		}
+		if got := p.String(); got == "" {
+			t.Errorf("Path(%d).String() = empty", int(p))
+		}
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	for _, p := range Paths {
+		got, err := ParsePath(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePath(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParsePath("warp-drive"); err == nil {
+		t.Error("ParsePath should reject unknown names")
+	}
+}
+
 func TestPingCompletesOnAllPaths(t *testing.T) {
 	for _, p := range []Path{Direct, Repeater, ActiveBridge, NativeBridge} {
 		tb := New(p, netsim.DefaultCostModel())
