@@ -29,6 +29,7 @@ logs
 load br0 learning
 load br0 spanning
 run 35s
+switchlets br0
 ping h1 h2 64 10
 ttcp h1 h2 8192 4194304
 stats

@@ -7,11 +7,13 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/testbed"
 	"github.com/switchware/activebridge/internal/workload"
+	ab "github.com/switchware/activebridge/pkg/activebridge"
 )
 
 // monitorSrc taps the data path: it records per-source byte counts, then
@@ -103,12 +105,44 @@ let _ = Bridge.set_handler handle
 let _ = Log.log "learning (tappable) installed"
 `
 
+// tappableSwitchlet is the hand-written forwarder's manifest: a custom
+// switchlet authored on the spot still declares what it needs.
+func tappableSwitchlet() ab.Switchlet {
+	return ab.Switchlet{
+		Name:         "Tappable",
+		Version:      ab.MustParseVersion("1.0.0"),
+		Capabilities: []ab.Capability{ab.CapLog, ab.CapFuncs, ab.CapNet, ab.CapDemux},
+		Handlers:     []string{"learning.handle"},
+		Source:       learningTapSrc,
+	}
+}
+
+// monitorSwitchlet is the diagnostic tap's manifest. Note the narrow
+// grant: without CapNet the monitor cannot import the network module, so
+// it has no direct send access — the only way its frames go anywhere is
+// through functions other switchlets chose to register (here,
+// "learning.handle"), which is exactly the composition on display. It
+// owns the data path while installed, and declares so.
+func monitorSwitchlet() ab.Switchlet {
+	return ab.Switchlet{
+		Name:         "Monitor",
+		Version:      ab.MustParseVersion("0.1.0"),
+		Capabilities: []ab.Capability{ab.CapLog, ab.CapFuncs, ab.CapDemux},
+		Handlers:     []string{"monitor.report"},
+		OwnsDataPath: true,
+		Source:       monitorSrc,
+	}
+}
+
 func main() {
 	cost := netsim.DefaultCostModel()
 	tb := testbed.New(testbed.ActiveBridge, cost)
+	mgr := tb.Bridge.Manager()
 	// Replace the stock learning switchlet's data path with the tappable
 	// variant (handler replacement is the active-network party trick).
-	must(tb.Bridge.CompileAndLoad("Tappable", learningTapSrc))
+	if _, err := mgr.Install(tappableSwitchlet()); err != nil {
+		panic(err)
+	}
 	tb.Bridge.LogSink = func(at netsim.Time, b, msg string) {
 		fmt.Printf("[%8.3fs] %s: %s\n", at.Seconds(), b, msg)
 	}
@@ -119,19 +153,29 @@ func main() {
 	fmt.Printf("transfer 1: %.1f Mb/s (no monitor loaded)\n\n", tr.ThroughputMbps())
 
 	fmt.Println("== operator inserts the diagnostic switchlet, live ==")
-	must(tb.Bridge.CompileAndLoad("Monitor", monitorSrc))
+	if _, err := mgr.Install(monitorSwitchlet()); err != nil {
+		panic(err)
+	}
 	tr2 := workload.NewTtcp(tb.H2, tb.H1, 1024, 256<<10)
 	tr2.Run(tb.Sim.Now() + netsim.Time(60*netsim.Second))
 	fmt.Printf("transfer 2: %.1f Mb/s (monitor tapping the path)\n\n", tr2.ThroughputMbps())
 
-	fmt.Println("== per-station report, fetched through Func ==")
-	fn, ok := tb.Bridge.Funcs.Lookup("monitor.report")
-	if !ok {
-		panic("monitor.report not registered")
-	}
-	v, err := tb.Bridge.Machine.Invoke(fn, "")
+	fmt.Println("== per-station report, fetched through the Manager ==")
+	report, err := mgr.Query("monitor.report", "")
 	must(err)
-	fmt.Print(v.(string))
+	fmt.Print(report)
+
+	fmt.Println("\n== operator removes the diagnostic switchlet again ==")
+	must(mgr.Uninstall("Monitor"))
+	if _, err := mgr.Query("monitor.report", ""); errors.Is(err, ab.ErrNoSuchFunc) {
+		fmt.Println("monitor.report unregistered; Monitor is out of the namespace")
+	}
+	// The manifest declared OwnsDataPath, so the uninstall released the
+	// monitor's claim on the default handler too: the node forwards
+	// nothing until behaviour is installed again — revocation is
+	// explicit, never implicit.
+	fmt.Printf("default handler after uninstall: %q (drops until new behaviour loads)\n",
+		tb.Bridge.DefaultHandlerName())
 
 	fmt.Println("\n(the tap costs interpreter time: the transfer slowed while monitored —")
 	fmt.Println(" exactly the active-networks trade the paper quantifies)")

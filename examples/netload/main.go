@@ -2,19 +2,22 @@
 // compiles a switchlet, then writes it to the bridge's TFTP server over
 // minimal UDP/IP on the simulated LAN; the bridge loads it on receipt.
 // A second upload with a forged interface digest is rejected at link time
-// and the TFTP client receives the error.
+// and the TFTP client receives the error. A third switchlet never leaves
+// the operator's machine: its manifest undeclares a capability its code
+// imports, and Manager.Compile refuses to produce the object at all.
 package main
 
 import (
+	"errors"
 	"fmt"
 
-	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/experiments"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
+	ab "github.com/switchware/activebridge/pkg/activebridge"
 )
 
 func main() {
@@ -27,7 +30,7 @@ func main() {
 
 	fmt.Println("== and the security path: uploading a forged switchlet ==")
 	sim := netsim.New()
-	b := bridge.New(sim, "br0", 1, 2, cost)
+	b := ab.NewBridge(sim, "br0", 1, 2, cost)
 	b.LogSink = func(at netsim.Time, br, msg string) {
 		fmt.Printf("  [%s] %s\n", br, msg)
 	}
@@ -59,4 +62,23 @@ func main() {
 	fmt.Printf("  upload done=%v err=%v\n", up.Done(), up.Err())
 	fmt.Printf("  bridge loaded modules: %v (Evil is not among them)\n", b.Loader.Modules())
 	fmt.Printf("  load errors recorded: %d\n", b.Loader.LoadErrors)
+
+	fmt.Println("\n== and the capability gate: the object is never even produced ==")
+	sneaky := ab.Switchlet{
+		Name:    "Sneaky",
+		Version: ab.MustParseVersion("0.0.1"),
+		// Claims to be a passive logger...
+		Capabilities: []ab.Capability{ab.CapLog},
+		// ...but its code wants the network.
+		Source: `
+let _ = Log.log "just logging, honest"
+let _ = Unixnet.send_pkt_out 0 "........injected frame"`,
+	}
+	_, cerr := b.Manager().Compile(sneaky)
+	var capErr *ab.CapabilityError
+	if errors.As(cerr, &capErr) {
+		fmt.Printf("  Manager.Compile refused: %v\n", cerr)
+	} else {
+		fmt.Printf("  unexpected: %v\n", cerr)
+	}
 }

@@ -1,43 +1,43 @@
 // Quickstart: build the paper's Figure 7 network (two 100 Mb/s LANs joined
-// by an Active Bridge), then upgrade the node on the fly — buffered
-// repeater, self-learning bridge, 802.1D spanning tree — and watch traffic
-// behaviour change with each loaded switchlet.
+// by an Active Bridge) using only the public SDK (pkg/activebridge), then
+// upgrade the node on the fly — buffered repeater, self-learning bridge,
+// 802.1D spanning tree — and watch traffic behaviour change with each
+// installed switchlet manifest.
 package main
 
 import (
 	"fmt"
+	"strings"
 
-	"github.com/switchware/activebridge/internal/bridge"
-	"github.com/switchware/activebridge/internal/ethernet"
-	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/switchlets"
+	ab "github.com/switchware/activebridge/pkg/activebridge"
 )
 
 func main() {
-	sim := netsim.New()
-	cost := netsim.DefaultCostModel()
+	sim := ab.NewSim()
+	cost := ab.DefaultCostModel()
 
 	// One bridge, three LANs, one host on each.
-	br := bridge.New(sim, "br0", 1, 3, cost)
-	br.LogSink = func(at netsim.Time, b, msg string) {
+	br := ab.NewBridge(sim, "br0", 1, 3, cost)
+	br.LogSink = func(at ab.Time, b, msg string) {
 		fmt.Printf("  [%8.3fs] %s: %s\n", at.Seconds(), b, msg)
 	}
-	var segs []*netsim.Segment
-	var hosts []*netsim.NIC
+	mgr := br.Manager()
+	var segs []*ab.Segment
+	var hosts []*ab.NIC
 	received := make([]int, 3)
 	for i := 0; i < 3; i++ {
-		seg := netsim.NewSegment(sim, fmt.Sprintf("lan%d", i+1))
-		nic := netsim.NewNIC(sim, fmt.Sprintf("h%d", i+1), ethernet.MAC{2, 0, 0, 0, 0, byte(i + 1)})
+		seg := ab.NewSegment(sim, fmt.Sprintf("lan%d", i+1))
+		nic := ab.NewNIC(sim, fmt.Sprintf("h%d", i+1), ab.MAC{2, 0, 0, 0, 0, byte(i + 1)})
 		idx := i
-		nic.SetRecv(func(*netsim.NIC, []byte) { received[idx]++ })
+		nic.SetRecv(func(*ab.NIC, []byte) { received[idx]++ })
 		seg.Attach(nic)
 		seg.Attach(br.Port(i))
 		segs = append(segs, seg)
 		hosts = append(hosts, nic)
 	}
 	send := func(from, to int) {
-		fr := ethernet.Frame{Dst: hosts[to].MAC, Src: hosts[from].MAC,
-			Type: ethernet.TypeTest, Payload: make([]byte, 100)}
+		fr := ab.Frame{Dst: hosts[to].MAC, Src: hosts[from].MAC,
+			Type: ab.TypeTest, Payload: make([]byte, 100)}
 		raw, err := fr.Marshal()
 		if err != nil {
 			panic(err)
@@ -47,57 +47,57 @@ func main() {
 	segFrames := func() [3]uint64 {
 		return [3]uint64{segs[0].Frames, segs[1].Frames, segs[2].Frames}
 	}
+	install := func(sw ab.Switchlet) {
+		if _, err := mgr.Install(sw); err != nil {
+			panic(err)
+		}
+	}
 
 	fmt.Println("== 1. A bare active bridge forwards nothing (behaviour is code) ==")
 	sim.Schedule(sim.Now()+1, func() { send(0, 1) })
-	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+	sim.Run(sim.Now() + ab.Time(100*ab.Millisecond))
 	fmt.Printf("  h2 received: %d frames (bridge has no switchlet)\n\n", received[1])
 
-	fmt.Println("== 2. Load the dumb switchlet: a programmable buffered repeater ==")
-	must(switchlets.LoadDumb(br))
+	fmt.Println("== 2. Install the dumb switchlet: a programmable buffered repeater ==")
+	install(ab.DumbSwitchlet())
 	before := segFrames()
 	sim.Schedule(sim.Now()+1, func() { send(0, 1) })
-	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+	sim.Run(sim.Now() + ab.Time(100*ab.Millisecond))
 	after := segFrames()
 	fmt.Printf("  h2 received: %d; frames repeated onto lan3 too: %d (floods everywhere)\n\n",
 		received[1], after[2]-before[2])
 
-	fmt.Println("== 3. Load the learning switchlet: it replaces the switching function ==")
-	must(switchlets.LoadLearning(br))
+	fmt.Println("== 3. Install the learning switchlet: it replaces the switching function ==")
+	install(ab.LearningSwitchlet())
 	// h2 talks back so the bridge learns both stations.
 	sim.Schedule(sim.Now()+1, func() { send(1, 0) })
-	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+	sim.Run(sim.Now() + ab.Time(100*ab.Millisecond))
 	before = segFrames()
 	sim.Schedule(sim.Now()+1, func() { send(0, 1) })
-	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+	sim.Run(sim.Now() + ab.Time(100*ab.Millisecond))
 	after = segFrames()
 	fmt.Printf("  h2 received: %d; leakage onto lan3 this time: %d (learned!)\n\n",
 		received[1], after[2]-before[2])
 
-	fmt.Println("== 4. Load the 802.1D switchlet: a fully functional bridge ==")
-	must(switchlets.LoadSpanning(br))
+	fmt.Println("== 4. Install the 802.1D switchlet: a fully functional bridge ==")
+	install(ab.SpanningSwitchlet())
 	fmt.Println("  ports walk blocking -> listening -> learning -> forwarding (2 x 15 s):")
 	loadedAt := sim.Now()
-	for _, at := range []netsim.Duration{2 * netsim.Second, 17 * netsim.Second, 32 * netsim.Second} {
+	for _, at := range []ab.Duration{2 * ab.Second, 17 * ab.Second, 32 * ab.Second} {
 		sim.Run(loadedAt.Add(at))
 		fmt.Printf("  t+%-4v port0 blocked=%v\n", at, br.PortBlocked(0))
 	}
 	before = segFrames()
 	sim.Schedule(sim.Now()+1, func() { send(0, 1) })
-	sim.Run(sim.Now() + netsim.Time(200*netsim.Millisecond))
+	sim.Run(sim.Now() + ab.Time(200*ab.Millisecond))
 	after = segFrames()
 	fmt.Printf("  traffic flows again after the tree converges: lan2 frames +%d\n\n", after[1]-before[1])
 
-	fmt.Println("== 5. The loaded module stack ==")
-	for _, m := range br.Loader.Modules() {
-		fmt.Printf("  %s\n", m)
+	fmt.Println("== 5. The installed switchlet stack, from the Manager ==")
+	for _, inst := range mgr.List() {
+		fmt.Printf("  %-16s caps=[%s]\n", inst.Manifest.Ref(),
+			strings.Join(inst.Manifest.CapabilityNames(), ","))
 	}
 	fmt.Printf("\nstats: in=%d delivered=%d sent=%d traps=%d\n",
 		br.Stats.FramesIn, br.Stats.FramesDelivered, br.Stats.FramesSent, br.Stats.HandlerTraps)
-}
-
-func must(err error) {
-	if err != nil {
-		panic(err)
-	}
 }

@@ -97,6 +97,9 @@ type Bridge struct {
 	Loader  *vm.Loader
 	Funcs   *env.FuncRegistry
 
+	// manager is the lazily created switchlet lifecycle manager.
+	manager *Manager
+
 	defaultHandler FrameHandler
 	dstHandlers    map[ethernet.MAC]FrameHandler
 	// unicastDsts counts non-multicast registrations in dstHandlers. In
@@ -198,21 +201,22 @@ func (b *Bridge) Sim() *netsim.Sim { return b.sim }
 // CostModel returns the node's cost model.
 func (b *Bridge) CostModel() netsim.CostModel { return b.cost }
 
-// --- env.Host implementation -----------------------------------------------
+// --- env.Env implementation -------------------------------------------------
 
-// NumPorts implements env.Host.
+// NumPorts implements env.NetPorts.
 func (b *Bridge) NumPorts() int { return len(b.ports) }
 
-// Send implements env.Host: queue a frame for transmission. During a
+// Send implements env.NetPorts: queue a frame for transmission. During a
 // dispatch the send is collected and charged as part of the frame path;
 // outside dispatch (shouldn't happen from switchlet code) it is sent
-// directly.
+// directly. Failures are the typed sentinels ErrNoSuchPort,
+// ErrFrameTooLong and ErrFrameTooShort.
 func (b *Bridge) Send(port int, data string, ctl bool) error {
 	if port < 0 || port >= len(b.ports) {
-		return fmt.Errorf("no such port %d", port)
+		return fmt.Errorf("%w %d", ErrNoSuchPort, port)
 	}
 	if len(data) > ethernet.MaxFrameLen {
-		return fmt.Errorf("frame too long (%d bytes)", len(data))
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLong, len(data))
 	}
 	if b.ports[port].Segment() == nil {
 		return nil // link down: drop, as a real driver would
@@ -261,7 +265,7 @@ func normalizeFrame(data []byte) ([]byte, error) {
 		return data, nil
 	}
 	if len(data) < ethernet.HeaderLen {
-		return nil, fmt.Errorf("frame shorter than an Ethernet header")
+		return nil, ErrFrameTooShort
 	}
 	f = ethernet.Frame{}
 	copy(f.Dst[:], data[0:6])
@@ -271,30 +275,30 @@ func normalizeFrame(data []byte) ([]byte, error) {
 	return f.Marshal()
 }
 
-// PortUp implements env.Host.
+// PortUp implements env.NetPorts.
 func (b *Bridge) PortUp(port int) bool {
 	return port >= 0 && port < len(b.ports) && b.ports[port].Segment() != nil
 }
 
-// SetPortBlock implements env.Host.
+// SetPortBlock implements env.NetPorts.
 func (b *Bridge) SetPortBlock(port int, blocked bool) {
 	if port >= 0 && port < len(b.blocked) {
 		b.blocked[port] = blocked
 	}
 }
 
-// PortBlocked implements env.Host.
+// PortBlocked implements env.NetPorts.
 func (b *Bridge) PortBlocked(port int) bool {
 	return port >= 0 && port < len(b.blocked) && b.blocked[port]
 }
 
-// BridgeID implements env.Host.
+// BridgeID implements env.NetPorts.
 func (b *Bridge) BridgeID() string { return string(b.mac[:]) }
 
-// NowMicros implements env.Host.
+// NowMicros implements env.Clock.
 func (b *Bridge) NowMicros() int64 { return int64(b.sim.Now()) / 1000 }
 
-// SetHandler implements env.Host: replace the default frame handler (how
+// SetHandler implements env.Demux: replace the default frame handler (how
 // the learning switchlet "replaces the switching function from the dumb
 // bridge").
 func (b *Bridge) SetHandler(fn vm.Value) {
@@ -306,26 +310,22 @@ func (b *Bridge) SetNativeHandler(name string, fn func(data []byte, inPort int))
 	b.defaultHandler = FrameHandler{Native: fn, Name: name}
 }
 
+// ClearHandler releases the default frame handler: the node forwards
+// nothing until new behaviour claims the data path. The Manager calls it
+// when uninstalling a switchlet whose manifest owns the data path.
+func (b *Bridge) ClearHandler() { b.defaultHandler = FrameHandler{} }
+
 // DefaultHandlerName reports which handler currently owns the data path.
 func (b *Bridge) DefaultHandlerName() string { return b.defaultHandler.Name }
 
-// SetDstHandler implements env.Host. The paper's first-to-bind-wins rule:
-// "the first switchlet to bind to a given port succeeds and all others
-// fail".
-func (b *Bridge) SetDstHandler(mac string, fn vm.Value) error {
-	var m ethernet.MAC
-	copy(m[:], mac)
-	return b.setDstHandler(m, FrameHandler{VM: fn, Name: "vm-dst-" + m.String()})
-}
-
-// SetNativeDstHandler registers a native destination handler.
-func (b *Bridge) SetNativeDstHandler(m ethernet.MAC, name string, fn func(data []byte, inPort int)) error {
-	return b.setDstHandler(m, FrameHandler{Native: fn, Name: name})
-}
-
-func (b *Bridge) setDstHandler(m ethernet.MAC, h FrameHandler) error {
+// SetDstHandler is the single destination-registration entry point: it
+// claims address m for handler h, whether h wraps switchlet bytecode or
+// native code. The paper's first-to-bind-wins rule applies: "the first
+// switchlet to bind to a given port succeeds and all others fail"
+// (ErrDstBound).
+func (b *Bridge) SetDstHandler(m ethernet.MAC, h FrameHandler) error {
 	if _, taken := b.dstHandlers[m]; taken {
-		return fmt.Errorf("destination %v already bound", m)
+		return fmt.Errorf("destination %v %w", m, ErrDstBound)
 	}
 	b.dstHandlers[m] = h
 	if !m.IsMulticast() {
@@ -334,15 +334,8 @@ func (b *Bridge) setDstHandler(m ethernet.MAC, h FrameHandler) error {
 	return nil
 }
 
-// ClearDstHandler implements env.Host.
-func (b *Bridge) ClearDstHandler(mac string) {
-	var m ethernet.MAC
-	copy(m[:], mac)
-	b.ClearDstHandlerMAC(m)
-}
-
-// ClearDstHandlerMAC removes a registration by address.
-func (b *Bridge) ClearDstHandlerMAC(m ethernet.MAC) {
+// ClearDstHandler removes a registration by address.
+func (b *Bridge) ClearDstHandler(m ethernet.MAC) {
 	if _, ok := b.dstHandlers[m]; ok {
 		delete(b.dstHandlers, m)
 		if !m.IsMulticast() {
@@ -351,7 +344,16 @@ func (b *Bridge) ClearDstHandlerMAC(m ethernet.MAC) {
 	}
 }
 
-// SetTimer implements env.Host.
+// BindDst implements env.Demux: register a switchlet function for frames
+// destined to m.
+func (b *Bridge) BindDst(m ethernet.MAC, fn vm.Value) error {
+	return b.SetDstHandler(m, FrameHandler{VM: fn, Name: "vm-dst-" + m.String()})
+}
+
+// UnbindDst implements env.Demux.
+func (b *Bridge) UnbindDst(m ethernet.MAC) { b.ClearDstHandler(m) }
+
+// SetTimer implements env.Demux.
 func (b *Bridge) SetTimer(name string, periodMs int64, fn vm.Value) {
 	b.installTimer(name, netsim.Duration(periodMs)*netsim.Millisecond, fn, nil)
 }
@@ -388,10 +390,10 @@ func (b *Bridge) armTimer(ts *timerState) {
 	})
 }
 
-// CancelTimer implements env.Host.
+// CancelTimer implements env.Demux.
 func (b *Bridge) CancelTimer(name string) { delete(b.timers, name) }
 
-// After implements env.Host.
+// After implements env.Demux.
 func (b *Bridge) After(delayMs int64, fn vm.Value) {
 	b.sim.After(netsim.Duration(delayMs)*netsim.Millisecond, func() {
 		b.runVMDispatch(fn, 0, vm.Unit{})
@@ -403,10 +405,10 @@ func (b *Bridge) AfterNative(d netsim.Duration, fn func()) {
 	b.sim.After(d, func() { b.runNativeDispatch(fn, 0) })
 }
 
-// Spawn implements env.Host.
+// Spawn implements env.Threads.
 func (b *Bridge) Spawn(fn vm.Value) { b.spawnQueue = append(b.spawnQueue, fn) }
 
-// Log implements env.Host.
+// Log implements env.Logger.
 func (b *Bridge) Log(msg string) {
 	if b.LogSink != nil {
 		b.LogSink(b.sim.Now(), b.Name, msg)
@@ -645,6 +647,10 @@ func (b *Bridge) LoadObjectBytes(data []byte) error {
 
 // CompileAndLoad compiles swl source against this node's environment and
 // loads it, as the out-of-band administrative interface would.
+//
+// Deprecated: raw source loading bypasses the manifest's capability
+// grant. Use Manager().Install with an env.Manifest; this shim remains
+// for code that predates manifests.
 func (b *Bridge) CompileAndLoad(name, src string) error {
 	obj, _, err := vm.Compile(name, src, b.Loader.SigEnv())
 	if err != nil {

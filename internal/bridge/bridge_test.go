@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -346,6 +347,36 @@ let _ = Unixnet.send_pkt_out 99 "xx"`)
 	}
 }
 
+func TestSendReturnsTypedErrors(t *testing.T) {
+	r := newRig(t)
+	if err := r.b.Send(99, "xxxxxxxxxxxxxx", false); !errors.Is(err, ErrNoSuchPort) {
+		t.Errorf("out-of-range port: err = %v, want ErrNoSuchPort", err)
+	}
+	if err := r.b.Send(-1, "xxxxxxxxxxxxxx", false); !errors.Is(err, ErrNoSuchPort) {
+		t.Errorf("negative port: err = %v, want ErrNoSuchPort", err)
+	}
+	huge := strings.Repeat("x", ethernet.MaxFrameLen+1)
+	if err := r.b.Send(0, huge, false); !errors.Is(err, ErrFrameTooLong) {
+		t.Errorf("oversize frame: err = %v, want ErrFrameTooLong", err)
+	}
+	if err := r.b.Send(0, "tiny", false); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("short frame: err = %v, want ErrFrameTooShort", err)
+	}
+}
+
+func TestDstBindReturnsTypedError(t *testing.T) {
+	r := newRig(t)
+	target := ethernet.AllBridges
+	h := FrameHandler{Name: "first", Native: func([]byte, int) {}}
+	if err := r.b.SetDstHandler(target, h); err != nil {
+		t.Fatal(err)
+	}
+	err := r.b.SetDstHandler(target, FrameHandler{Name: "second", Native: func([]byte, int) {}})
+	if !errors.Is(err, ErrDstBound) {
+		t.Errorf("second bind: err = %v, want ErrDstBound", err)
+	}
+}
+
 func TestNormalizeFrame(t *testing.T) {
 	// A wire-valid frame passes through untouched.
 	fr := ethernet.Frame{Dst: ethernet.Broadcast, Src: ethernet.MAC{2, 0, 0, 0, 0, 1},
@@ -365,9 +396,9 @@ func TestNormalizeFrame(t *testing.T) {
 	if err := check.Unmarshal(out); err != nil {
 		t.Errorf("normalized frame invalid: %v", err)
 	}
-	// Garbage is rejected.
-	if _, err := normalizeFrame([]byte{1, 2, 3}); err == nil {
-		t.Error("short data should error")
+	// Garbage is rejected with the typed sentinel.
+	if _, err := normalizeFrame([]byte{1, 2, 3}); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("short data: err = %v, want ErrFrameTooShort", err)
 	}
 }
 

@@ -1,0 +1,33 @@
+package bridge
+
+import "errors"
+
+// Typed errors of the frame and lifecycle paths. They are the sentinels
+// behind every error the bridge and its Manager return, so embedders can
+// branch with errors.Is instead of matching message text. The public SDK
+// (pkg/activebridge) re-exports the full set.
+var (
+	// ErrFrameTooShort rejects send data shorter than an Ethernet header:
+	// there is nothing to address a frame with.
+	ErrFrameTooShort = errors.New("frame shorter than an Ethernet header")
+	// ErrFrameTooLong rejects send data beyond the maximum frame length.
+	ErrFrameTooLong = errors.New("frame too long")
+	// ErrNoSuchPort rejects an out-of-range port index.
+	ErrNoSuchPort = errors.New("no such port")
+	// ErrDstBound rejects a second destination-handler registration on
+	// an address (the paper's first-to-bind-wins rule).
+	ErrDstBound = errors.New("already bound")
+
+	// ErrNotInstalled reports a Manager operation naming an unknown
+	// switchlet.
+	ErrNotInstalled = errors.New("switchlet not installed")
+	// ErrAlreadyInstalled rejects installing a second switchlet under a
+	// name the Manager already tracks.
+	ErrAlreadyInstalled = errors.New("switchlet already installed")
+	// ErrNotUpgradable reports an Upgrade whose old switchlet has no
+	// complete lifecycle (start/stop/probe/running entry points).
+	ErrNotUpgradable = errors.New("switchlet has no complete lifecycle")
+	// ErrNoSuchFunc reports a Query of a Func-registry name nothing has
+	// registered.
+	ErrNoSuchFunc = errors.New("no registered function")
+)

@@ -1,0 +1,73 @@
+package bridge
+
+import (
+	"testing"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/tftp"
+	"github.com/switchware/activebridge/internal/udp"
+)
+
+// loaderFrame builds a valid Ethernet/IPv4/UDP frame carrying a TFTP
+// payload addressed to the loader — the happy-path seed the fuzzer
+// mutates.
+func loaderFrame(t testing.TB, dst ethernet.MAC, dstIP ipv4.Addr, tftpPayload []byte) []byte {
+	t.Helper()
+	dg := udp.Datagram{SrcPort: 1234, DstPort: 69, Payload: tftpPayload}
+	src := ipv4.Addr{10, 0, 0, 1}
+	udpBytes, err := dg.Marshal(src, dstIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ipv4.Packet{TTL: 64, Protocol: ipv4.ProtoUDP, Src: src, Dst: dstIP, Payload: udpBytes}
+	ipBytes, err := ip.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := ethernet.Frame{Dst: dst, Src: ethernet.MAC{2, 0, 0, 0, 0, 1},
+		Type: ethernet.TypeIPv4, Payload: ipBytes}
+	raw, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzNetLoaderFrame throws arbitrary frames at the §5.2 network loading
+// stack (Ethernet demux -> minimal IPv4 -> minimal UDP -> write-only
+// TFTP). The invariant is survival: whatever arrives on the wire, the
+// loader must consume or ignore it without panicking, and the node must
+// keep simulating.
+func FuzzNetLoaderFrame(f *testing.F) {
+	seedSim := netsim.New()
+	seedBridge := New(seedSim, "seed", 1, 2, netsim.DefaultCostModel())
+	loaderIP := ipv4.Addr{10, 0, 0, 100}
+	wrq := tftp.Marshal(&tftp.Request{Write: true, Filename: "sw.swo", Mode: "octet"})
+	data := tftp.Marshal(&tftp.Data{Block: 1, Payload: []byte("not a switchlet")})
+	f.Add(loaderFrame(f, seedBridge.MAC(), loaderIP, wrq))
+	f.Add(loaderFrame(f, seedBridge.MAC(), loaderIP, data))
+	f.Add(loaderFrame(f, seedBridge.MAC(), loaderIP, []byte{}))
+	f.Add(loaderFrame(f, seedBridge.MAC(), ipv4.Addr{10, 0, 0, 99}, wrq)) // wrong IP
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	short := loaderFrame(f, seedBridge.MAC(), loaderIP, wrq)
+	f.Add(short[:20]) // truncated mid-IP-header
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sim := netsim.New()
+		b := New(sim, "br", 1, 2, netsim.DefaultCostModel())
+		b.EnableNetLoader(loaderIP)
+		lan := netsim.NewSegment(sim, "lan")
+		peer := netsim.NewNIC(sim, "peer", ethernet.MAC{2, 0, 0, 0, 0, 1})
+		lan.Attach(peer)
+		lan.Attach(b.Port(0))
+		// Deliver straight into the receive path, as the NIC would.
+		b.onFrame(0, raw)
+		sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+		if b.Stats.FramesIn != 1 {
+			t.Fatalf("FramesIn = %d, want 1", b.Stats.FramesIn)
+		}
+	})
+}

@@ -77,7 +77,8 @@ func TestUnicastFastPathStillHonorsDstHandlers(t *testing.T) {
 	r.load(t, "Fwd", forwardSwitchlet)
 	hits := 0
 	target := ethernet.MAC{2, 0, 0, 0, 0, 9}
-	if err := r.b.SetNativeDstHandler(target, "probe", func([]byte, int) { hits++ }); err != nil {
+	probe := FrameHandler{Name: "probe", Native: func([]byte, int) { hits++ }}
+	if err := r.b.SetDstHandler(target, probe); err != nil {
 		t.Fatal(err)
 	}
 	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, target, 64) })
@@ -86,7 +87,7 @@ func TestUnicastFastPathStillHonorsDstHandlers(t *testing.T) {
 		t.Fatalf("unicast dst handler hits = %d, want 1", hits)
 	}
 	// And clearing it restores the default path.
-	r.b.ClearDstHandlerMAC(target)
+	r.b.ClearDstHandler(target)
 	r.sim.Schedule(r.sim.Now()+1, func() { r.sendFrom1(t, target, 64) })
 	r.run(50 * netsim.Millisecond)
 	if hits != 1 {

@@ -1,0 +1,122 @@
+package env
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Capability names one power of the bridge runtime that a switchlet may
+// hold. The paper's safety story is environmental thinning: a switchlet
+// can only reach what its environment exposes (§5.2.1). Capabilities make
+// the thinning per-switchlet and declarative — a manifest lists the
+// capabilities its code needs, and installation fails if the compiled
+// object imports an environment module the manifest does not grant.
+// Enforcement is at install (link) time, so granting costs nothing on the
+// frame path.
+type Capability uint8
+
+const (
+	// CapLog grants the Log module: emitting log messages through the
+	// host-controlled sink.
+	CapLog Capability = iota
+	// CapClock grants the Safeunix module: reading virtual time
+	// (gettimeofday/time) and nothing else of Unix.
+	CapClock
+	// CapFuncs grants the Func module: registering named functions and
+	// calling functions other switchlets registered.
+	CapFuncs
+	// CapNet grants the Unixnet module: sending frames, inspecting and
+	// blocking ports, and reading the bridge identity.
+	CapNet
+	// CapDemux grants the Bridge module: claiming the default frame
+	// handler, binding destination-MAC handlers, and arming timers — the
+	// registration points through which a switchlet attaches itself to
+	// the data path.
+	CapDemux
+	// CapThreads grants the Safethread and Mutex modules: cooperative
+	// spawn/yield and the assertion-style mutex.
+	CapThreads
+
+	numCapabilities
+)
+
+var capabilityNames = [...]string{"log", "clock", "funcs", "net", "demux", "threads"}
+
+// String returns the capability's stable lower-case name.
+func (c Capability) String() string {
+	if int(c) >= len(capabilityNames) {
+		return fmt.Sprintf("capability(%d)", int(c))
+	}
+	return capabilityNames[c]
+}
+
+// AllCapabilities returns every defined capability, in declaration order.
+// Convenience for manifests of fully trusted switchlets.
+func AllCapabilities() []Capability {
+	out := make([]Capability, numCapabilities)
+	for i := range out {
+		out[i] = Capability(i)
+	}
+	return out
+}
+
+// unitCaps maps each host-provided environment module to the capability
+// that grants it. Language-level units (Safestd, String, Hashtbl) are
+// absent: they carry no node powers and every switchlet may use them.
+var unitCaps = map[string]Capability{
+	"Log":        CapLog,
+	"Safeunix":   CapClock,
+	"Func":       CapFuncs,
+	"Unixnet":    CapNet,
+	"Bridge":     CapDemux,
+	"Safethread": CapThreads,
+	"Mutex":      CapThreads,
+}
+
+// UnitCapability reports which capability grants access to the named
+// environment module, or false for language-level units that need no
+// grant.
+func UnitCapability(module string) (Capability, bool) {
+	c, ok := unitCaps[module]
+	return c, ok
+}
+
+// CapabilityError is an install-time rejection: the compiled switchlet
+// imports environment modules its manifest does not grant.
+type CapabilityError struct {
+	// Switchlet is the manifest name of the rejected switchlet.
+	Switchlet string
+	// Denied lists "module (capability)" pairs that were imported but
+	// not granted, in deterministic order.
+	Denied []string
+}
+
+// Error implements the error interface.
+func (e *CapabilityError) Error() string {
+	return fmt.Sprintf("switchlet %s: undeclared capabilities: %s",
+		e.Switchlet, strings.Join(e.Denied, ", "))
+}
+
+// CheckImports verifies that every imported module is either
+// language-level or covered by a granted capability. modules is the
+// import list of the compiled object; it returns nil when all imports are
+// covered and a *CapabilityError naming each uncovered import otherwise.
+func CheckImports(name string, modules []string, granted []Capability) error {
+	held := map[Capability]bool{}
+	for _, c := range granted {
+		held[c] = true
+	}
+	var denied []string
+	for _, m := range modules {
+		c, gated := UnitCapability(m)
+		if gated && !held[c] {
+			denied = append(denied, fmt.Sprintf("%s (%v)", m, c))
+		}
+	}
+	if len(denied) == 0 {
+		return nil
+	}
+	sort.Strings(denied)
+	return &CapabilityError{Switchlet: name, Denied: denied}
+}

@@ -18,18 +18,37 @@
 //     user-mode Caml threads ("no speedup occurs due to our multiprocessor").
 //
 // Every module is already thinned: nothing capable of reaching the host
-// filesystem, process state, or raw simulator exists in any signature.
+// filesystem, process state, or raw simulator exists in any signature. On
+// top of the thinning, each module is gated by a Capability
+// (capability.go): a switchlet manifest declares the capabilities its code
+// needs, and installation rejects objects importing modules outside the
+// grant. The Env interface is the union of the narrow per-capability
+// views; each unit builder takes only the view its module wraps.
 package env
 
 import (
 	"fmt"
 
+	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/vm"
 )
 
-// Host is the node-side capability surface the environment modules wrap.
-// internal/bridge.Bridge implements it.
-type Host interface {
+// Logger is the CapLog view of the node: switchlet log output routed to
+// the host-controlled sink.
+type Logger interface {
+	// Log emits a log message attributed to switchlet code.
+	Log(msg string)
+}
+
+// Clock is the CapClock view: virtual time, and nothing else of Unix.
+type Clock interface {
+	// NowMicros is virtual time in microseconds (gettimeofday).
+	NowMicros() int64
+}
+
+// NetPorts is the CapNet view: the Figure 4 port interface — frame
+// output, port state, and the node identity.
+type NetPorts interface {
 	// NumPorts returns the number of network ports.
 	NumPorts() int
 	// Send queues an encoded frame for transmission on a port. ctl marks
@@ -45,27 +64,46 @@ type Host interface {
 	PortBlocked(port int) bool
 	// BridgeID returns this node's bridge identity as a 6-byte MAC string.
 	BridgeID() string
-	// NowMicros is virtual time in microseconds (gettimeofday).
-	NowMicros() int64
+}
+
+// Demux is the CapDemux view: the demultiplexer and timer registration
+// points through which a switchlet attaches itself to the data path.
+type Demux interface {
 	// SetHandler installs fn as the default frame handler
 	// (fn : string -> int -> unit receiving (frame, input port)).
 	SetHandler(fn vm.Value)
-	// SetDstHandler registers fn for frames whose destination MAC equals
-	// the 6-byte string mac, before the default handler.
-	SetDstHandler(mac string, fn vm.Value) error
-	// ClearDstHandler removes a destination registration.
-	ClearDstHandler(mac string)
+	// BindDst registers fn for frames whose destination address equals
+	// m, ahead of the default handler. First bind wins.
+	BindDst(m ethernet.MAC, fn vm.Value) error
+	// UnbindDst removes a destination registration.
+	UnbindDst(m ethernet.MAC)
 	// SetTimer (re)installs a named periodic timer with period ms.
 	SetTimer(name string, periodMs int64, fn vm.Value)
 	// CancelTimer removes a named timer.
 	CancelTimer(name string)
 	// After schedules a one-shot callback delayMs from now.
 	After(delayMs int64, fn vm.Value)
+}
+
+// Threads is the CapThreads view: cooperative deferral.
+type Threads interface {
 	// Spawn queues fn to run as soon as the current invocation finishes
 	// (the cooperative Safethread.spawn).
 	Spawn(fn vm.Value)
-	// Log emits a log message attributed to switchlet code.
-	Log(msg string)
+}
+
+// Env is the full capability-scoped surface a bridge offers to switchlet
+// code: the union of every per-capability view. internal/bridge.Bridge
+// implements it. Which parts a given switchlet can actually reach is
+// decided per manifest at install time (CheckImports), not by handing a
+// narrower Env — the environment modules are shared per node, the grants
+// are per switchlet.
+type Env interface {
+	Logger
+	Clock
+	NetPorts
+	Demux
+	Threads
 }
 
 // FuncRegistry is the Func module's table: named string -> string
@@ -87,6 +125,22 @@ func (r *FuncRegistry) Register(name string, fn vm.Value) {
 	r.fns[name] = fn
 }
 
+// Unregister removes a binding; it reports whether the name was bound.
+// The Manager uses it to retire an uninstalled switchlet's exports.
+func (r *FuncRegistry) Unregister(name string) bool {
+	if _, ok := r.fns[name]; !ok {
+		return false
+	}
+	delete(r.fns, name)
+	for i, k := range r.keys {
+		if k == name {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Lookup returns the function bound to name.
 func (r *FuncRegistry) Lookup(name string) (vm.Value, bool) {
 	fn, ok := r.fns[name]
@@ -97,7 +151,7 @@ func (r *FuncRegistry) Lookup(name string) (vm.Value, bool) {
 func (r *FuncRegistry) Names() []string { return append([]string(nil), r.keys...) }
 
 // LogUnit builds the Log module; sink receives each message (nil discards).
-func LogUnit(h Host) (*vm.Signature, map[string]vm.Value) {
+func LogUnit(h Logger) (*vm.Signature, map[string]vm.Value) {
 	return vm.BuildUnit("Log", []vm.BuiltinDef{
 		{Name: "log", Type: "string -> unit", Arity: 1,
 			Fn: func(_ *vm.Ctx, a []vm.Value) (vm.Value, error) {
@@ -113,7 +167,7 @@ func LogUnit(h Host) (*vm.Signature, map[string]vm.Value) {
 
 // SafeunixUnit builds the heavily thinned Safeunix module: "access to some
 // time related functions" and nothing else.
-func SafeunixUnit(h Host) (*vm.Signature, map[string]vm.Value) {
+func SafeunixUnit(h Clock) (*vm.Signature, map[string]vm.Value) {
 	return vm.BuildUnit("Safeunix", []vm.BuiltinDef{
 		{Name: "gettimeofday", Type: "unit -> int", Arity: 1,
 			Fn: func(_ *vm.Ctx, _ []vm.Value) (vm.Value, error) {
@@ -166,7 +220,7 @@ func FuncUnit(reg *FuncRegistry) (*vm.Signature, map[string]vm.Value) {
 // UnixnetUnit builds the Unixnet module: the Figure 4 port interface
 // adapted to the push-based runtime. Input binding happens through the
 // Bridge module's handler registration; output and port control live here.
-func UnixnetUnit(h Host) (*vm.Signature, map[string]vm.Value) {
+func UnixnetUnit(h NetPorts) (*vm.Signature, map[string]vm.Value) {
 	portArg := func(a []vm.Value, i int) (int, error) {
 		p, ok := a[i].(int64)
 		if !ok {
@@ -248,9 +302,20 @@ func UnixnetUnit(h Host) (*vm.Signature, map[string]vm.Value) {
 	})
 }
 
+// macArg converts a 6-byte swl string to a typed address.
+func macArg(v vm.Value, who string) (ethernet.MAC, error) {
+	s, ok := v.(string)
+	if !ok || len(s) != 6 {
+		return ethernet.MAC{}, &vm.Trap{Msg: who + ": MAC must be a 6-byte string"}
+	}
+	var m ethernet.MAC
+	copy(m[:], s)
+	return m, nil
+}
+
 // BridgeUnit builds the Bridge module: the demultiplexer and timer
 // registration points through which switchlets attach themselves.
-func BridgeUnit(h Host) (*vm.Signature, map[string]vm.Value) {
+func BridgeUnit(h Demux) (*vm.Signature, map[string]vm.Value) {
 	return vm.BuildUnit("Bridge", []vm.BuiltinDef{
 		{Name: "set_handler", Type: "(string -> int -> unit) -> unit", Arity: 1,
 			Fn: func(_ *vm.Ctx, a []vm.Value) (vm.Value, error) {
@@ -259,22 +324,22 @@ func BridgeUnit(h Host) (*vm.Signature, map[string]vm.Value) {
 			}},
 		{Name: "set_dst_handler", Type: "string -> (string -> int -> unit) -> unit", Arity: 2,
 			Fn: func(_ *vm.Ctx, a []vm.Value) (vm.Value, error) {
-				mac, ok := a[0].(string)
-				if !ok || len(mac) != 6 {
-					return nil, &vm.Trap{Msg: "Bridge.set_dst_handler: MAC must be a 6-byte string"}
+				m, err := macArg(a[0], "Bridge.set_dst_handler")
+				if err != nil {
+					return nil, err
 				}
-				if err := h.SetDstHandler(mac, a[1]); err != nil {
+				if err := h.BindDst(m, a[1]); err != nil {
 					return nil, &vm.Trap{Msg: err.Error()}
 				}
 				return vm.Unit{}, nil
 			}},
 		{Name: "clear_dst_handler", Type: "string -> unit", Arity: 1,
 			Fn: func(_ *vm.Ctx, a []vm.Value) (vm.Value, error) {
-				mac, ok := a[0].(string)
-				if !ok || len(mac) != 6 {
-					return nil, &vm.Trap{Msg: "Bridge.clear_dst_handler: MAC must be a 6-byte string"}
+				m, err := macArg(a[0], "Bridge.clear_dst_handler")
+				if err != nil {
+					return nil, err
 				}
-				h.ClearDstHandler(mac)
+				h.UnbindDst(m)
 				return vm.Unit{}, nil
 			}},
 		{Name: "set_timer", Type: "string -> int -> (unit -> unit) -> unit", Arity: 3,
@@ -308,7 +373,7 @@ func BridgeUnit(h Host) (*vm.Signature, map[string]vm.Value) {
 // SafethreadUnit builds the cooperative threading module. spawn defers a
 // thunk to run after the current invocation; yield is a no-op (the
 // scheduler is non-preemptive, like the paper's user-mode Caml threads).
-func SafethreadUnit(h Host) (*vm.Signature, map[string]vm.Value) {
+func SafethreadUnit(h Threads) (*vm.Signature, map[string]vm.Value) {
 	return vm.BuildUnit("Safethread", []vm.BuiltinDef{
 		{Name: "spawn", Type: "(unit -> unit) -> unit", Arity: 1,
 			Fn: func(_ *vm.Ctx, a []vm.Value) (vm.Value, error) {
@@ -357,15 +422,17 @@ func MutexUnit() (*vm.Signature, map[string]vm.Value) {
 
 // Install adds the full switchlet environment (beyond the vm standard
 // units) to a loader: Log, Safeunix, Func, Unixnet, Bridge, Safethread,
-// Mutex.
-func Install(l *vm.Loader, h Host, reg *FuncRegistry) error {
+// Mutex. The units are shared per node; per-switchlet access is governed
+// by manifest capabilities, checked against each object's imports at
+// install time.
+func Install(l *vm.Loader, e Env, reg *FuncRegistry) error {
 	units := []func() (*vm.Signature, map[string]vm.Value){
-		func() (*vm.Signature, map[string]vm.Value) { return LogUnit(h) },
-		func() (*vm.Signature, map[string]vm.Value) { return SafeunixUnit(h) },
+		func() (*vm.Signature, map[string]vm.Value) { return LogUnit(e) },
+		func() (*vm.Signature, map[string]vm.Value) { return SafeunixUnit(e) },
 		func() (*vm.Signature, map[string]vm.Value) { return FuncUnit(reg) },
-		func() (*vm.Signature, map[string]vm.Value) { return UnixnetUnit(h) },
-		func() (*vm.Signature, map[string]vm.Value) { return BridgeUnit(h) },
-		func() (*vm.Signature, map[string]vm.Value) { return SafethreadUnit(h) },
+		func() (*vm.Signature, map[string]vm.Value) { return UnixnetUnit(e) },
+		func() (*vm.Signature, map[string]vm.Value) { return BridgeUnit(e) },
+		func() (*vm.Signature, map[string]vm.Value) { return SafethreadUnit(e) },
 		MutexUnit,
 	}
 	for _, u := range units {

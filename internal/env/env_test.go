@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/vm"
 )
 
@@ -18,7 +19,7 @@ type fakeHost struct {
 	}
 	blocked  map[int]bool
 	handler  vm.Value
-	dst      map[string]vm.Value
+	dst      map[ethernet.MAC]vm.Value
 	timers   map[string]int64
 	afters   []int64
 	spawned  []vm.Value
@@ -30,7 +31,7 @@ func newFakeHost() *fakeHost {
 	return &fakeHost{
 		numPorts: 4,
 		blocked:  map[int]bool{},
-		dst:      map[string]vm.Value{},
+		dst:      map[ethernet.MAC]vm.Value{},
 		timers:   map[string]int64{},
 	}
 }
@@ -50,7 +51,7 @@ func (f *fakeHost) PortBlocked(port int) bool     { return f.blocked[port] }
 func (f *fakeHost) BridgeID() string              { return "\x02\xbb\x00\x00\x01\x00" }
 func (f *fakeHost) NowMicros() int64              { return f.microNow }
 func (f *fakeHost) SetHandler(fn vm.Value)        { f.handler = fn }
-func (f *fakeHost) SetDstHandler(m string, fn vm.Value) error {
+func (f *fakeHost) BindDst(m ethernet.MAC, fn vm.Value) error {
 	if _, taken := f.dst[m]; taken {
 		return errAlreadyBound
 	}
@@ -60,7 +61,7 @@ func (f *fakeHost) SetDstHandler(m string, fn vm.Value) error {
 
 var errAlreadyBound = &vm.Trap{Msg: "destination already bound"}
 
-func (f *fakeHost) ClearDstHandler(m string)                 { delete(f.dst, m) }
+func (f *fakeHost) UnbindDst(m ethernet.MAC)                 { delete(f.dst, m) }
 func (f *fakeHost) SetTimer(n string, ms int64, fn vm.Value) { f.timers[n] = ms }
 func (f *fakeHost) CancelTimer(n string)                     { delete(f.timers, n) }
 func (f *fakeHost) After(ms int64, fn vm.Value)              { f.afters = append(f.afters, ms) }
@@ -69,7 +70,7 @@ func (f *fakeHost) Log(msg string)                           { f.logs = append(f
 
 // loadWith compiles and loads src into a loader with the full environment
 // over the fake host.
-func loadWith(t *testing.T, h Host, src string) (*vm.Loader, *vm.LinkedModule, *FuncRegistry) {
+func loadWith(t *testing.T, h Env, src string) (*vm.Loader, *vm.LinkedModule, *FuncRegistry) {
 	t.Helper()
 	m := vm.NewMachine()
 	l := vm.StdLoader(m)

@@ -1,0 +1,184 @@
+package env
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+)
+
+// Version is a semantic version for a switchlet: upgrades compare
+// versions to decide direction, and logs attribute behaviour to an exact
+// release of the code.
+type Version struct {
+	Major, Minor, Patch int
+}
+
+// ParseVersion parses "major.minor.patch" (for example "1.2.0").
+func ParseVersion(s string) (Version, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return Version{}, fmt.Errorf("version %q: want major.minor.patch", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return Version{}, fmt.Errorf("version %q: bad component %q", s, p)
+		}
+		nums[i] = n
+	}
+	return Version{nums[0], nums[1], nums[2]}, nil
+}
+
+// MustParseVersion is ParseVersion for literal version strings; it panics
+// on malformed input.
+func MustParseVersion(s string) Version {
+	v, err := ParseVersion(s)
+	if err != nil {
+		panic("env: " + err.Error())
+	}
+	return v
+}
+
+// String renders the version as "major.minor.patch".
+func (v Version) String() string {
+	return fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Patch)
+}
+
+// Compare returns -1, 0 or +1 as v is older than, equal to, or newer
+// than o.
+func (v Version) Compare(o Version) int {
+	pairs := [3][2]int{{v.Major, o.Major}, {v.Minor, o.Minor}, {v.Patch, o.Patch}}
+	for _, p := range pairs {
+		if p[0] < p[1] {
+			return -1
+		}
+		if p[0] > p[1] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Lifecycle names the Func-registry entry points through which the
+// runtime drives a protocol switchlet without knowing its internals: the
+// paper's control switchlet calls exactly these four ("dec.stop",
+// "ieee.start", "ieee.tree", "dec.running"). A switchlet with an empty
+// Lifecycle is passive: it can be installed but not upgraded in place.
+type Lifecycle struct {
+	// Start activates the protocol ("ieee.start"); it takes a string and
+	// returns a string, like every Func entry.
+	Start string
+	// Stop deactivates the protocol and releases its bindings
+	// ("ieee.stop").
+	Stop string
+	// Probe renders the protocol's convergent state in a canonical,
+	// comparable form ("ieee.tree"); upgrades validate by comparing the
+	// old and new switchlets' probes.
+	Probe string
+	// Running reports "yes" or "no" ("ieee.running").
+	Running string
+	// ProtoAddr is the protocol's multicast address (the destination it
+	// binds while running), if it has one. Upgrades use it to guard the
+	// old protocol's address during the transition window and to drain
+	// the new one after a rollback.
+	ProtoAddr ethernet.MAC
+}
+
+// Complete reports whether every lifecycle entry point is named, i.e.
+// the switchlet is upgrade-capable.
+func (lc Lifecycle) Complete() bool {
+	return lc.Start != "" && lc.Stop != "" && lc.Probe != "" && lc.Running != ""
+}
+
+// Manifest describes one switchlet release: what it is called, which
+// version it is, which bridge powers it needs, and what it exports. The
+// manifest replaces raw source-string loading — the Manager installs
+// manifests, enforcing at install time that the code imports only the
+// environment modules its capabilities grant.
+type Manifest struct {
+	// Name is the switchlet's module name in the node's namespace
+	// (for example "Learning"). One module of a given name can be
+	// linked at a time.
+	Name string
+	// Version is the release being installed.
+	Version Version
+	// Capabilities lists the bridge powers the switchlet requires.
+	// Installation fails if the compiled object imports an environment
+	// module outside this set.
+	Capabilities []Capability
+	// Handlers lists the Func-registry names the switchlet exports
+	// (beyond the lifecycle entries), e.g. "learning.lookup". Uninstall
+	// unregisters exactly these.
+	Handlers []string
+	// Timers lists the named periodic timers the switchlet owns, e.g.
+	// "ieee_hello". Uninstall cancels exactly these.
+	Timers []string
+	// OwnsDataPath declares that the switchlet claims the default frame
+	// handler (Bridge.set_handler). Uninstall then releases the claim,
+	// leaving the node forwarding nothing until other behaviour is
+	// installed — revoking the data path is explicit, never implicit.
+	OwnsDataPath bool
+	// DstBindings lists destination addresses the switchlet holds for
+	// its whole lifetime; Uninstall releases them. Addresses a switchlet
+	// binds and unbinds dynamically (like the control switchlet's
+	// rotating claims) must NOT be declared here — they are the
+	// switchlet's own stop logic's responsibility.
+	DstBindings []ethernet.MAC
+	// Lifecycle names the start/stop/probe/running entry points for
+	// upgrade-capable switchlets; zero for passive ones.
+	Lifecycle Lifecycle
+	// Source is the swl source text, compiled against the node at
+	// install time. Exactly one of Source and Object must be set.
+	Source string
+	// Object is a precompiled switchlet object (the .swo bytes),
+	// for code that arrives already compiled. Exactly one of Source and
+	// Object must be set.
+	Object []byte
+}
+
+// Validate checks the manifest's static well-formedness (not its code).
+// A manifest carrying a precompiled Object may leave Name empty: the
+// object names its own module, and the Manager adopts that name.
+func (m Manifest) Validate() error {
+	if m.Name == "" && len(m.Object) == 0 {
+		return fmt.Errorf("manifest: empty switchlet name")
+	}
+	if m.Source == "" && len(m.Object) == 0 {
+		return fmt.Errorf("manifest %s: neither source nor object provided", m.Name)
+	}
+	if m.Source != "" && len(m.Object) != 0 {
+		return fmt.Errorf("manifest %s: both source and object provided", m.Name)
+	}
+	for _, c := range m.Capabilities {
+		if int(c) >= int(numCapabilities) {
+			return fmt.Errorf("manifest %s: unknown capability %d", m.Name, int(c))
+		}
+	}
+	return nil
+}
+
+// Grants reports whether the manifest declares capability c.
+func (m Manifest) Grants(c Capability) bool {
+	for _, g := range m.Capabilities {
+		if g == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Ref renders "name@version" for logs and errors.
+func (m Manifest) Ref() string { return m.Name + "@" + m.Version.String() }
+
+// CapabilityNames renders the declared capabilities as their stable
+// names, in declaration order — for listings and admin surfaces.
+func (m Manifest) CapabilityNames() []string {
+	out := make([]string, len(m.Capabilities))
+	for i, c := range m.Capabilities {
+		out[i] = c.String()
+	}
+	return out
+}

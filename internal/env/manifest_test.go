@@ -1,0 +1,134 @@
+package env
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseVersion(t *testing.T) {
+	v, err := ParseVersion("1.2.3")
+	if err != nil || v != (Version{1, 2, 3}) {
+		t.Fatalf("ParseVersion = %v, %v", v, err)
+	}
+	if v.String() != "1.2.3" {
+		t.Errorf("String = %s", v.String())
+	}
+	for _, bad := range []string{"", "1.2", "1.2.3.4", "a.b.c", "1.-2.3"} {
+		if _, err := ParseVersion(bad); err == nil {
+			t.Errorf("ParseVersion(%q) should fail", bad)
+		}
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want int
+	}{
+		{Version{1, 0, 0}, Version{1, 0, 0}, 0},
+		{Version{1, 0, 0}, Version{1, 0, 1}, -1},
+		{Version{1, 1, 0}, Version{1, 0, 9}, 1},
+		{Version{2, 0, 0}, Version{1, 9, 9}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	ok := Manifest{Name: "X", Source: "let x = 1"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+	for _, m := range []Manifest{
+		{Source: "let x = 1"}, // no name
+		{Name: "X"},           // no code
+		{Name: "X", Source: "s", Object: []byte{1}},              // both
+		{Name: "X", Source: "s", Capabilities: []Capability{99}}, // bad cap
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("manifest %+v should fail validation", m)
+		}
+	}
+}
+
+func TestManifestGrantsAndRef(t *testing.T) {
+	m := Manifest{
+		Name: "Learning", Version: Version{1, 0, 2},
+		Capabilities: []Capability{CapNet, CapDemux},
+	}
+	if !m.Grants(CapNet) || m.Grants(CapLog) {
+		t.Error("Grants wrong")
+	}
+	if m.Ref() != "Learning@1.0.2" {
+		t.Errorf("Ref = %s", m.Ref())
+	}
+}
+
+func TestUnitCapabilityCoversEveryHostUnit(t *testing.T) {
+	for _, u := range []string{"Log", "Safeunix", "Func", "Unixnet", "Bridge", "Safethread", "Mutex"} {
+		if _, ok := UnitCapability(u); !ok {
+			t.Errorf("host unit %s has no capability gate", u)
+		}
+	}
+	for _, u := range []string{"Safestd", "String", "Hashtbl"} {
+		if _, ok := UnitCapability(u); ok {
+			t.Errorf("language unit %s should not be capability-gated", u)
+		}
+	}
+}
+
+func TestCheckImports(t *testing.T) {
+	// All covered: language units free, granted units pass.
+	err := CheckImports("T", []string{"String", "Unixnet", "Log"},
+		[]Capability{CapNet, CapLog})
+	if err != nil {
+		t.Errorf("covered imports rejected: %v", err)
+	}
+	// Uncovered gated import is named in the error.
+	err = CheckImports("T", []string{"Unixnet", "Bridge"}, []Capability{CapNet})
+	if err == nil {
+		t.Fatal("undeclared import accepted")
+	}
+	ce, ok := err.(*CapabilityError)
+	if !ok || ce.Switchlet != "T" || len(ce.Denied) != 1 ||
+		!strings.Contains(ce.Denied[0], "Bridge") {
+		t.Errorf("error = %#v", err)
+	}
+}
+
+func TestAllCapabilitiesAndNames(t *testing.T) {
+	all := AllCapabilities()
+	if len(all) != int(numCapabilities) {
+		t.Fatalf("AllCapabilities = %d entries", len(all))
+	}
+	seen := map[string]bool{}
+	for _, c := range all {
+		n := c.String()
+		if strings.Contains(n, "capability(") || seen[n] {
+			t.Errorf("bad or duplicate capability name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFuncRegistryUnregister(t *testing.T) {
+	r := NewFuncRegistry()
+	r.Register("a", "va")
+	r.Register("b", "vb")
+	if !r.Unregister("a") {
+		t.Fatal("Unregister existing = false")
+	}
+	if r.Unregister("a") {
+		t.Error("Unregister twice = true")
+	}
+	if _, ok := r.Lookup("a"); ok {
+		t.Error("a still bound")
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "b" {
+		t.Errorf("names after unregister = %v", names)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
-	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -83,11 +82,11 @@ func IncrementalDeployment(cost netsim.CostModel) (*trace.Table, error) {
 	// Compile the learning switchlet once per target (against that node's
 	// environment — identical here, but the discipline matters).
 	upload := func(b *bridge.Bridge) error {
-		obj, _, err := vm.Compile(switchlets.ModLearning, switchlets.LearningSrc, b.Loader.SigEnv())
+		enc, err := b.Manager().Compile(switchlets.LearningManifest())
 		if err != nil {
 			return err
 		}
-		up := workload.NewUploader(admin, b.NetLoaderAddr(), "learning.swo", obj.Encode())
+		up := workload.NewUploader(admin, b.NetLoaderAddr(), "learning.swo", enc)
 		sim.Schedule(sim.Now()+1, up.Start)
 		sim.Run(sim.Now() + netsim.Time(30*netsim.Second))
 		if !up.Done() {

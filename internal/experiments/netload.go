@@ -8,7 +8,6 @@ import (
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
 	"github.com/switchware/activebridge/internal/trace"
-	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -39,12 +38,12 @@ func NetworkLoad(cost netsim.CostModel) (*trace.Table, error) {
 	sim, b := net.Sim, net.Bridge(bID)
 	h1, h2 := net.Host(h1ID), net.Host(h2ID)
 
-	// Compile the learning switchlet against the bridge's environment.
-	obj, _, err := vm.Compile(switchlets.ModLearning, switchlets.LearningSrc, b.Loader.SigEnv())
+	// Compile the learning switchlet against the bridge's environment,
+	// with its manifest's capability grant enforced.
+	enc, err := b.Manager().Compile(switchlets.LearningManifest())
 	if err != nil {
 		return nil, err
 	}
-	enc := obj.Encode()
 
 	// Before the upload, the bridge forwards nothing.
 	sim.Schedule(0, func() { _ = h1.SendTest(h2.MAC, make([]byte, 64)) })

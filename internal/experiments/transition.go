@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/switchware/activebridge/internal/bridge"
@@ -75,18 +76,17 @@ func (tn *TransitionNet) InjectIEEE() {
 	tn.Injector.Send(raw)
 }
 
-// Query invokes a registered Func on a bridge and returns its string result.
+// Query invokes a registered Func on a bridge through its lifecycle
+// manager and returns the string result.
 func (tn *TransitionNet) Query(b *bridge.Bridge, name string) string {
-	fn, ok := b.Funcs.Lookup(name)
-	if !ok {
-		return "<unregistered>"
-	}
-	v, err := b.Machine.Invoke(fn, "")
+	v, err := b.Manager().Query(name, "")
 	if err != nil {
+		if errors.Is(err, bridge.ErrNoSuchFunc) {
+			return "<unregistered>"
+		}
 		return "<trap: " + err.Error() + ">"
 	}
-	s, _ := v.(string)
-	return s
+	return v
 }
 
 func (tn *TransitionNet) snapshot(b *bridge.Bridge) (dec, ieee, control string) {

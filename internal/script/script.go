@@ -17,8 +17,14 @@
 //	inject-ieee <segment>
 //	query <bridge> <func>
 //	expect <bridge> <func> <value>     (assertion; errors on mismatch)
+//	switchlets <bridge>                (list installed switchlets)
+//	upgrade <bridge> <old-module> <builtin>
 //	stats
 //	logs
+//
+// Loading, querying and upgrading all route through the bridge's
+// lifecycle Manager: builtins resolve to their manifests, so the
+// capability grant is enforced on every load.
 package script
 
 import (
@@ -31,12 +37,12 @@ import (
 	"time"
 
 	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/switchlets"
-	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -285,6 +291,37 @@ func (w *World) Exec(f []string) error {
 			return fmt.Errorf("expect failed: %s %s = %q, want %q", f[1], f[2], v, f[3])
 		}
 		w.printf("expect %s %s = %s: ok\n", f[1], f[2], f[3])
+	case "switchlets":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: switchlets <bridge>")
+		}
+		b, ok := w.Bridges[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown bridge %s", f[1])
+		}
+		for _, inst := range b.Manager().List() {
+			w.printf("%s %s caps=[%s] installed-at=%.3fs\n",
+				f[1], inst.Manifest.Ref(),
+				strings.Join(inst.Manifest.CapabilityNames(), ","), inst.At.Seconds())
+		}
+	case "upgrade":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: upgrade <bridge> <old-module> <builtin>")
+		}
+		b, ok := w.Bridges[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown bridge %s", f[1])
+		}
+		next, err := resolveManifest(f[3])
+		if err != nil {
+			return err
+		}
+		u, err := b.Manager().Upgrade(f[2], next, bridge.DefaultUpgradeOptions())
+		if err != nil {
+			return err
+		}
+		w.printf("upgrade %s: %s -> %s state=%v captured=%q\n",
+			f[1], u.Old().Manifest.Ref(), u.New().Manifest.Ref(), u.State(), u.Captured)
 	case "stats":
 		for name, b := range w.Bridges {
 			s := b.Stats
@@ -309,18 +346,11 @@ func (w *World) queryFunc(bridgeName, funcName string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("unknown bridge %s", bridgeName)
 	}
-	fn, ok := b.Funcs.Lookup(funcName)
-	if !ok {
-		return "", fmt.Errorf("%s has no registered function %s", bridgeName, funcName)
-	}
-	v, err := b.Machine.Invoke(fn, "")
+	v, err := b.Manager().Query(funcName, "")
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%s: %w", bridgeName, err)
 	}
-	if s, ok := v.(string); ok {
-		return s, nil
-	}
-	return vm.FormatValue(v), nil
+	return v, nil
 }
 
 func (w *World) twoHosts(a, b string) (*workload.Host, *workload.Host, error) {
@@ -335,52 +365,48 @@ func (w *World) twoHosts(a, b string) (*workload.Host, *workload.Host, error) {
 	return src, dst, nil
 }
 
-func (w *World) loadSwitchlet(b *bridge.Bridge, what string) error {
+// resolveManifest turns a script switchlet argument — a builtin key or a
+// .swo file path — into an installable manifest. File objects are
+// trusted with the full capability set, like any operator-supplied code;
+// the Manager adopts the module name the object itself carries.
+func resolveManifest(what string) (env.Manifest, error) {
 	if strings.HasSuffix(what, ".swo") {
 		data, err := os.ReadFile(what)
 		if err != nil {
-			return err
+			return env.Manifest{}, err
 		}
-		return b.LoadObjectBytes(data)
+		return env.Manifest{
+			Capabilities: env.AllCapabilities(),
+			Object:       data,
+		}, nil
 	}
-	name, src, ok := BuiltinSource(what)
+	m, ok := switchlets.BuiltinManifest(what)
 	if !ok {
-		return fmt.Errorf("unknown switchlet %q", what)
+		return env.Manifest{}, fmt.Errorf("unknown switchlet %q", what)
 	}
-	return b.CompileAndLoad(name, src)
+	return m, nil
+}
+
+func (w *World) loadSwitchlet(b *bridge.Bridge, what string) error {
+	m, err := resolveManifest(what)
+	if err != nil {
+		return err
+	}
+	_, err = b.Manager().Install(m)
+	return err
 }
 
 func (w *World) switchletBytes(b *bridge.Bridge, what string) ([]byte, string, error) {
-	if strings.HasSuffix(what, ".swo") {
-		data, err := os.ReadFile(what)
-		return data, what, err
-	}
-	name, src, ok := BuiltinSource(what)
-	if !ok {
-		return nil, "", fmt.Errorf("unknown switchlet %q", what)
-	}
-	obj, _, err := vm.Compile(name, src, b.Loader.SigEnv())
+	m, err := resolveManifest(what)
 	if err != nil {
 		return nil, "", err
 	}
-	return obj.Encode(), strings.ToLower(name) + ".swo", nil
-}
-
-// BuiltinSource resolves the bundled switchlet names.
-func BuiltinSource(key string) (name, src string, ok bool) {
-	switch key {
-	case "dumb":
-		return switchlets.ModDumb, switchlets.DumbSrc, true
-	case "learning":
-		return switchlets.ModLearning, switchlets.LearningSrc, true
-	case "spanning":
-		return switchlets.ModSpanning, switchlets.SpanningSrc, true
-	case "spanbug":
-		return switchlets.ModSpanning, switchlets.BuggySpanningSrc, true
-	case "dec":
-		return switchlets.ModDEC, switchlets.DECSrc, true
-	case "control":
-		return switchlets.ModControl, switchlets.ControlSrc, true
+	if len(m.Object) > 0 {
+		return m.Object, what, nil
 	}
-	return "", "", false
+	enc, err := b.Manager().Compile(m)
+	if err != nil {
+		return nil, "", err
+	}
+	return enc, strings.ToLower(m.Name) + ".swo", nil
 }

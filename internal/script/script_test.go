@@ -164,13 +164,39 @@ segment lan
 `)
 }
 
-func TestBuiltinSourceTable(t *testing.T) {
+func TestBuiltinManifestTable(t *testing.T) {
 	for _, k := range []string{"dumb", "learning", "spanning", "spanbug", "dec", "control"} {
-		if _, _, ok := BuiltinSource(k); !ok {
-			t.Errorf("missing builtin %s", k)
+		m, err := resolveManifest(k)
+		if err != nil {
+			t.Errorf("missing builtin %s: %v", k, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("builtin %s manifest invalid: %v", k, err)
 		}
 	}
-	if _, _, ok := BuiltinSource("nope"); ok {
+	if _, err := resolveManifest("nope"); err == nil {
 		t.Error("phantom builtin")
+	}
+}
+
+func TestSwitchletsAndUpgradeCommands(t *testing.T) {
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+load br0 dec
+run 35s
+switchlets br0
+upgrade br0 Decspan spanning
+run 70s
+expect br0 ieee.running yes
+expect br0 dec.running no
+`)
+	if !strings.Contains(out, "Decspan@1.0.0") {
+		t.Errorf("switchlets listing missing manifest ref:\n%s", out)
+	}
+	if !strings.Contains(out, "state=validating") {
+		t.Errorf("upgrade output missing state:\n%s", out)
 	}
 }

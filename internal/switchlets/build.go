@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/env"
 )
 
 // swl string literals for the two protocols' constants.
@@ -56,32 +57,38 @@ const (
 	ModControl  = "Control"
 )
 
-// LoadDumb compiles and loads the buffered repeater.
-func LoadDumb(b *bridge.Bridge) error { return b.CompileAndLoad(ModDumb, DumbSrc) }
-
-// LoadLearning compiles and loads the self-learning bridge (replacing the
-// dumb bridge's switching function if present).
-func LoadLearning(b *bridge.Bridge) error { return b.CompileAndLoad(ModLearning, LearningSrc) }
-
-// LoadSpanning compiles and loads the 802.1D switchlet. It starts
-// immediately unless the DEC protocol is operating (transition scenario).
-func LoadSpanning(b *bridge.Bridge) error { return b.CompileAndLoad(ModSpanning, SpanningSrc) }
-
-// LoadBuggySpanning loads the deliberately broken 802.1D variant.
-func LoadBuggySpanning(b *bridge.Bridge) error {
-	return b.CompileAndLoad(ModSpanning, BuggySpanningSrc)
+// install routes a manifest through the bridge's lifecycle manager.
+func install(b *bridge.Bridge, m env.Manifest) error {
+	_, err := b.Manager().Install(m)
+	return err
 }
 
-// LoadDEC compiles and loads the DEC-style switchlet.
-func LoadDEC(b *bridge.Bridge) error { return b.CompileAndLoad(ModDEC, DECSrc) }
+// LoadDumb installs the buffered repeater.
+func LoadDumb(b *bridge.Bridge) error { return install(b, DumbManifest()) }
 
-// LoadControl compiles and loads the protocol-transition control switchlet;
-// both protocol switchlets must already be loaded (DEC running, IEEE
-// dormant) or the load fails, per Table 1's preconditions.
-func LoadControl(b *bridge.Bridge) error { return b.CompileAndLoad(ModControl, ControlSrc) }
+// LoadLearning installs the self-learning bridge (replacing the dumb
+// bridge's switching function if present).
+func LoadLearning(b *bridge.Bridge) error { return install(b, LearningManifest()) }
 
-// LoadFullBridge loads the §5.3 stack: learning + spanning tree (the dumb
-// switchlet is superseded by learning and omitted by default).
+// LoadSpanning installs the 802.1D switchlet. It starts immediately
+// unless the DEC protocol is operating (transition scenario).
+func LoadSpanning(b *bridge.Bridge) error { return install(b, SpanningManifest()) }
+
+// LoadBuggySpanning installs the deliberately broken 802.1D variant.
+func LoadBuggySpanning(b *bridge.Bridge) error {
+	return install(b, BuggySpanningManifest())
+}
+
+// LoadDEC installs the DEC-style switchlet.
+func LoadDEC(b *bridge.Bridge) error { return install(b, DECManifest()) }
+
+// LoadControl installs the protocol-transition control switchlet; both
+// protocol switchlets must already be loaded (DEC running, IEEE dormant)
+// or the load fails, per Table 1's preconditions.
+func LoadControl(b *bridge.Bridge) error { return install(b, ControlManifest()) }
+
+// LoadFullBridge installs the §5.3 stack: learning + spanning tree (the
+// dumb switchlet is superseded by learning and omitted by default).
 func LoadFullBridge(b *bridge.Bridge) error {
 	if err := LoadLearning(b); err != nil {
 		return err

@@ -118,7 +118,8 @@ func InstallNativeSTP(b *bridge.Bridge, dec bool) (*NativeSTP, error) {
 	} else {
 		ns.addr, ns.etype, ns.timerID = ethernet.AllBridges, ethernet.TypeBPDU, "native-ieee-hello"
 	}
-	if err := b.SetNativeDstHandler(ns.addr, "native-stp", ns.onConfig); err != nil {
+	h := bridge.FrameHandler{Native: ns.onConfig, Name: "native-stp"}
+	if err := b.SetDstHandler(ns.addr, h); err != nil {
 		return nil, err
 	}
 	ns.enabled = true
@@ -133,7 +134,7 @@ func (ns *NativeSTP) Machine() *stp.Machine { return ns.m }
 func (ns *NativeSTP) Stop() {
 	ns.enabled = false
 	ns.b.CancelTimer(ns.timerID)
-	ns.b.ClearDstHandlerMAC(ns.addr)
+	ns.b.ClearDstHandler(ns.addr)
 	for p := 0; p < ns.b.NumPorts(); p++ {
 		ns.b.SetPortBlock(p, false)
 	}

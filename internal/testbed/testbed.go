@@ -8,7 +8,11 @@
 //
 // It is a thin wrapper over the declarative topology layer
 // (internal/topo): the four Paths are just four small graphs. Arbitrary
-// multi-bridge extended LANs are declared directly with topo.
+// multi-bridge extended LANs are declared directly with topo. Switchlet
+// installation flows through each bridge's lifecycle Manager (manifests
+// resolved from the declared BridgeKind), so a testbed bridge exposes
+// the same Install/Query/Upgrade surface as any SDK-embedded node —
+// Manager() is the shortcut to it.
 package testbed
 
 import (
@@ -137,6 +141,16 @@ func New(path Path, cost netsim.CostModel) *Testbed {
 // direction so measurements see steady state. It routes through the topo
 // warm-up helper, so every scenario warms identically (topo.WarmProbe).
 func (tb *Testbed) Warm() { tb.Net.Warm(tb.h1, tb.h2) }
+
+// Manager returns the bridge's switchlet lifecycle manager, for paths
+// that have a bridge; it panics on Direct/Repeater configurations, which
+// have no programmable node.
+func (tb *Testbed) Manager() *bridge.Manager {
+	if tb.Bridge == nil {
+		panic("testbed: configuration has no bridge")
+	}
+	return tb.Bridge.Manager()
+}
 
 // Fingerprint is the determinism-relevant state of a finished experiment:
 // if any optimization changes scheduling order, interpreter accounting or

@@ -35,6 +35,7 @@ import (
 
 	"github.com/switchware/activebridge/internal/baseline"
 	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
@@ -371,35 +372,42 @@ func (g *Graph) Link(n Node, s SegmentID) {
 	g.links = append(g.links, l)
 }
 
-// loadKind installs the switchlet set a bridge kind names.
+// kindManifests resolves a bridge kind to the ordered switchlet
+// manifests it installs. The returned order is the load order, which is
+// part of the determinism contract.
+func kindManifests(spec *bridgeSpec) []env.Manifest {
+	switch spec.kind {
+	case DumbBridge:
+		return []env.Manifest{switchlets.DumbManifest()}
+	case LearningBridge:
+		return []env.Manifest{switchlets.LearningManifest()}
+	case STPBridge:
+		return []env.Manifest{switchlets.LearningManifest(), switchlets.SpanningManifest()}
+	case AgilityBridge:
+		spanning := switchlets.SpanningManifest()
+		if spec.spanningSrc != "" {
+			spanning = switchlets.SpanningManifestFrom(spec.spanningSrc)
+		}
+		return []env.Manifest{
+			switchlets.LearningManifest(), switchlets.DECManifest(),
+			spanning, switchlets.ControlManifest(),
+		}
+	}
+	return nil
+}
+
+// loadKind installs the switchlet set a bridge kind names, through the
+// bridge's lifecycle manager.
 func loadKind(b *bridge.Bridge, spec *bridgeSpec) error {
 	switch spec.kind {
 	case EmptyBridge:
 		return nil
-	case DumbBridge:
-		return switchlets.LoadDumb(b)
-	case LearningBridge:
-		return switchlets.LoadLearning(b)
 	case NativeLearningBridge:
 		switchlets.InstallNativeLearning(b)
 		return nil
-	case STPBridge:
-		if err := switchlets.LoadLearning(b); err != nil {
-			return err
-		}
-		return switchlets.LoadSpanning(b)
-	case AgilityBridge:
-		src := spec.spanningSrc
-		if src == "" {
-			src = switchlets.SpanningSrc
-		}
-		for _, load := range []func() error{
-			func() error { return switchlets.LoadLearning(b) },
-			func() error { return switchlets.LoadDEC(b) },
-			func() error { return b.CompileAndLoad(switchlets.ModSpanning, src) },
-			func() error { return switchlets.LoadControl(b) },
-		} {
-			if err := load(); err != nil {
+	case DumbBridge, LearningBridge, STPBridge, AgilityBridge:
+		for _, m := range kindManifests(spec) {
+			if _, err := b.Manager().Install(m); err != nil {
 				return err
 			}
 		}

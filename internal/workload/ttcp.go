@@ -30,9 +30,9 @@ type Ttcp struct {
 	// payload into the marshalled frame and does not retain it.
 	payloadScratch []byte
 	inflight       int
-	sent      int64
-	delivered int64
-	frames    uint64
+	sent           int64
+	delivered      int64
+	frames         uint64
 
 	started netsim.Time
 	ended   netsim.Time

@@ -1,0 +1,100 @@
+package activebridge
+
+import (
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/workload"
+)
+
+// --- simulation substrate ---------------------------------------------------
+
+// Sim is one deterministic discrete-event simulation: a virtual clock
+// plus an event queue. Every network element belongs to exactly one Sim,
+// and a Sim is single-threaded by construction.
+type Sim = netsim.Sim
+
+// NewSim creates an empty simulation at virtual time zero.
+func NewSim() *Sim { return netsim.New() }
+
+// Time is an absolute virtual instant in nanoseconds.
+type Time = netsim.Time
+
+// Duration is a span of virtual time (an alias of time.Duration).
+type Duration = netsim.Duration
+
+// Common virtual-time units.
+const (
+	// Microsecond is one virtual microsecond.
+	Microsecond = netsim.Microsecond
+	// Millisecond is one virtual millisecond.
+	Millisecond = netsim.Millisecond
+	// Second is one virtual second.
+	Second = netsim.Second
+)
+
+// CostModel prices the bridge's work in virtual time: kernel crossings,
+// interpreter steps, allocation, native dispatch (paper Figure 5).
+type CostModel = netsim.CostModel
+
+// DefaultCostModel returns the calibrated cost model used by every
+// reproduction experiment.
+func DefaultCostModel() CostModel { return netsim.DefaultCostModel() }
+
+// Segment is a shared 100 Mb/s LAN segment frames broadcast across.
+type Segment = netsim.Segment
+
+// NewSegment creates a segment in the simulation.
+func NewSegment(sim *Sim, name string) *Segment { return netsim.NewSegment(sim, name) }
+
+// NIC is one network interface: attachable to a segment, with a receive
+// callback — the building block for taps and injectors.
+type NIC = netsim.NIC
+
+// NewNIC creates an unattached interface with the given MAC address.
+func NewNIC(sim *Sim, name string, mac MAC) *NIC { return netsim.NewNIC(sim, name, mac) }
+
+// MAC is a 6-byte Ethernet address.
+type MAC = ethernet.MAC
+
+// Frame is a parsed Ethernet frame (dst, src, EtherType, payload).
+type Frame = ethernet.Frame
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = ethernet.Broadcast
+
+// TypeTest is the EtherType the test traffic generators use.
+const TypeTest = ethernet.TypeTest
+
+// Host is a measurement endpoint with the minimal protocol stack the
+// paper's testbed hosts run: ARP, IPv4, UDP, ICMP echo and the test
+// traffic generators.
+type Host = workload.Host
+
+// --- the bridge itself ------------------------------------------------------
+
+// Bridge is one active network element: a node whose forwarding
+// behaviour is supplied entirely by installed switchlets. A bridge with
+// no switchlets installed forwards nothing — behaviour is code, and the
+// code is loaded.
+type Bridge = bridge.Bridge
+
+// NewBridge creates a bridge with numPorts ports in the simulation. The
+// id byte determines the bridge identity MAC (and so its spanning-tree
+// priority order).
+func NewBridge(sim *Sim, name string, id byte, numPorts int, cost CostModel) *Bridge {
+	return bridge.New(sim, name, id, numPorts, cost)
+}
+
+// IdentityMAC derives the bridge identity address from the id byte, the
+// same derivation NewBridge uses.
+func IdentityMAC(id byte) MAC { return bridge.IdentityMAC(id) }
+
+// FrameHandler is a registered packet processor: a switchlet function
+// (VM) or native Go code, registered under a name for logs and stats.
+type FrameHandler = bridge.FrameHandler
+
+// Stats aggregates one bridge's observable behaviour: frames in,
+// delivered, sent, suppressed, dropped, handler traps, and accumulated
+// VM/kernel virtual time.
+type Stats = bridge.Stats

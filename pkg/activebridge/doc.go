@@ -1,0 +1,40 @@
+// Package activebridge is the public SDK of the Active Bridge
+// reproduction: a stable, capability-scoped surface for embedding the
+// bridge runtime and managing switchlet lifecycles from outside this
+// repository.
+//
+// The paper's core contribution is a programming interface — safely
+// loading, composing and hot-swapping switchlets on a running network
+// element — and this package is that interface made first-class:
+//
+//   - Switchlet manifests (name, semantic version, required
+//     capabilities, exported handlers and timers) replace raw
+//     source-string loading. A manifest declares the bridge powers its
+//     code needs; installation rejects code importing environment
+//     modules outside the grant, before any of it runs.
+//   - The per-bridge Manager carries the whole lifecycle:
+//     Install, Query, Upgrade, Rollback, Uninstall. Upgrade generalizes
+//     the paper's §5.4 DEC→IEEE protocol transition into a library
+//     primitive — old and new switchlets co-resident, an atomic handler
+//     handoff in virtual time, state validation against the captured old
+//     protocol, and automatic rollback on a trap, a validation mismatch
+//     or late old-protocol traffic.
+//   - The simulation substrate (virtual time, segments, NICs, hosts) and
+//     the declarative topology builder are re-exported so an embedder
+//     can construct arbitrary extended LANs without reaching into
+//     internal packages.
+//
+// # Embedding
+//
+// Build a simulated network, create a bridge, and install behaviour:
+//
+//	sim := activebridge.NewSim()
+//	br := activebridge.NewBridge(sim, "br0", 1, 2, activebridge.DefaultCostModel())
+//	mgr := br.Manager()
+//	if _, err := mgr.Install(activebridge.LearningSwitchlet()); err != nil { ... }
+//	sim.Run(activebridge.Time(10 * activebridge.Second))
+//
+// See Example (embedding) for a complete runnable program, and the
+// Upgrade tests for the live protocol transition driven through this
+// API.
+package activebridge

@@ -1,0 +1,30 @@
+package activebridge
+
+import (
+	"github.com/switchware/activebridge/internal/bridge"
+)
+
+// The typed error set of the frame and lifecycle paths. Every error the
+// SDK returns wraps one of these sentinels; branch with errors.Is.
+var (
+	// ErrFrameTooShort rejects send data shorter than an Ethernet header.
+	ErrFrameTooShort = bridge.ErrFrameTooShort
+	// ErrFrameTooLong rejects send data beyond the maximum frame length.
+	ErrFrameTooLong = bridge.ErrFrameTooLong
+	// ErrNoSuchPort rejects an out-of-range port index.
+	ErrNoSuchPort = bridge.ErrNoSuchPort
+	// ErrDstBound rejects a second destination-handler registration on an
+	// address (first bind wins).
+	ErrDstBound = bridge.ErrDstBound
+	// ErrNotInstalled reports a Manager operation naming an unknown
+	// switchlet.
+	ErrNotInstalled = bridge.ErrNotInstalled
+	// ErrAlreadyInstalled rejects installing a second switchlet under a
+	// tracked name.
+	ErrAlreadyInstalled = bridge.ErrAlreadyInstalled
+	// ErrNotUpgradable reports an Upgrade over a switchlet without a
+	// complete lifecycle.
+	ErrNotUpgradable = bridge.ErrNotUpgradable
+	// ErrNoSuchFunc reports a Query of an unregistered Func name.
+	ErrNoSuchFunc = bridge.ErrNoSuchFunc
+)

@@ -1,0 +1,59 @@
+package activebridge
+
+import (
+	"github.com/switchware/activebridge/internal/env"
+)
+
+// Switchlet is a switchlet manifest: one release of loadable bridge
+// behaviour, described by name, semantic version, required capabilities,
+// exported handlers/timers, lifecycle entry points, and its code (swl
+// source or a precompiled object). Managers install manifests, never raw
+// source strings, so the capability grant is enforced on every load.
+type Switchlet = env.Manifest
+
+// Capability names one power of the bridge runtime a switchlet may hold;
+// a manifest's capability list is checked against its code's imports at
+// install time.
+type Capability = env.Capability
+
+// The capability set. Each grants one environment module group.
+const (
+	// CapLog grants logging through the host-controlled sink.
+	CapLog = env.CapLog
+	// CapClock grants virtual-time reads (and nothing else of Unix).
+	CapClock = env.CapClock
+	// CapFuncs grants the Func registry: registering named functions and
+	// calling other switchlets'.
+	CapFuncs = env.CapFuncs
+	// CapNet grants frame output, port state control and the bridge
+	// identity.
+	CapNet = env.CapNet
+	// CapDemux grants the demultiplexer and timer registration points:
+	// default handler, destination-MAC bindings, timers.
+	CapDemux = env.CapDemux
+	// CapThreads grants cooperative spawn/yield and the assertion mutex.
+	CapThreads = env.CapThreads
+)
+
+// AllCapabilities returns every defined capability — the grant for fully
+// trusted code.
+func AllCapabilities() []Capability { return env.AllCapabilities() }
+
+// CapabilityError is an install-time rejection naming each environment
+// module the code imports without a grant.
+type CapabilityError = env.CapabilityError
+
+// Version is a switchlet's semantic version.
+type Version = env.Version
+
+// ParseVersion parses "major.minor.patch".
+func ParseVersion(s string) (Version, error) { return env.ParseVersion(s) }
+
+// MustParseVersion is ParseVersion for literals; it panics on malformed
+// input.
+func MustParseVersion(s string) Version { return env.MustParseVersion(s) }
+
+// Lifecycle names a switchlet's start/stop/probe/running entry points in
+// the Func registry; a complete lifecycle is what makes a switchlet
+// upgrade-capable.
+type Lifecycle = env.Lifecycle
