@@ -3,15 +3,21 @@
 //
 //	-list          print every registered scenario and exit
 //	-run regexp    run only scenarios whose names match
-//	-parallel N    run N scenarios concurrently (0 = one per core);
-//	               outputs are byte-identical to serial, only faster
+//	-parallel N    worker budget (0 = one per core); shared between
+//	               concurrent scenarios and their shards, and outputs
+//	               stay byte-identical to serial — only faster
+//	-shards N      run each scenario's simulation sharded across N
+//	               engines (large nets only; small ones stay serial)
 //	-short         skip the slower parameter sweeps
 //	-json          emit headline numbers plus one entry per scenario as
 //	               machine-readable JSON (BENCH_*.json tracking)
+//	-baseline F    compare this run's per-scenario wall times against a
+//	               previous BENCH json and fail on >10% total regression
 //
-// All virtual-time metrics are deterministic and identical on any machine
-// and any -parallel setting; the wall-clock and allocation figures in
-// -json output measure this build on this machine.
+// All virtual-time metrics are deterministic and identical on any
+// machine, any -parallel setting and any -shards setting; the wall-clock
+// and allocation figures in -json output measure this build on this
+// machine.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/testbed"
+	"github.com/switchware/activebridge/internal/topo"
 )
 
 // benchResult is one headline measurement.
@@ -112,9 +119,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit headline results as JSON (for BENCH_*.json tracking)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	runPat := flag.String("run", "", "run only scenarios whose names match this regexp")
-	parallel := flag.Int("parallel", 1, "scenarios to run concurrently (0 = one per core)")
+	parallel := flag.Int("parallel", 1, "worker budget: scenarios×shards run concurrently (0 = one per core)")
+	shards := flag.Int("shards", 1, "shard each scenario's simulation across N engines")
+	baseline := flag.String("baseline", "", "BENCH json to diff wall times against (exit 1 on >10% total regression)")
 	flag.Parse()
 	cost := netsim.DefaultCostModel()
+
+	if *shards > 1 {
+		topo.DefaultShards = *shards
+	}
+	workers := *parallel
+	if *shards > 1 && workers != 1 {
+		// Nested parallelism shares one budget: each scenario may fan out
+		// across -shards goroutines, so fewer scenarios run at once.
+		workers = scenario.Workers(*parallel, *shards)
+	}
 
 	experiments.RegisterAll()
 
@@ -154,7 +173,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		results := scenario.RunAll(scs, cost, *parallel)
+		results := scenario.RunAll(scs, cost, workers)
 		rep := benchReport{Schema: "abbench/v2"}
 		// The headline macro-benchmarks cost seconds of wall clock; only
 		// run them for full-registry reports, not a -run subset.
@@ -188,6 +207,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *baseline != "" && !compareBaseline(*baseline, rep) {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -198,7 +220,9 @@ func main() {
 	// Stream each table as soon as it (and its predecessors) finish, so a
 	// wedged scenario is visible by name rather than as a silent terminal.
 	failed := 0
-	scenario.RunEach(scs, cost, *parallel, func(r *scenario.Result) {
+	var collected []scenarioResult
+	scenario.RunEach(scs, cost, workers, func(r *scenario.Result) {
+		collected = append(collected, scenarioResult{Name: r.Name, WallNs: r.Wall.Nanoseconds(), OK: r.OK()})
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
 			failed++
@@ -214,4 +238,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "abbench: %d of %d scenarios failed\n", failed, len(scs))
 		os.Exit(1)
 	}
+	if *baseline != "" && !compareBaseline(*baseline, benchReport{Scenarios: collected}) {
+		os.Exit(1)
+	}
+}
+
+// compareBaseline diffs this run's wall times against a previous BENCH
+// json, printing per-entry deltas, and reports whether the run stays
+// within the regression budget: the total wall time of the scenarios
+// present in both runs may not exceed the baseline total by more than
+// 10%. (Per-entry wall times on shared CI machines are too noisy to
+// gate on individually; the total is the budget that matters.)
+func compareBaseline(path string, cur benchReport) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abbench: -baseline: %v\n", err)
+		return false
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "abbench: -baseline %s: %v\n", path, err)
+		return false
+	}
+	baseWall := map[string]int64{}
+	for _, sr := range base.Scenarios {
+		baseWall[sr.Name] = sr.WallNs
+	}
+	var oldTotal, newTotal int64
+	fmt.Fprintf(os.Stderr, "baseline %s:\n", path)
+	for _, sr := range cur.Scenarios {
+		old, ok := baseWall[sr.Name]
+		if !ok || old <= 0 {
+			fmt.Fprintf(os.Stderr, "  %-28s %8.1fms  (new scenario)\n", sr.Name, float64(sr.WallNs)/1e6)
+			continue
+		}
+		oldTotal += old
+		newTotal += sr.WallNs
+		fmt.Fprintf(os.Stderr, "  %-28s %8.1fms -> %8.1fms  (%+.1f%%)\n",
+			sr.Name, float64(old)/1e6, float64(sr.WallNs)/1e6, 100*(float64(sr.WallNs)/float64(old)-1))
+	}
+	if oldTotal == 0 {
+		fmt.Fprintf(os.Stderr, "  no overlapping scenarios to compare\n")
+		return true
+	}
+	delta := 100 * (float64(newTotal)/float64(oldTotal) - 1)
+	fmt.Fprintf(os.Stderr, "  total %.1fms -> %.1fms (%+.1f%%)\n", float64(oldTotal)/1e6, float64(newTotal)/1e6, delta)
+	if float64(newTotal) > 1.10*float64(oldTotal) {
+		fmt.Fprintf(os.Stderr, "abbench: wall-time regression beyond 10%% budget\n")
+		return false
+	}
+	return true
 }

@@ -55,9 +55,9 @@ func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, err error) 
 	if err := sw.Validate(); err != nil {
 		return nil, "", err
 	}
-	var obj *vm.Object
+	var imports []string
 	if len(sw.Object) > 0 {
-		obj, err = vm.DecodeObject(sw.Object)
+		obj, err := vm.DecodeObject(sw.Object)
 		if err != nil {
 			return nil, "", fmt.Errorf("switchlet %s: %w", sw.Name, err)
 		}
@@ -65,16 +65,19 @@ func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, err error) 
 			return nil, "", fmt.Errorf("switchlet %s: object names module %s", sw.Name, obj.ModName)
 		}
 		name, enc = obj.ModName, sw.Object
+		imports = make([]string, 0, len(obj.Imports))
+		for _, ref := range obj.Imports {
+			imports = append(imports, ref.Module)
+		}
 	} else {
-		obj, _, err = vm.Compile(sw.Name, sw.Source, m.b.Loader.SigEnv())
+		// Source installs go through the process-wide object cache:
+		// installing the same switchlet on N identically-provisioned
+		// bridges compiles once.
+		ent, err := compileCached(sw.Name, sw.Source, sw.Version.String(), m.b.Loader.SigEnv())
 		if err != nil {
 			return nil, "", err
 		}
-		name, enc = sw.Name, obj.Encode()
-	}
-	imports := make([]string, 0, len(obj.Imports))
-	for _, ref := range obj.Imports {
-		imports = append(imports, ref.Module)
+		name, enc, imports = ent.name, ent.enc, ent.imports
 	}
 	if err := env.CheckImports(name, imports, sw.Capabilities); err != nil {
 		return nil, "", err

@@ -1,0 +1,78 @@
+package bridge
+
+import (
+	"crypto/sha256"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// Process-wide compiled-switchlet object cache. Installing the same
+// switchlet on N bridges — 256 learning bridges in the fat-tree
+// scenarios — compiles it exactly once; every further install reuses the
+// encoded object and its import list. Safe under concurrent scenario
+// runs and shard goroutines.
+//
+// The key pins everything compilation depends on: the module name, the
+// manifest version, the source hash, and a fingerprint of the signature
+// environment the source compiles against (the visible module set plus
+// the implicit open). Distinct sources under one name — the buggy
+// 802.1D variant, instrumented spanning trees — hash to distinct
+// entries; identical installs on identically-provisioned nodes hit.
+type objectCacheKey struct {
+	name    string
+	version string
+	srcSum  [32]byte
+	env     string
+}
+
+type objectCacheEntry struct {
+	name    string
+	enc     []byte
+	imports []string
+}
+
+var (
+	objectCache              sync.Map // objectCacheKey -> *objectCacheEntry
+	objectHits, objectMisses atomic.Uint64
+)
+
+// envFingerprint digests the compilation environment: which module
+// signatures are visible and what the implicit open is.
+func envFingerprint(se *vm.SigEnv) string {
+	mods := se.Modules()
+	sort.Strings(mods)
+	return se.Implicit + "|" + strings.Join(mods, ",")
+}
+
+// CompileCacheStats reports cumulative process-wide cache hits and
+// misses (for tests and capacity diagnostics).
+func CompileCacheStats() (hits, misses uint64) {
+	return objectHits.Load(), objectMisses.Load()
+}
+
+// compileCached compiles name/source against the signature environment,
+// reusing a previous identical compilation when available. The returned
+// entry is shared: callers must treat enc and imports as immutable.
+func compileCached(name, source, version string, se *vm.SigEnv) (*objectCacheEntry, error) {
+	key := objectCacheKey{name: name, version: version, srcSum: sha256.Sum256([]byte(source)), env: envFingerprint(se)}
+	if v, ok := objectCache.Load(key); ok {
+		objectHits.Add(1)
+		return v.(*objectCacheEntry), nil
+	}
+	obj, _, err := vm.Compile(name, source, se)
+	if err != nil {
+		return nil, err
+	}
+	imports := make([]string, 0, len(obj.Imports))
+	for _, ref := range obj.Imports {
+		imports = append(imports, ref.Module)
+	}
+	ent := &objectCacheEntry{name: name, enc: obj.Encode(), imports: imports}
+	objectMisses.Add(1)
+	actual, _ := objectCache.LoadOrStore(key, ent)
+	return actual.(*objectCacheEntry), nil
+}

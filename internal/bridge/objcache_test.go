@@ -1,0 +1,70 @@
+package bridge
+
+import (
+	"testing"
+
+	"github.com/switchware/activebridge/internal/env"
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+// TestCompileCacheHit pins the satellite contract of the object cache:
+// installing one switchlet source on N bridges compiles it once, and a
+// changed source (same name and version) misses.
+func TestCompileCacheHit(t *testing.T) {
+	sim := netsim.New()
+	cost := netsim.DefaultCostModel()
+	mk := func(src string) env.Manifest {
+		return env.Manifest{
+			Name:         "CacheProbe",
+			Version:      env.Version{Major: 1},
+			Capabilities: []env.Capability{env.CapLog},
+			Source:       src,
+		}
+	}
+	const srcA = `let probed = ref 0
+let _ = Log.log "cache probe installed"`
+
+	h0, m0 := CompileCacheStats()
+	b1 := New(sim, "b1", 1, 2, cost)
+	if _, err := b1.Manager().Install(mk(srcA)); err != nil {
+		t.Fatalf("first install: %v", err)
+	}
+	h1, m1 := CompileCacheStats()
+	if m1 != m0+1 || h1 != h0 {
+		t.Fatalf("first install: want 1 miss 0 hits, got %d misses %d hits", m1-m0, h1-h0)
+	}
+
+	// Same source on nine more bridges: no further compilation.
+	for i := 2; i <= 10; i++ {
+		b := New(sim, "b", byte(i), 2, cost)
+		if _, err := b.Manager().Install(mk(srcA)); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+	h2, m2 := CompileCacheStats()
+	if m2 != m1 || h2 != h1+9 {
+		t.Fatalf("replicated installs: want 9 hits 0 misses, got %d hits %d misses", h2-h1, m2-m1)
+	}
+
+	// A different source under the same name and version must miss: the
+	// key includes the source hash, so a patched switchlet can never be
+	// served a stale object.
+	b := New(sim, "bx", 11, 2, cost)
+	if _, err := b.Manager().Install(mk(srcA + `
+let extra = ref 1`)); err != nil {
+		t.Fatalf("patched install: %v", err)
+	}
+	h3, m3 := CompileCacheStats()
+	if m3 != m2+1 || h3 != h2 {
+		t.Fatalf("patched source: want a miss, got %d hits %d misses", h3-h2, m3-m2)
+	}
+
+	// A cache hit still enforces the manifest's capability grant: the
+	// same object under an insufficient grant is rejected at link time.
+	weak := mk(srcA)
+	weak.Capabilities = nil
+	bw := New(sim, "bw", 12, 2, cost)
+	if _, err := bw.Manager().Install(weak); err == nil {
+		t.Fatal("capability-stripped manifest must not install from cache")
+	}
+}

@@ -259,4 +259,5 @@ func registerAll() {
 		tableOnly(AblationGCPressure), wantRows(4)).Slow = true
 
 	registerScale()
+	registerMegaScale()
 }

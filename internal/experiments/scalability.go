@@ -53,6 +53,9 @@ func runScalability(pairs int, cost netsim.CostModel) (aggregate, perStream, uti
 		g.Link(bID, lanA) // bridge port 2i
 		g.Link(dsts[i], lanB)
 		g.Link(bID, lanB) // bridge port 2i+1
+		// Each stream is a closed loop between its pair (unmodelled ACK
+		// channel), so the pair must share a shard.
+		g.Affine(srcs[i], dsts[i])
 	}
 	net := g.MustBuild(cost)
 	sim, b := net.Sim, net.Bridge(bID)

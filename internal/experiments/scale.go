@@ -44,6 +44,10 @@ func Chain16(cost netsim.CostModel) (*trace.Table, error) {
 	}
 	g.Link(h1, segs[0])
 	g.Link(h2, segs[nBridges])
+	// The ttcp stream is closed-loop (delivery at h2 releases h1's next
+	// segment without a modelled ACK frame), so the pair must share a
+	// shard; the bridges between them still spread across cores.
+	g.Affine(h1, h2)
 	net, err := g.Build(cost)
 	if err != nil {
 		return nil, err
@@ -159,11 +163,12 @@ func Tree64(cost netsim.CostModel) (*trace.Table, error) {
 			}
 		}
 	}
+	first, last := hosts[0], hosts[len(hosts)-1]
+	g.Affine(first, last) // closed-loop ttcp pair (see Chain16)
 	net, err := g.Build(cost)
 	if err != nil {
 		return nil, err
 	}
-	first, last := hosts[0], hosts[len(hosts)-1]
 
 	// Settle the conversation, then measure cross-tree latency.
 	net.Warm(first, last)
@@ -217,6 +222,7 @@ func MixedFabric(cost netsim.CostModel) (*trace.Table, error) {
 	g.Link(br2, segs[3])
 	g.Link(br2, segs[4])
 	g.Link(h2, segs[4])
+	g.Affine(h1, h2) // closed-loop ttcp pair (see Chain16)
 	net, err := g.Build(cost)
 	if err != nil {
 		return nil, err
@@ -259,6 +265,7 @@ func HotSwap(cost netsim.CostModel) (*trace.Table, error) {
 	g.Link(bID, lan2)
 	g.Link(bystander, lan3)
 	g.Link(bID, lan3)
+	g.Affine(h1, h2) // closed-loop ttcp pair (see Chain16)
 	net, err := g.Build(cost)
 	if err != nil {
 		return nil, err

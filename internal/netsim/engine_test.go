@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+)
+
+// pingPongNet wires two NICs across one segment and bounces a frame back
+// and forth: each side, on receive, schedules an echo after a fixed think
+// time. It exercises both cross-shard directions of a cut segment (the
+// remote transmit request path and the remote delivery path) when a and b
+// live in different engines.
+type pingPongNet struct {
+	segA    *Segment
+	nicA    *NIC
+	nicB    *NIC
+	aEchoes uint64
+	bEchoes uint64
+}
+
+func buildPingPong(simA, simB *Sim, echoes int) *pingPongNet {
+	n := &pingPongNet{}
+	n.segA = NewSegment(simA, "cut")
+	n.nicA = NewNIC(simA, "a", ethernet.MAC{2, 0, 0, 0, 0, 1})
+	n.nicB = NewNIC(simB, "b", ethernet.MAC{2, 0, 0, 0, 0, 2})
+	n.segA.Attach(n.nicA)
+	n.segA.Attach(n.nicB)
+	n.nicA.Promiscuous = true
+	n.nicB.Promiscuous = true
+	n.nicA.SetRecv(func(nic *NIC, raw []byte) {
+		if int(n.aEchoes) >= echoes {
+			return
+		}
+		n.aEchoes++
+		simA.After(7*Microsecond, func() { n.nicA.Send(raw) })
+	})
+	n.nicB.SetRecv(func(nic *NIC, raw []byte) {
+		if int(n.bEchoes) >= echoes {
+			return
+		}
+		n.bEchoes++
+		simB.After(13*Microsecond, func() { n.nicB.Send(raw) })
+	})
+	return n
+}
+
+func mustFrame(t *testing.T, dst, src ethernet.MAC, payload int) []byte {
+	t.Helper()
+	fr := ethernet.Frame{Dst: dst, Src: src, Type: ethernet.TypeTest, Payload: make([]byte, payload)}
+	raw, err := fr.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return raw
+}
+
+type pingPongResult struct {
+	aEchoes, bEchoes   uint64
+	aRx, bRx, aTx, bTx uint64
+	frames             uint64
+	busy               Duration
+	now                Time
+}
+
+func (n *pingPongNet) result(now Time) pingPongResult {
+	return pingPongResult{
+		aEchoes: n.aEchoes, bEchoes: n.bEchoes,
+		aRx: n.nicA.RxFrames, bRx: n.nicB.RxFrames,
+		aTx: n.nicA.TxFrames, bTx: n.nicB.TxFrames,
+		frames: n.segA.Frames, busy: n.segA.BusyTime, now: now,
+	}
+}
+
+func runPingPongSerial(t *testing.T, echoes int) pingPongResult {
+	sim := New()
+	n := buildPingPong(sim, sim, echoes)
+	raw := mustFrame(t, n.nicB.MAC, n.nicA.MAC, 100)
+	sim.Schedule(1, func() { n.nicA.Send(raw) })
+	sim.Run(Time(Second))
+	return n.result(sim.Now())
+}
+
+func runPingPongSharded(t *testing.T, echoes int) pingPongResult {
+	c := NewCoordinator(2)
+	n := buildPingPong(c.Shard(0), c.Shard(1), echoes)
+	raw := mustFrame(t, n.nicB.MAC, n.nicA.MAC, 100)
+	c.Control().Schedule(1, func() { n.nicA.Send(raw) })
+	c.Control().Run(Time(Second))
+	return n.result(c.Control().Now())
+}
+
+// TestShardedPingPongMatchesSerial pins the sharded engine's result to the
+// serial engine's on a closed-loop exchange across a cut segment: both
+// cross directions (request and delivery channels) are on the critical
+// path of every echo.
+func TestShardedPingPongMatchesSerial(t *testing.T) {
+	want := runPingPongSerial(t, 200)
+	if want.aEchoes != 200 || want.bEchoes != 200 {
+		t.Fatalf("serial harness broken: %+v", want)
+	}
+	got := runPingPongSharded(t, 200)
+	if got != want {
+		t.Fatalf("sharded result deviates from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardedDeterministic runs the sharded exchange repeatedly: wall-clock
+// goroutine scheduling must never change any virtual outcome.
+func TestShardedDeterministic(t *testing.T) {
+	first := runPingPongSharded(t, 150)
+	for i := 0; i < 10; i++ {
+		if got := runPingPongSharded(t, 150); got != first {
+			t.Fatalf("run %d deviates:\n got %+v\nwant %+v", i, got, first)
+		}
+	}
+}
+
+// TestShardedContendedMediumMatchesSerial makes both sides of a cut
+// segment transmit bursts that overlap in virtual time, so the owner-side
+// serialization of the shared medium (busyUntil FIFO) is what decides
+// every delivery time. The sharded run must reproduce the serial medium
+// schedule exactly.
+func TestShardedContendedMediumMatchesSerial(t *testing.T) {
+	build := func(simA, simB *Sim, ctl *Sim) (*Segment, *NIC, *NIC) {
+		seg := NewSegment(simA, "cut")
+		a := NewNIC(simA, "a", ethernet.MAC{2, 0, 0, 0, 1, 1})
+		b := NewNIC(simB, "b", ethernet.MAC{2, 0, 0, 0, 1, 2})
+		seg.Attach(a)
+		seg.Attach(b)
+		a.SetRecv(func(*NIC, []byte) {})
+		b.SetRecv(func(*NIC, []byte) {})
+		rawA := ethernet.Frame{Dst: b.MAC, Src: a.MAC, Type: ethernet.TypeTest, Payload: make([]byte, 400)}
+		rawB := ethernet.Frame{Dst: a.MAC, Src: b.MAC, Type: ethernet.TypeTest, Payload: make([]byte, 900)}
+		fa, _ := rawA.Marshal()
+		fb, _ := rawB.Marshal()
+		// Overlapping bursts from both sides at staggered instants.
+		for i := 0; i < 50; i++ {
+			at := Time(i) * Time(20*Microsecond)
+			ctl.Schedule(at+1, func() { a.Send(fa); a.Send(fa) })
+			ctl.Schedule(at+1, func() { b.Send(fb) })
+		}
+		return seg, a, b
+	}
+
+	serialSim := New()
+	seg0, a0, b0 := build(serialSim, serialSim, serialSim)
+	serialSim.Run(Time(Second))
+
+	c := NewCoordinator(2)
+	seg1, a1, b1 := build(c.Shard(0), c.Shard(1), c.Control())
+	c.Control().Run(Time(Second))
+
+	if seg0.Frames != seg1.Frames || seg0.Bytes != seg1.Bytes || seg0.BusyTime != seg1.BusyTime {
+		t.Fatalf("medium schedule deviates: serial frames=%d bytes=%d busy=%v, sharded frames=%d bytes=%d busy=%v",
+			seg0.Frames, seg0.Bytes, seg0.BusyTime, seg1.Frames, seg1.Bytes, seg1.BusyTime)
+	}
+	if a0.RxFrames != a1.RxFrames || b0.RxFrames != b1.RxFrames || a0.TxFrames != a1.TxFrames || b0.TxFrames != b1.TxFrames {
+		t.Fatalf("NIC accounting deviates: serial a=(%d,%d) b=(%d,%d), sharded a=(%d,%d) b=(%d,%d)",
+			a0.RxFrames, a0.TxFrames, b0.RxFrames, b0.TxFrames,
+			a1.RxFrames, a1.TxFrames, b1.RxFrames, b1.TxFrames)
+	}
+	if got, want := seg1.Utilization(Duration(Second)), seg0.Utilization(Duration(Second)); got != want {
+		t.Fatalf("utilization deviates: sharded %v serial %v", got, want)
+	}
+}
+
+// TestShardedChainMatchesSerial runs a three-shard relay (a -> b -> c over
+// two cut segments) so conservative bounds must propagate transitively
+// through the middle shard.
+func TestShardedChainMatchesSerial(t *testing.T) {
+	build := func(s0, s1, s2, ctl *Sim) (relay *NIC, sink *NIC) {
+		segAB := NewSegment(s0, "ab")
+		segBC := NewSegment(s1, "bc")
+		a := NewNIC(s0, "a", ethernet.MAC{2, 0, 0, 0, 2, 1})
+		b1 := NewNIC(s1, "b1", ethernet.MAC{2, 0, 0, 0, 2, 2})
+		b2 := NewNIC(s1, "b2", ethernet.MAC{2, 0, 0, 0, 2, 3})
+		cc := NewNIC(s2, "c", ethernet.MAC{2, 0, 0, 0, 2, 4})
+		segAB.Attach(a)
+		segAB.Attach(b1)
+		segBC.Attach(b2)
+		segBC.Attach(cc)
+		b1.Promiscuous = true
+		cc.Promiscuous = true
+		b1.SetRecv(func(_ *NIC, raw []byte) {
+			// Forward after a per-hop cost on the middle shard's clock.
+			s1.After(5*Microsecond, func() { b2.Send(raw) })
+		})
+		cc.SetRecv(func(*NIC, []byte) {})
+		fr := ethernet.Frame{Dst: cc.MAC, Src: a.MAC, Type: ethernet.TypeTest, Payload: make([]byte, 300)}
+		raw, _ := fr.Marshal()
+		for i := 0; i < 100; i++ {
+			at := Time(i) * Time(40*Microsecond)
+			ctl.Schedule(at+1, func() { a.Send(raw) })
+		}
+		return b2, cc
+	}
+
+	sim := New()
+	r0, k0 := build(sim, sim, sim, sim)
+	sim.Run(Time(Second))
+
+	c := NewCoordinator(3)
+	r1, k1 := build(c.Shard(0), c.Shard(1), c.Shard(2), c.Control())
+	c.Control().Run(Time(Second))
+
+	if k0.RxFrames != k1.RxFrames || r0.TxFrames != r1.TxFrames {
+		t.Fatalf("relay deviates: serial rx=%d tx=%d, sharded rx=%d tx=%d",
+			k0.RxFrames, r0.TxFrames, k1.RxFrames, r1.TxFrames)
+	}
+	if k1.RxFrames != 100 {
+		t.Fatalf("sink received %d of 100 frames", k1.RxFrames)
+	}
+	if got, want := c.Control().Now(), sim.Now(); got != want {
+		t.Fatalf("final clock deviates: sharded %v serial %v", got, want)
+	}
+}

@@ -6,6 +6,56 @@ import (
 	"github.com/switchware/activebridge/internal/ethernet"
 )
 
+// txq is the bounded transmit backlog and drain latch shared by a NIC
+// and its owner-side proxy on a cut segment (xport): one state machine,
+// so serial and sharded transmit pacing can never diverge. The consumed
+// prefix is reclaimed when the queue drains, so steady-state sends do
+// not allocate.
+type txq struct {
+	q    [][]byte
+	head int
+	busy bool
+}
+
+// offer appends raw unless the queue already holds limit frames. It
+// reports whether the frame was accepted and whether the caller must
+// start the drain (the queue was idle).
+func (t *txq) offer(raw []byte, limit int) (accepted, start bool) {
+	if len(t.q)-t.head >= limit {
+		return false, false
+	}
+	t.q = append(t.q, raw)
+	if !t.busy {
+		t.busy = true
+		return true, true
+	}
+	return true, false
+}
+
+// next yields the next frame to transmit, or clears the busy latch and
+// reports false when the backlog is drained.
+func (t *txq) next() ([]byte, bool) {
+	if t.head == len(t.q) {
+		t.q = t.q[:0]
+		t.head = 0
+		t.busy = false
+		return nil, false
+	}
+	if t.head >= 64 {
+		// Compact under sustained backlog so the backing array stays
+		// bounded by the queue limit, not the run length.
+		t.q = t.q[:copy(t.q, t.q[t.head:])]
+		t.head = 0
+	}
+	raw := t.q[t.head]
+	t.q[t.head] = nil
+	t.head++
+	return raw, true
+}
+
+// backlog reports the queued frame count.
+func (t *txq) backlog() int { return len(t.q) - t.head }
+
 // RecvFunc is invoked (at interrupt level, in the paper's terms) when a NIC
 // accepts a frame. raw is the encoded frame including FCS; handlers that
 // need decoded fields should use ethernet.Frame.Unmarshal or the Peek
@@ -39,12 +89,11 @@ type NIC struct {
 
 	// TxQueueLimit bounds the output queue in frames (default 128).
 	TxQueueLimit int
-	// txQueue[txHead:] is the transmit backlog; the consumed prefix is
-	// reclaimed when the queue drains, so steady-state sends do not
-	// allocate.
-	txQueue [][]byte
-	txHead  int
-	txBusy  bool
+	// xport is the owner-shard transmit proxy when this NIC is attached to
+	// a cut segment owned by another shard (sharded simulations only).
+	xport *xport
+	// tx is the transmit backlog and drain latch.
+	tx txq
 	// drainFn is the drain callback allocated once, not per transmission.
 	drainFn func()
 
@@ -102,18 +151,24 @@ func (n *NIC) accepts(raw []byte) bool {
 }
 
 // Send queues an encoded frame for transmission. It reports whether the
-// frame was accepted (false means the transmit queue overflowed).
+// frame was accepted (false means the transmit queue overflowed). When
+// the attached segment lives in another shard, the frame crosses through
+// the coordinator to be serialized onto the medium at this exact instant;
+// overflow is then accounted on the owner side and Send reports true.
 func (n *NIC) Send(raw []byte) bool {
 	if n.segment == nil {
 		panic(fmt.Sprintf("netsim: NIC %s (%v) not attached to a segment", n.Name, n.MAC))
 	}
-	if len(n.txQueue)-n.txHead >= n.TxQueueLimit {
+	if n.xport != nil {
+		n.sim.coord.postRequest(n, raw)
+		return true
+	}
+	accepted, start := n.tx.offer(raw, n.TxQueueLimit)
+	if !accepted {
 		n.TxDrops++
 		return false
 	}
-	n.txQueue = append(n.txQueue, raw)
-	if !n.txBusy {
-		n.txBusy = true
+	if start {
 		n.drain()
 	}
 	return true
@@ -129,28 +184,23 @@ func (n *NIC) SendFrame(f *ethernet.Frame) (bool, error) {
 }
 
 func (n *NIC) drain() {
-	if n.txHead == len(n.txQueue) {
-		n.txQueue = n.txQueue[:0]
-		n.txHead = 0
-		n.txBusy = false
+	raw, ok := n.tx.next()
+	if !ok {
 		return
 	}
-	if n.txHead >= 64 {
-		// Compact under sustained backlog so the backing array stays
-		// bounded by the queue limit, not the run length.
-		n.txQueue = n.txQueue[:copy(n.txQueue, n.txQueue[n.txHead:])]
-		n.txHead = 0
-	}
-	raw := n.txQueue[n.txHead]
-	n.txQueue[n.txHead] = nil
-	n.txHead++
 	n.TxFrames++
 	n.TxBytes += uint64(len(raw))
 	done := n.segment.transmit(n, raw)
 	n.sim.Schedule(done, n.drainFn)
 }
 
-// TxQueueLen reports the current transmit backlog in frames.
-func (n *NIC) TxQueueLen() int { return len(n.txQueue) - n.txHead }
+// TxQueueLen reports the current transmit backlog in frames (for a NIC on
+// a cut segment, read it only at quiescent points).
+func (n *NIC) TxQueueLen() int {
+	if n.xport != nil {
+		return n.xport.queueLen()
+	}
+	return n.tx.backlog()
+}
 
 func (n *NIC) String() string { return fmt.Sprintf("%s(%v)", n.Name, n.MAC) }

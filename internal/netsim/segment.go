@@ -30,17 +30,51 @@ type Segment struct {
 	lastStart Time
 }
 
+// Default medium parameters (NewSegment's initial values).
+const (
+	// DefaultRateBps is the default signalling rate: 100 Mb/s Ethernet.
+	DefaultRateBps = 100e6
+	// DefaultPropagation is the default one-way propagation delay (a
+	// short in-room LAN).
+	DefaultPropagation = 500 * Nanosecond
+)
+
 // NewSegment creates a 100 Mbps segment attached to the simulation.
 func NewSegment(sim *Sim, name string) *Segment {
-	return &Segment{Name: name, sim: sim, Bps: 100e6, Propagation: 500 * Nanosecond}
+	return &Segment{Name: name, sim: sim, Bps: DefaultRateBps, Propagation: DefaultPropagation}
+}
+
+// MinWireLatency returns the smallest source-to-sink latency a segment
+// with the given rate and propagation can exhibit: the empty-frame wire
+// overhead plus propagation. It is the lookahead a cut through such a
+// segment gives the sharded engine, and what the partitioner's
+// cut-scoring heuristic weighs — one definition for both.
+func MinWireLatency(bps float64, propagation Duration) Duration {
+	return Duration(float64(ethernet.OverheadBits)/bps*1e9) + propagation
 }
 
 // Attach connects a NIC to the segment. A NIC may be attached to exactly one
 // segment; Attach panics on a second attachment (a wiring bug, not a runtime
 // condition).
+//
+// In a sharded simulation a NIC bound to a different shard engine may be
+// attached, making this a cut segment: the NIC's transmit queue moves to
+// an owner-side proxy and its deliveries cross through the coordinator.
+// The segment must live in the lowest shard among its attachments (the
+// topology builder guarantees this), so the zero-lookahead transmit
+// direction always points from a higher shard to a lower one.
 func (g *Segment) Attach(n *NIC) {
 	if n.segment != nil {
 		panic(fmt.Sprintf("netsim: NIC %v already attached to %s", n.MAC, n.segment.Name))
+	}
+	if n.sim != g.sim {
+		c := g.sim.coord
+		if c == nil || n.sim.coord != c {
+			panic(fmt.Sprintf("netsim: NIC %v and segment %s belong to different simulations", n.MAC, g.Name))
+		}
+		n.xport = newXport(n, g)
+		c.ports = append(c.ports, n.xport)
+		c.linkCut(g, n.sim.shard)
 	}
 	n.segment = g
 	g.nics = append(g.nics, n)
@@ -76,6 +110,10 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 	arrive := end.Add(g.Propagation)
 	for _, nic := range g.nics {
 		if nic == from {
+			continue
+		}
+		if nic.sim != g.sim {
+			g.sim.coord.postDelivery(g, nic, arrive, raw)
 			continue
 		}
 		g.sim.scheduleDeliver(arrive, nic, raw)

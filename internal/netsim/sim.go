@@ -19,17 +19,51 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 )
 
-// eventKey is a heap entry: the (at, seq) ordering key plus the index of
-// the event's payload in the simulation's payload slab. Keys are
+// ErrPastEvent tags the panic raised when a StrictPast engine sees an
+// event scheduled strictly before the current instant (use errors.Is on
+// the recovered value).
+var ErrPastEvent = errors.New("netsim: event scheduled in the past")
+
+// eventKey is a heap entry: the ordering key plus the index of the
+// event's payload in the simulation's payload slab. Keys are
 // pointer-free, so sifting them around the heap involves no GC write
 // barriers — the dominant cost of a pointer-per-event heap.
+//
+// Events order by (at, genAt, src, seq): execution instant, then the
+// virtual instant the event was scheduled, then the scheduling engine's
+// rank, then the engine-local sequence. On a serial simulation this is
+// provably the plain (at, seq) order — sequence numbers are assigned in
+// execution order, so seq strictly refines (genAt, src) — and the extra
+// fields cost only a few never-taken comparisons. On a sharded
+// simulation the key is what makes cross-shard merges reproduce serial
+// scheduling order: a frame delivery folded in from another shard
+// carries the virtual instant it was scheduled there, and lands between
+// local events exactly where the serial engine would have sequenced it,
+// however the wall clock interleaved the shards.
 type eventKey struct {
-	at  Time
-	seq uint64
-	idx int32
+	at    Time
+	genAt Time
+	seq   uint64
+	src   int32
+	idx   int32
+}
+
+// before reports strict ordering of heap keys.
+func (k *eventKey) before(o *eventKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
+	}
+	if k.genAt != o.genAt {
+		return k.genAt < o.genAt
+	}
+	if k.src != o.src {
+		return k.src < o.src
+	}
+	return k.seq < o.seq
 }
 
 // eventPayload holds what a scheduled event does. Frame deliveries (nic +
@@ -58,7 +92,7 @@ type eventQueue struct {
 func (q *eventQueue) len() int { return len(q.keys) }
 
 // push schedules a payload under the given key, sifting up.
-func (q *eventQueue) push(at Time, seq uint64, p eventPayload) {
+func (q *eventQueue) push(k eventKey, p eventPayload) {
 	var idx int32
 	if n := len(q.free); n > 0 {
 		idx = q.free[n-1]
@@ -68,13 +102,14 @@ func (q *eventQueue) push(at Time, seq uint64, p eventPayload) {
 		q.payloads = append(q.payloads, eventPayload{})
 	}
 	q.payloads[idx] = p
+	k.idx = idx
 
-	q.keys = append(q.keys, eventKey{at: at, seq: seq, idx: idx})
+	q.keys = append(q.keys, k)
 	h := q.keys
 	i := len(h) - 1
 	for i > 0 {
 		par := (i - 1) / 4
-		if h[par].at < h[i].at || (h[par].at == h[i].at && h[par].seq < h[i].seq) {
+		if h[par].before(&h[i]) {
 			break
 		}
 		h[i], h[par] = h[par], h[i]
@@ -104,11 +139,11 @@ func (q *eventQueue) pop() (Time, eventPayload) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if h[c].at < h[min].at || (h[c].at == h[min].at && h[c].seq < h[min].seq) {
+			if h[c].before(&h[min]) {
 				min = c
 			}
 		}
-		if h[i].at < h[min].at || (h[i].at == h[min].at && h[i].seq < h[min].seq) {
+		if h[i].before(&h[min]) {
 			break
 		}
 		h[i], h[min] = h[min], h[i]
@@ -120,7 +155,9 @@ func (q *eventQueue) pop() (Time, eventPayload) {
 	return top.at, p
 }
 
-// Sim is a discrete-event simulation. The zero value is not usable; call New.
+// Sim is a discrete-event simulation engine. The zero value is not
+// usable; call New for a serial simulation or NewCoordinator for a
+// sharded one (whose per-shard engines and control engine are all Sims).
 type Sim struct {
 	now    Time
 	queue  eventQueue
@@ -128,9 +165,32 @@ type Sim struct {
 	// Halted is set by Stop and ends Run early.
 	halted bool
 	// MaxEvents guards runaway simulations (e.g. broadcast storms in the
-	// loop-without-spanning-tree experiments). Zero means no limit.
+	// loop-without-spanning-tree experiments). Zero means no limit. On a
+	// sharded simulation the cap is enforced globally but the exact
+	// stopping event is not serial-identical; treat it as a guard, not a
+	// measurement.
 	MaxEvents uint64
 	executed  uint64
+
+	// StrictPast makes scheduling strictly in the past panic with an error
+	// wrapping ErrPastEvent instead of silently clamping to now — a debug
+	// mode for flushing out causality bugs, which sharded execution
+	// depends on never happening.
+	StrictPast bool
+
+	// coord/shard bind this engine into a sharded simulation (nil/-1 for
+	// the control engine; nil/0 value for a plain serial Sim). lastAt is
+	// the time of the last executed event, which the coordinator uses to
+	// reconstruct the serial clock at quiescence. rank is the engine's
+	// position in event-key src ordering (0 serial; shard index; -1
+	// control), and curGenAt is the genAt of the event currently being
+	// dispatched — the serial scheduling position inherited by any
+	// cross-shard transmit it performs.
+	coord    *Coordinator
+	shard    int
+	lastAt   Time
+	rank     int32
+	curGenAt Time
 }
 
 // New creates an empty simulation at time zero.
@@ -141,37 +201,46 @@ func New() *Sim {
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
+// clampPast guards against scheduling strictly in the past: the event is
+// clamped to run at the current instant (after already pending events for
+// that instant), or panics in StrictPast mode. Sharded execution depends
+// on this invariant: a conservative shard clock never runs backwards, so
+// an event scheduled behind now is always a causality bug in the caller.
+func (s *Sim) clampPast(at Time) Time {
+	if at < s.now {
+		if s.StrictPast {
+			panic(fmt.Errorf("%w: scheduled %v behind %v", ErrPastEvent, at, s.now))
+		}
+		return s.now
+	}
+	return at
+}
+
 // Schedule runs fn at the given absolute time. Scheduling in the past (or at
 // the present instant) runs the event at the current time, after already
-// pending events for that time. Events scheduled at the same instant run in
-// scheduling order.
+// pending events for that time (see StrictPast). Events scheduled at the
+// same instant run in scheduling order.
 func (s *Sim) Schedule(at Time, fn func()) {
-	if at < s.now {
-		at = s.now
-	}
+	at = s.clampPast(at)
 	s.nextID++
-	s.queue.push(at, s.nextID, eventPayload{fn: fn})
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{fn: fn})
 }
 
 // ScheduleBytes runs fn(raw) at the given absolute time without allocating
 // a closure; fn is typically a callback cached once per component.
 // Ordering is identical to Schedule with the same timestamp.
 func (s *Sim) ScheduleBytes(at Time, fn func([]byte), raw []byte) {
-	if at < s.now {
-		at = s.now
-	}
+	at = s.clampPast(at)
 	s.nextID++
-	s.queue.push(at, s.nextID, eventPayload{bfn: fn, raw: raw})
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{bfn: fn, raw: raw})
 }
 
 // scheduleDeliver schedules delivery of raw to nic without allocating a
 // closure; ordering is identical to Schedule with the same timestamp.
 func (s *Sim) scheduleDeliver(at Time, nic *NIC, raw []byte) {
-	if at < s.now {
-		at = s.now
-	}
+	at = s.clampPast(at)
 	s.nextID++
-	s.queue.push(at, s.nextID, eventPayload{nic: nic, raw: raw})
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{nic: nic, raw: raw})
 }
 
 // dispatch runs one popped event.
@@ -191,11 +260,21 @@ func (e *eventPayload) dispatch() {
 func (s *Sim) After(d Duration, fn func()) { s.Schedule(s.now.Add(d), fn) }
 
 // Stop halts the simulation: Run returns after the current event.
-func (s *Sim) Stop() { s.halted = true }
+func (s *Sim) Stop() {
+	s.halted = true
+	if s.coord != nil {
+		s.coord.Stop()
+	}
+}
 
 // Run executes events until the queue is empty, the deadline passes, Stop is
 // called, or MaxEvents is exceeded. It returns the number of events executed.
+// On an engine belonging to a sharded simulation, Run drives the whole
+// coordinated simulation (all shards plus control) to the deadline.
 func (s *Sim) Run(until Time) uint64 {
+	if s.coord != nil {
+		return s.coord.Run(until)
+	}
 	start := s.executed
 	for s.queue.len() > 0 && !s.halted {
 		if s.queue.keys[0].at > until {
@@ -215,8 +294,19 @@ func (s *Sim) Run(until Time) uint64 {
 	return s.executed - start
 }
 
+// peekKey returns the head event's ordering key, if any.
+func (s *Sim) peekKey() (eventKey, bool) {
+	if s.queue.len() == 0 {
+		return eventKey{}, false
+	}
+	return s.queue.keys[0], true
+}
+
 // RunAll executes events until the queue is empty or Stop is called.
 func (s *Sim) RunAll() uint64 {
+	if s.coord != nil {
+		return s.coord.RunAll()
+	}
 	start := s.executed
 	for s.queue.len() > 0 && !s.halted {
 		at, e := s.queue.pop()
@@ -230,8 +320,14 @@ func (s *Sim) RunAll() uint64 {
 	return s.executed - start
 }
 
-// Pending reports the number of queued events.
-func (s *Sim) Pending() int { return s.queue.len() }
+// Pending reports the number of queued events (across all shards, for an
+// engine belonging to a sharded simulation).
+func (s *Sim) Pending() int {
+	if s.coord != nil {
+		return s.coord.Pending()
+	}
+	return s.queue.len()
+}
 
 // CPU models a serially shared processing resource (one per node). Work
 // submitted to the CPU executes in submission order; each item occupies the

@@ -53,6 +53,9 @@ var goldenFingerprints = map[string]string{
 	"scale-mixed-fabric":          "4177b6925969f837",
 	"scale-hotswap":               "8c602d684ae8e1ea",
 	"scale-broadcast-storm":       "e7148a6218f3c778",
+	"scale-fattree256":            "51948f6205ae6da8",
+	"scale-ring8-upgrade":         "b8f0ed21ca425a12",
+	"scale-storm-containment":     "c49013bbe3c70a3e",
 }
 
 // TestScenarioGoldenFingerprints pins every registered scenario's

@@ -57,11 +57,29 @@ func runOne(s *Scenario, cost netsim.CostModel) (res Result) {
 
 // RunAll executes the scenarios with at most parallel workers and
 // returns results in input order. parallel < 1 means one worker per
-// core. Each scenario builds its own single-threaded simulation, so
-// every virtual-time output and fingerprint is byte-identical to serial
-// execution — parallelism buys wall-clock only.
+// core. Each scenario builds its own simulation (single-threaded, or
+// sharded under topo.DefaultShards), so every virtual-time output and
+// fingerprint is byte-identical to serial execution — parallelism buys
+// wall-clock only.
 func RunAll(scs []*Scenario, cost netsim.CostModel, parallel int) []Result {
 	return RunEach(scs, cost, parallel, nil)
+}
+
+// Workers divides a worker budget between the two nesting levels of
+// parallelism — scenarios running concurrently, each of which may fan
+// out across shards — so that scenarios × shards stays within budget.
+// budget < 1 means one worker per core; the result is always >= 1.
+func Workers(budget, shards int) int {
+	if budget < 1 {
+		budget = runtime.NumCPU()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if w := budget / shards; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // RunEach is RunAll with a streaming hook: emit is called once per

@@ -1,0 +1,63 @@
+// Sharded-engine identity pins: the entire scenario registry must render
+// byte-identical output on the sharded conservative engine at any shard
+// count. Combined with golden_test.go this is the acceptance gate of the
+// sharded refactor: -shards N is pure wall-clock, never behaviour.
+package scenario_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/scenario"
+	"github.com/switchware/activebridge/internal/topo"
+)
+
+// TestMain lets CI run the whole test package — including the golden
+// fingerprint pins — under a fixed shard count: AB_SHARDS=4 go test.
+func TestMain(m *testing.M) {
+	if v := os.Getenv("AB_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			topo.DefaultShards = n
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// TestShardedMatchesSerial reruns the registry with the sharded engine at
+// 2 and 4 shards and requires byte-identical rendered output against the
+// serial run. Small paper-scale scenarios fall back to serial inside
+// Build (Partition refuses them) — their presence keeps the fallback
+// path covered; the scale scenarios genuinely cross shards.
+func TestShardedMatchesSerial(t *testing.T) {
+	if topo.DefaultShards != 1 {
+		t.Skip("AB_SHARDS active: the golden test already pins the sharded run")
+	}
+	serial := runSerial()
+	counts := []int{2, 4}
+	if testing.Short() {
+		counts = []int{4}
+	}
+	for _, shards := range counts {
+		topo.DefaultShards = shards
+		results := scenario.RunAll(scenario.All(), netsim.DefaultCostModel(), 1)
+		topo.DefaultShards = 1
+		if len(results) != len(serial) {
+			t.Fatalf("shards=%d: result counts differ: %d vs %d", shards, len(results), len(serial))
+		}
+		for i := range serial {
+			s, p := &serial[i], &results[i]
+			if !p.OK() {
+				t.Errorf("%s (shards=%d): run=%v check=%v", p.Name, shards, p.Err, p.CheckErr)
+				continue
+			}
+			if s.Fingerprint != p.Fingerprint {
+				t.Errorf("%s: shards=%d fingerprint %s != serial %s", s.Name, shards, p.Fingerprint, s.Fingerprint)
+			}
+			if s.Table.String() != p.Table.String() {
+				t.Errorf("%s: shards=%d table bytes differ from serial", s.Name, shards)
+			}
+		}
+	}
+}

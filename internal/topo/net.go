@@ -11,20 +11,89 @@ import (
 )
 
 // Net is a materialized topology: one deterministic simulation plus
-// typed handles onto every declared node. Each Net owns its Sim
+// typed handles onto every declared node. A serial Net owns its Sim
 // exclusively and is single-threaded; independent Nets share no mutable
-// state, which is what lets scenarios run in parallel across cores.
+// state, which is what lets scenarios run in parallel across cores. A
+// sharded Net (Graph.Shards / DefaultShards > 1 and a feasible
+// partition) spreads its nodes across shard engines under a
+// netsim.Coordinator; Sim is then the coordinator's control engine, and
+// driving it (Run, Schedule, the workload helpers) behaves exactly like
+// the serial engine — scheduled closures run at global barriers and may
+// touch any node.
 type Net struct {
 	Sim  *netsim.Sim
 	Cost netsim.CostModel
 	// Graph is the declaration this net was built from.
 	Graph *Graph
+	// Plan is the shard assignment, nil for a serial build.
+	Plan *Plan
+
+	coord *netsim.Coordinator
 
 	hosts     []*workload.Host
 	bridges   []*bridge.Bridge
 	repeaters []*baseline.Repeater
 	taps      []*netsim.NIC
 	segments  []*netsim.Segment
+}
+
+// Shards reports how many shard engines the net runs on (1 for serial).
+func (n *Net) Shards() int {
+	if n.Plan == nil {
+		return 1
+	}
+	return n.Plan.Shards
+}
+
+// shardedLogs buffers per-bridge switchlet log lines during sharded
+// execution (each bridge appends single-threaded from its own shard) and
+// flushes them to the user sinks at quiescent points, ordered by (time,
+// bridge declaration index, per-bridge sequence). The flush order equals
+// serial execution order except for lines logged by different bridges at
+// the exact same nanosecond.
+type shardedLogs struct {
+	bridges []*bridgeLog
+}
+
+type bridgeLog struct {
+	idx     int
+	sink    func(at netsim.Time, bridge, msg string)
+	entries []logEntry
+}
+
+type logEntry struct {
+	at     netsim.Time
+	bridge string
+	msg    string
+}
+
+func (l *shardedLogs) sinkFor(idx int, sink func(at netsim.Time, bridge, msg string)) func(at netsim.Time, bridge, msg string) {
+	bl := &bridgeLog{idx: idx, sink: sink}
+	l.bridges = append(l.bridges, bl)
+	return func(at netsim.Time, bridge, msg string) {
+		bl.entries = append(bl.entries, logEntry{at: at, bridge: bridge, msg: msg})
+	}
+}
+
+func (l *shardedLogs) flush() {
+	for {
+		var best *bridgeLog
+		for _, bl := range l.bridges {
+			if len(bl.entries) == 0 {
+				continue
+			}
+			if best == nil || bl.entries[0].at < best.entries[0].at ||
+				(bl.entries[0].at == best.entries[0].at && bl.idx < best.idx) {
+				best = bl
+			}
+		}
+		if best == nil {
+			return
+		}
+		e := best.entries[0]
+		best.entries = best.entries[1:]
+		best.sink(e.at, e.bridge, e.msg)
+	}
 }
 
 // Host returns the handle for a declared host.

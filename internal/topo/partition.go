@@ -1,0 +1,364 @@
+package topo
+
+// Graph partitioning for the sharded conservative engine
+// (netsim.Coordinator): assign every declared node to exactly one shard so
+// that the simulation's event load spreads across cores while the cut —
+// the set of segments whose attachments span shards — stays small and
+// falls on high-latency links, which is what gives the conservative
+// synchronization its lookahead.
+
+// DefaultShards is the shard count Build uses when the graph does not
+// set one explicitly with Graph.Shards. It is read once per Build; set
+// it before running scenarios (cmd/abbench -shards, the scenario
+// runner's sharded entry points) and do not mutate it concurrently with
+// builds. The value 0 or 1 means serial.
+var DefaultShards = 1
+
+// minShardWeight is the minimum modelled work (see nodeWeight) a shard
+// must carry for sharding to pay for its synchronization: graphs below
+// 2*minShardWeight always build serial, and larger graphs get at most
+// totalWeight/minShardWeight shards. Paper-scale nets (a handful of
+// nodes) therefore run on the exact serial engine, and only genuinely
+// large fabrics cross into sharded execution.
+const minShardWeight = 8
+
+// Shards requests that Build partition this graph across n shard engines
+// (subject to Partition's feasibility rules; n <= 1 forces serial). The
+// default comes from DefaultShards.
+func (g *Graph) Shards(n int) {
+	g.shardsReq = n
+	g.shardsSet = true
+}
+
+// Affine declares that two nodes must land in the same shard. Use it for
+// endpoints coupled outside the simulated network — above all the two
+// hosts of a closed-loop workload.Ttcp stream, whose receiver releases
+// the sender's next segment directly (the unmodelled ACK channel) rather
+// than through frames on the wire. The partitioner honors affinity
+// before balance.
+func (g *Graph) Affine(a, b Node) {
+	if a == nil || b == nil {
+		g.fail("Affine: nil node")
+		return
+	}
+	g.affine = append(g.affine, [2]nodeRef{a.ref(), b.ref()})
+}
+
+// Plan is a computed shard assignment: one shard index per declared node
+// and an owner shard per segment (the lowest shard among its
+// attachments, where the segment's contended medium state lives).
+type Plan struct {
+	// Shards is the number of shard engines the plan uses (always >= 2).
+	Shards int
+
+	hostShard     []int
+	bridgeShard   []int
+	repeaterShard []int
+	tapShard      []int
+	segOwner      []int
+}
+
+// HostShard reports a host's assigned shard.
+func (p *Plan) HostShard(id HostID) int { return p.hostShard[id] }
+
+// BridgeShard reports a bridge's assigned shard.
+func (p *Plan) BridgeShard(id BridgeID) int { return p.bridgeShard[id] }
+
+// SegmentOwner reports the shard a segment lives in.
+func (p *Plan) SegmentOwner(id SegmentID) int { return p.segOwner[id] }
+
+// Cuts reports how many segments the plan cuts (attachments in more than
+// one shard).
+func (p *Plan) Cuts(g *Graph) int {
+	cuts := 0
+	for si := range g.segments {
+		owner := p.segOwner[si]
+		for _, l := range g.links {
+			if int(l.seg) == si && p.nodeShard(l.node) != owner {
+				cuts++
+				break
+			}
+		}
+	}
+	return cuts
+}
+
+func (p *Plan) nodeShard(r nodeRef) int {
+	switch r.kind {
+	case nodeHost:
+		return p.hostShard[r.idx]
+	case nodeBridge:
+		return p.bridgeShard[r.idx]
+	case nodeRepeater:
+		return p.repeaterShard[r.idx]
+	default:
+		return p.tapShard[r.idx]
+	}
+}
+
+// nodeWeight models a node's relative event-processing cost: an
+// interpreted bridge dominates (VM dispatch per frame), a repeater pays
+// only kernel crossings, and hosts and taps are endpoints.
+func nodeWeight(r nodeRef, g *Graph) int {
+	switch r.kind {
+	case nodeBridge:
+		return 4
+	case nodeRepeater:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Partition computes a deterministic shard assignment of the graph's
+// nodes onto up to shards shard engines, or reports ok=false when the
+// graph should build serial (too small to pay for synchronization, a
+// single shard requested, or no balanced cut exists).
+//
+// The heuristic works in three steps:
+//
+//  1. Affinity groups (Graph.Affine) are contracted into supernodes, so
+//     workload-coupled endpoints can never be separated.
+//  2. Nodes are ordered by a depth-first preorder traversal over the
+//     node–segment incidence graph from the first declared node, which
+//     makes topologically adjacent nodes adjacent in the order (a chain
+//     yields its own path order; a tree yields contiguous subtrees).
+//  3. The traversal order is split into contiguous weight-balanced chunks, one
+//     per shard. Chunk boundaries are then locally adjusted to prefer
+//     cutting few segments with long wire latency (propagation + minimum
+//     frame time): the cut's lookahead is exactly what lets shard clocks
+//     pipeline, so high-latency links make the cheapest cuts.
+//
+// The result is a pure function of the graph declaration — the same
+// graph partitions the same way on every machine and every run.
+func Partition(g *Graph, shards int) (*Plan, bool) {
+	n := len(g.hosts) + len(g.bridges) + len(g.repeaters) + len(g.taps)
+	if shards <= 1 || n == 0 {
+		return nil, false
+	}
+
+	// Canonical node indexing: bridges, repeaters, hosts, taps, each in
+	// declaration order (the backbone first, so BFS starts on it).
+	refs := make([]nodeRef, 0, n)
+	for i := range g.bridges {
+		refs = append(refs, nodeRef{nodeBridge, i})
+	}
+	for i := range g.repeaters {
+		refs = append(refs, nodeRef{nodeRepeater, i})
+	}
+	for i := range g.hosts {
+		refs = append(refs, nodeRef{nodeHost, i})
+	}
+	for i := range g.taps {
+		refs = append(refs, nodeRef{nodeTap, i})
+	}
+	index := map[nodeRef]int{}
+	total := 0
+	for i, r := range refs {
+		index[r] = i
+		total += nodeWeight(r, g)
+	}
+
+	eff := shards
+	if max := total / minShardWeight; eff > max {
+		eff = max
+	}
+	if eff < 2 {
+		return nil, false
+	}
+
+	// Affinity union-find.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, pair := range g.affine {
+		a, aok := index[pair[0]]
+		b, bok := index[pair[1]]
+		if aok && bok {
+			parent[find(a)] = find(b)
+		}
+	}
+
+	// Incidence lists from the declared links.
+	nodeSegs := make([][]int, n)
+	segNodes := make([][]int, len(g.segments))
+	for _, l := range g.links {
+		ni := index[l.node]
+		nodeSegs[ni] = append(nodeSegs[ni], int(l.seg))
+		segNodes[l.seg] = append(segNodes[l.seg], ni)
+	}
+
+	// Depth-first preorder over the incidence graph: a chain yields its
+	// own path order, and a tree keeps every subtree — an edge bridge and
+	// its hosts, a pod and its leaves — contiguous, so balanced chunks
+	// cut trunks rather than scattering leaves away from their switch.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	stack := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			// Push neighbors in reverse declaration order so they are
+			// visited in declaration order.
+			for si := len(nodeSegs[v]) - 1; si >= 0; si-- {
+				nodes := segNodes[nodeSegs[v][si]]
+				for wi := len(nodes) - 1; wi >= 0; wi-- {
+					if w := nodes[wi]; !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+	}
+
+	// Contiguous weight-balanced chunking of the BFS order. Each of the
+	// eff-1 boundaries starts at its weight-balanced position and then
+	// slides within a small window to the position whose crossing
+	// segments have the highest wire latency (equivalently, the lowest
+	// sum of inverse latencies): those latencies become the cut
+	// lookahead, so long links make the cheapest cuts.
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	segMin := make([]int, len(g.segments))
+	segMax := make([]int, len(g.segments))
+	for si := range g.segments {
+		segMin[si], segMax[si] = n, -1
+		for _, ni := range segNodes[si] {
+			if p := pos[ni]; p < segMin[si] {
+				segMin[si] = p
+			}
+			if p := pos[ni]; p > segMax[si] {
+				segMax[si] = p
+			}
+		}
+	}
+	cutScore := func(p int) float64 {
+		score := 0.0
+		for si := range g.segments {
+			if segMin[si] < p && p <= segMax[si] {
+				score += 1.0 / float64(g.segments[si].latencyNs())
+			}
+		}
+		return score
+	}
+	prefix := make([]int, n+1)
+	for i, v := range order {
+		prefix[i+1] = prefix[i] + nodeWeight(refs[v], g)
+	}
+	// The boundary may slide up to ~1/8 of a chunk away from perfect
+	// balance to find a better cut — wide enough to reach a pod or
+	// subtree boundary (where only long trunks cross) instead of slicing
+	// through a leaf LAN.
+	window := n / (8 * eff)
+	if window < 2 {
+		window = 2
+	}
+	boundaries := make([]int, 0, eff-1)
+	prev := 0
+	for k := 1; k < eff; k++ {
+		ideal := prev + 1
+		want := k * total / eff
+		for ideal < n && prefix[ideal] < want {
+			ideal++
+		}
+		best, bestScore := -1, 0.0
+		for p := ideal - window; p <= ideal+window; p++ {
+			if p <= prev || p >= n-(eff-1-k) {
+				continue
+			}
+			if s := cutScore(p); best == -1 || s < bestScore {
+				best, bestScore = p, s
+			}
+		}
+		if best == -1 {
+			return nil, false // no room for a boundary: graph too small
+		}
+		boundaries = append(boundaries, best)
+		prev = best
+	}
+
+	// Assign by chunk, with affinity groups pinned to the shard of their
+	// first member in BFS order.
+	assign := make([]int, n)
+	groupShard := map[int]int{}
+	shardWeight := make([]int, eff)
+	for i, v := range order {
+		s := 0
+		for _, b := range boundaries {
+			if i >= b {
+				s++
+			}
+		}
+		root := find(v)
+		if pinnedS, pinned := groupShard[root]; pinned {
+			s = pinnedS
+		} else {
+			groupShard[root] = s
+		}
+		assign[v] = s
+		shardWeight[s] += nodeWeight(refs[v], g)
+	}
+	for _, w := range shardWeight {
+		if w == 0 {
+			// Affinity pinning starved a shard; retry with one fewer.
+			return Partition(g, eff-1)
+		}
+	}
+
+	plan := &Plan{
+		Shards:        eff,
+		hostShard:     make([]int, len(g.hosts)),
+		bridgeShard:   make([]int, len(g.bridges)),
+		repeaterShard: make([]int, len(g.repeaters)),
+		tapShard:      make([]int, len(g.taps)),
+		segOwner:      make([]int, len(g.segments)),
+	}
+	for i, r := range refs {
+		switch r.kind {
+		case nodeHost:
+			plan.hostShard[r.idx] = assign[i]
+		case nodeBridge:
+			plan.bridgeShard[r.idx] = assign[i]
+		case nodeRepeater:
+			plan.repeaterShard[r.idx] = assign[i]
+		case nodeTap:
+			plan.tapShard[r.idx] = assign[i]
+		}
+	}
+	// A segment lives in the lowest shard among its attachments, so the
+	// zero-lookahead transmit direction of every cut always points from a
+	// higher shard to a lower one (acyclic constraint graph). An unlinked
+	// segment defaults to shard 0.
+	for si := range g.segments {
+		owner := 0
+		if len(segNodes[si]) > 0 {
+			owner = plan.Shards
+			for _, ni := range segNodes[si] {
+				if s := assign[ni]; s < owner {
+					owner = s
+				}
+			}
+		}
+		plan.segOwner[si] = owner
+	}
+	return plan, true
+}

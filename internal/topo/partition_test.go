@@ -1,0 +1,115 @@
+package topo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/topo"
+	"github.com/switchware/activebridge/internal/workload"
+)
+
+// chainGraph declares a Chain16-style net: nBridges learning bridges in a
+// line with a host on each end, the closed-loop ttcp pair declared
+// affine.
+func chainGraph(nBridges, shards int) (*topo.Graph, topo.HostID, topo.HostID) {
+	g := topo.New(fmt.Sprintf("chain%d", nBridges))
+	segs := make([]topo.SegmentID, nBridges+1)
+	for i := range segs {
+		segs[i] = g.AddSegment(fmt.Sprintf("s%d", i))
+	}
+	h1 := g.AddHost("")
+	h2 := g.AddHost("")
+	for i := 0; i < nBridges; i++ {
+		b := g.AddBridge("", topo.LearningBridge, 2)
+		g.Link(b, segs[i])
+		g.Link(b, segs[i+1])
+	}
+	g.Link(h1, segs[0])
+	g.Link(h2, segs[nBridges])
+	g.Affine(h1, h2)
+	if shards > 0 {
+		g.Shards(shards)
+	}
+	return g, h1, h2
+}
+
+// driveChain warms the path, pings, and streams — the same moves as the
+// registered chain scenario — and returns the net fingerprint plus the
+// headline workload metrics.
+func driveChain(t *testing.T, g *topo.Graph, h1, h2 topo.HostID) (string, float64, netsim.Duration) {
+	t.Helper()
+	net, err := g.Build(netsim.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	net.Warm(h1, h2)
+	p := workload.NewPinger(net.Host(h1), net.Host(h2).IP, 64, 3)
+	p.Run(net.Sim.Now() + netsim.Time(30*netsim.Second))
+	tr := workload.NewTtcp(net.Host(h1), net.Host(h2), 8192, 256<<10)
+	tr.Run(net.Sim.Now() + netsim.Time(120*netsim.Second))
+	if !tr.Done() {
+		t.Fatalf("transfer incomplete on %s", g.Name)
+	}
+	return net.Fingerprint(), tr.ThroughputMbps(), p.MeanRTT()
+}
+
+// TestShardedChainMatchesSerial is the end-to-end identity check at the
+// topology layer: the same declared net, driven by the same workloads,
+// must produce a byte-identical fingerprint and identical workload
+// metrics at 1, 2 and 4 shards.
+func TestShardedChainMatchesSerial(t *testing.T) {
+	g0, a0, b0 := chainGraph(16, 0)
+	fp0, mbps0, rtt0 := driveChain(t, g0, a0, b0)
+	for _, shards := range []int{2, 4} {
+		g, a, b := chainGraph(16, shards)
+		net, err := g.Build(netsim.DefaultCostModel())
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if net.Shards() != shards {
+			t.Fatalf("expected %d shards, got %d", shards, net.Shards())
+		}
+		g, a, b = chainGraph(16, shards)
+		fp, mbps, rtt := driveChain(t, g, a, b)
+		if fp != fp0 {
+			t.Errorf("shards=%d fingerprint deviates:\n got %s\nwant %s", shards, fp, fp0)
+		}
+		if mbps != mbps0 || rtt != rtt0 {
+			t.Errorf("shards=%d metrics deviate: mbps %v vs %v, rtt %v vs %v", shards, mbps, mbps0, rtt, rtt0)
+		}
+	}
+}
+
+// TestPartitionProperties pins the partitioner's contract: affinity is
+// honored, every shard is populated, segment owners are the minimum
+// attached shard, and tiny graphs refuse to shard.
+func TestPartitionProperties(t *testing.T) {
+	g, h1, h2 := chainGraph(16, 0)
+	plan, ok := topo.Partition(g, 4)
+	if !ok {
+		t.Fatal("chain16 should partition at 4 shards")
+	}
+	if plan.Shards != 4 {
+		t.Fatalf("want 4 shards, got %d", plan.Shards)
+	}
+	if plan.HostShard(h1) != plan.HostShard(h2) {
+		t.Fatalf("affine hosts split: %d vs %d", plan.HostShard(h1), plan.HostShard(h2))
+	}
+	if cuts := plan.Cuts(g); cuts < 3 || cuts > 8 {
+		t.Fatalf("implausible cut count for a 4-way chain: %d", cuts)
+	}
+
+	// Paper-scale graph: two hosts and one bridge must stay serial.
+	small := topo.New("small")
+	lan1, lan2 := small.AddSegment(""), small.AddSegment("")
+	sh1, sh2 := small.AddHost(""), small.AddHost("")
+	sb := small.AddBridge("", topo.LearningBridge, 2)
+	small.Link(sh1, lan1)
+	small.Link(sb, lan1)
+	small.Link(sh2, lan2)
+	small.Link(sb, lan2)
+	if _, ok := topo.Partition(small, 4); ok {
+		t.Fatal("a 3-node net must not shard")
+	}
+}

@@ -213,10 +213,41 @@ type Graph struct {
 	bridges   []bridgeSpec
 	repeaters []repeaterSpec
 	taps      []tapSpec
-	segments  []string
+	segments  []segmentSpec
 	links     []linkSpec
 
+	shardsReq int
+	shardsSet bool
+	affine    [][2]nodeRef
+
 	err error
+}
+
+type segmentSpec struct {
+	name        string
+	propagation netsim.Duration
+}
+
+// latencyNs is the segment's minimum source-to-sink latency in
+// nanoseconds — the lookahead a cut through this segment would give the
+// sharded engine, from the same definition the engine itself uses.
+func (s *segmentSpec) latencyNs() int64 {
+	prop := s.propagation
+	if prop == 0 {
+		prop = netsim.DefaultPropagation
+	}
+	return int64(netsim.MinWireLatency(netsim.DefaultRateBps, prop))
+}
+
+// SegmentOpt customizes a declared segment.
+type SegmentOpt func(*segmentSpec)
+
+// WithPropagation fixes the segment's one-way propagation delay (default
+// 500ns, a short in-room LAN). Long links — inter-building fiber in a
+// campus fabric — both model their real latency and give the sharded
+// engine more lookahead when the partitioner cuts them.
+func WithPropagation(d netsim.Duration) SegmentOpt {
+	return func(s *segmentSpec) { s.propagation = d }
 }
 
 // New creates an empty topology description.
@@ -297,12 +328,16 @@ func (g *Graph) AddTap(name string, mac ethernet.MAC) TapID {
 
 // AddSegment declares a shared 100 Mb/s segment. An empty name becomes
 // seg<idx>.
-func (g *Graph) AddSegment(name string) SegmentID {
+func (g *Graph) AddSegment(name string, opts ...SegmentOpt) SegmentID {
 	idx := len(g.segments)
 	if name == "" {
 		name = fmt.Sprintf("seg%d", idx)
 	}
-	g.segments = append(g.segments, name)
+	s := segmentSpec{name: name}
+	for _, o := range opts {
+		o(&s)
+	}
+	g.segments = append(g.segments, s)
 	return SegmentID(idx)
 }
 
@@ -477,31 +512,75 @@ func (g *Graph) Build(cost netsim.CostModel) (*Net, error) {
 		}
 	}
 
-	sim := netsim.New()
-	n := &Net{Sim: sim, Cost: cost, Graph: g}
-	for _, name := range g.segments {
-		n.segments = append(n.segments, netsim.NewSegment(sim, name))
+	// Shard assignment: an explicit Graph.Shards request wins, otherwise
+	// the process default applies. Partition falls back to serial (nil
+	// plan) whenever the graph is too small to pay for synchronization,
+	// in which case the build below is exactly the single-engine build.
+	shards := DefaultShards
+	if g.shardsSet {
+		shards = g.shardsReq
+	}
+	var plan *Plan
+	if shards > 1 {
+		plan, _ = Partition(g, shards)
+	}
+
+	n := &Net{Cost: cost, Graph: g, Plan: plan}
+	var sim *netsim.Sim
+	nodeSim := func(r nodeRef) *netsim.Sim { return sim }
+	segSim := func(si int) *netsim.Sim { return sim }
+	if plan == nil {
+		sim = netsim.New()
+	} else {
+		n.coord = netsim.NewCoordinator(plan.Shards)
+		sim = n.coord.Control()
+		nodeSim = func(r nodeRef) *netsim.Sim { return n.coord.Shard(plan.nodeShard(r)) }
+		segSim = func(si int) *netsim.Sim { return n.coord.Shard(plan.segOwner[si]) }
+	}
+	n.Sim = sim
+
+	for si := range g.segments {
+		seg := netsim.NewSegment(segSim(si), g.segments[si].name)
+		if p := g.segments[si].propagation; p != 0 {
+			seg.Propagation = p
+		}
+		n.segments = append(n.segments, seg)
 	}
 	for i := range g.hosts {
 		h := &g.hosts[i]
-		n.hosts = append(n.hosts, workload.NewHost(sim, h.name, h.mac, h.ip, cost))
+		n.hosts = append(n.hosts, workload.NewHost(nodeSim(nodeRef{nodeHost, i}), h.name, h.mac, h.ip, cost))
 	}
 	for i := range g.repeaters {
-		n.repeaters = append(n.repeaters, baseline.NewRepeater(sim, g.repeaters[i].name, cost))
+		n.repeaters = append(n.repeaters, baseline.NewRepeater(nodeSim(nodeRef{nodeRepeater, i}), g.repeaters[i].name, cost))
 	}
 	for i := range g.taps {
-		n.taps = append(n.taps, netsim.NewNIC(sim, g.taps[i].name, g.taps[i].mac))
+		n.taps = append(n.taps, netsim.NewNIC(nodeSim(nodeRef{nodeTap, i}), g.taps[i].name, g.taps[i].mac))
+	}
+	var logs *shardedLogs
+	if plan != nil {
+		logs = &shardedLogs{}
 	}
 	for i := range g.bridges {
 		bs := &g.bridges[i]
-		br := bridge.New(sim, bs.name, bs.id, bs.ports, cost)
+		br := bridge.New(nodeSim(nodeRef{nodeBridge, i}), bs.name, bs.id, bs.ports, cost)
 		if bs.logSink != nil {
-			br.LogSink = bs.logSink
+			if logs != nil {
+				// Sharded build: bridges log concurrently, so each buffers
+				// its lines locally and the coordinator merges them in a
+				// deterministic (time, bridge, sequence) order at every
+				// quiescent point.
+				br.LogSink = logs.sinkFor(i, bs.logSink)
+			} else {
+				br.LogSink = bs.logSink
+			}
 		}
 		if bs.hasNetLoader {
 			br.EnableNetLoader(bs.netLoader)
 		}
 		n.bridges = append(n.bridges, br)
+	}
+	if logs != nil && len(logs.bridges) > 0 {
+		n.coord.OnQuiesce(logs.flush)
 	}
 
 	// Wire in declaration order: attachment order fixes same-instant

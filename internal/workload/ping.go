@@ -41,6 +41,11 @@ func (p *Pinger) Run(deadline netsim.Time) {
 	p.host.sim.Run(deadline)
 }
 
+// Start sends the first echo without driving the simulation, for callers
+// running several workloads concurrently under one clock (each reply
+// still releases the next echo).
+func (p *Pinger) Start() { p.sendNext() }
+
 func (p *Pinger) sendNext() {
 	if len(p.rtts) >= p.want {
 		return

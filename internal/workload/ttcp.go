@@ -110,6 +110,11 @@ func (t *Ttcp) onDelivery(payload []byte, at netsim.Time) {
 // Done reports completion.
 func (t *Ttcp) Done() bool { return t.done }
 
+// DeliveredBytes reports how much of the stream has arrived so far —
+// the liveness measure for transfers deliberately sized to outlast an
+// observation window (e.g. load held across a rolling upgrade).
+func (t *Ttcp) DeliveredBytes() int64 { return t.delivered }
+
 // Elapsed is the transfer duration (zero until done).
 func (t *Ttcp) Elapsed() netsim.Duration {
 	if !t.done {

@@ -53,6 +53,36 @@ const (
 	AgilityBridge = topo.AgilityBridge
 )
 
+// Sharded execution. A Topology is serial by default: Build materializes
+// one single-threaded simulation. Calling Topology.Shards(n) (or setting
+// the process-wide default below) asks Build to partition the net across
+// n shard engines running under a conservative coordinator — results
+// stay byte-identical to serial at any shard count; only the wall clock
+// changes. Small nets refuse to shard (the synchronization would cost
+// more than it buys) and quietly build serial.
+//
+// Rule of thumb for embedders: declare Topology.Affine(a, b) for any two
+// hosts coupled outside the simulated network — above all the endpoints
+// of a closed-loop stream whose receiver releases the sender directly —
+// so the partitioner keeps them on one engine.
+var (
+	// Partition computes (without building) the shard assignment Build
+	// would use, for inspection and capacity planning.
+	Partition = topo.Partition
+)
+
+// Plan is a computed shard assignment: one shard per declared node and
+// an owner shard per segment.
+type Plan = topo.Plan
+
+// DefaultShards is the shard count Build uses when the Topology does not
+// set one explicitly; see topo.DefaultShards.
+func DefaultShards() int { return topo.DefaultShards }
+
+// SetDefaultShards sets the process-wide default shard count. Set it
+// before building; do not mutate it concurrently with builds.
+func SetDefaultShards(n int) { topo.DefaultShards = n }
+
 // Topology declaration options.
 var (
 	// WithMAC fixes a declared host's MAC address.
@@ -70,4 +100,8 @@ var (
 	// WithLogSink installs a bridge's log sink before any switchlet
 	// loads.
 	WithLogSink = topo.WithLogSink
+	// WithPropagation fixes a declared segment's one-way propagation
+	// delay (long links give the sharded engine more lookahead when they
+	// become cuts).
+	WithPropagation = topo.WithPropagation
 )
