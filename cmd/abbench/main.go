@@ -13,11 +13,19 @@
 //	               machine-readable JSON (BENCH_*.json tracking)
 //	-baseline F    compare this run's per-scenario wall times against a
 //	               previous BENCH json and fail on >10% total regression
+//	-metrics-addr A  serve the live metrics plane on A while scenarios
+//	               run: Prometheus text on /metrics, JSON on /snapshot
+//	-metrics-out F   enable the metrics plane and write the bench report
+//	               (schema v3) with the final metrics snapshot embedded
+//	               to F
+//	-metrics-linger D  keep serving -metrics-addr for D after the run,
+//	               so external scrapers (CI curl) can't lose the race
+//	               against a fast batch
 //
 // All virtual-time metrics are deterministic and identical on any
 // machine, any -parallel setting and any -shards setting; the wall-clock
-// and allocation figures in -json output measure this build on this
-// machine.
+// and allocation figures in -json output (and everything under
+// "metrics") measure this build on this machine.
 package main
 
 import (
@@ -25,9 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/switchware/activebridge/internal/experiments"
+	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/testbed"
@@ -57,10 +68,21 @@ type scenarioResult struct {
 	Error       string `json:"error,omitempty"`
 }
 
+// metricsReport is the telemetry section of a schema-v3 report: the
+// per-net summaries (events/s, per-shard balance) plus the raw final
+// snapshots of every instrumented net.
+type metricsReport struct {
+	Summary []scenario.NetMetricsSummary `json:"summary"`
+	Nets    []metrics.Snapshot           `json:"nets"`
+}
+
 type benchReport struct {
 	Schema    string           `json:"schema"`
-	Results   []benchResult    `json:"results"`
+	Results   []benchResult    `json:"results,omitempty"`
 	Scenarios []scenarioResult `json:"scenarios"`
+	// Metrics is present when the metrics plane was enabled
+	// (-metrics-addr / -metrics-out).
+	Metrics *metricsReport `json:"metrics,omitempty"`
 }
 
 // measure benchmarks fn with the same harness the repo's benchmarks use
@@ -122,8 +144,24 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker budget: scenarios×shards run concurrently (0 = one per core)")
 	shards := flag.Int("shards", 1, "shard each scenario's simulation across N engines")
 	baseline := flag.String("baseline", "", "BENCH json to diff wall times against (exit 1 on >10% total regression)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live metrics plane on this address (/metrics, /snapshot)")
+	metricsOut := flag.String("metrics-out", "", "write the schema-v3 bench report with the final metrics snapshot to this file")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the run")
 	flag.Parse()
 	cost := netsim.DefaultCostModel()
+
+	if *metricsAddr != "" || *metricsOut != "" {
+		metrics.Enable()
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr, metrics.DefaultHub)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abbench: -metrics-addr: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "abbench: metrics on http://%s/metrics (json: /snapshot)\n", srv.Addr())
+	}
 
 	if *shards > 1 {
 		topo.DefaultShards = *shards
@@ -172,13 +210,64 @@ func main() {
 		scs = kept
 	}
 
+	// metricsSection captures the final telemetry once the batch is
+	// done. The embedded snapshots keep the engine- and workload-level
+	// series; the per-bridge fan-out (hundreds of bridges × a dozen
+	// families on a mega net) is what the live endpoint is for, not a
+	// committed BENCH json.
+	metricsSection := func() *metricsReport {
+		if !metrics.Enabled() {
+			return nil
+		}
+		nets := metrics.DefaultHub.SnapshotAll()
+		for i := range nets {
+			kept := nets[i].Series[:0:0]
+			for _, p := range nets[i].Series {
+				if !strings.HasPrefix(p.Name, "ab_bridge_") {
+					kept = append(kept, p)
+				}
+			}
+			nets[i].Series = kept
+		}
+		return &metricsReport{
+			Summary: scenario.SummarizeMetrics(),
+			Nets:    nets,
+		}
+	}
+	writeMetricsOut := func(rep *benchReport) {
+		if *metricsOut == "" {
+			return
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abbench: -metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	linger := func() {
+		if *metricsAddr != "" && *metricsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "abbench: lingering %v for scrapers\n", *metricsLinger)
+			time.Sleep(*metricsLinger)
+		}
+	}
+
 	if *jsonOut {
 		results := scenario.RunAll(scs, cost, workers)
-		rep := benchReport{Schema: "abbench/v2"}
+		rep := benchReport{Schema: "abbench/v3"}
 		// The headline macro-benchmarks cost seconds of wall clock; only
-		// run them for full-registry reports, not a -run subset.
+		// run them for full-registry reports, not a -run subset. The
+		// metrics plane is suspended while they run so their wall/alloc
+		// figures stay comparable across BENCH generations and against
+		// metrics-off runs (scenario wall times above do include the
+		// quiescent-point publish cost when metrics are on — that run is
+		// exactly what was asked to be observed).
 		if *runPat == "" {
+			was := metrics.SetEnabled(false)
 			rep.Results = headlines(cost)
+			metrics.SetEnabled(was)
 		}
 		for i := range results {
 			r := &results[i]
@@ -193,12 +282,15 @@ func main() {
 			}
 			rep.Scenarios = append(rep.Scenarios, sr)
 		}
+		rep.Metrics = metricsSection()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			os.Exit(1)
 		}
+		writeMetricsOut(&rep)
+		linger()
 		// A failed scenario must fail the process in JSON mode too, so CI
 		// cannot commit a BENCH_*.json with broken entries.
 		for _, sr := range rep.Scenarios {
@@ -222,7 +314,13 @@ func main() {
 	failed := 0
 	var collected []scenarioResult
 	scenario.RunEach(scs, cost, workers, func(r *scenario.Result) {
-		collected = append(collected, scenarioResult{Name: r.Name, WallNs: r.Wall.Nanoseconds(), OK: r.OK()})
+		sr := scenarioResult{Name: r.Name, Fingerprint: r.Fingerprint, WallNs: r.Wall.Nanoseconds(), OK: r.OK()}
+		if r.Err != nil {
+			sr.Error = r.Err.Error()
+		} else if r.CheckErr != nil {
+			sr.Error = "check: " + r.CheckErr.Error()
+		}
+		collected = append(collected, sr)
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
 			failed++
@@ -234,6 +332,14 @@ func main() {
 			failed++
 		}
 	})
+	if m := metricsSection(); m != nil {
+		fmt.Fprintln(os.Stderr, "metrics summary (per instrumented net):")
+		for _, s := range m.Summary {
+			fmt.Fprintf(os.Stderr, "  %s\n", s)
+		}
+		writeMetricsOut(&benchReport{Schema: "abbench/v3", Scenarios: collected, Metrics: m})
+	}
+	linger()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "abbench: %d of %d scenarios failed\n", failed, len(scs))
 		os.Exit(1)

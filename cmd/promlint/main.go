@@ -1,0 +1,76 @@
+// promlint validates scraped metrics documents without external
+// dependencies — the CI gate behind `curl /metrics | promlint`.
+//
+//	promlint [file...]        lint Prometheus text exposition (stdin if no file)
+//	promlint -snapshot F      validate a /snapshot JSON document instead
+//
+// Exit status 0 means every input is well-formed; the first violation
+// is printed and exits 1. The text checks mirror promtool's: comment
+// and sample syntax, metric/label naming, series grouping and
+// uniqueness, counter naming and sign, histogram bucket shape (see
+// internal/metrics.Lint).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/switchware/activebridge/internal/metrics"
+)
+
+func main() {
+	snapshot := flag.Bool("snapshot", false, "validate /snapshot JSON instead of Prometheus text")
+	flag.Parse()
+
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		inputs = []string{"-"}
+	}
+	for _, path := range inputs {
+		var r io.Reader
+		name := path
+		if path == "-" {
+			r, name = os.Stdin, "<stdin>"
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		if err := check(r, *snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("promlint: %s: ok\n", name)
+	}
+}
+
+func check(r io.Reader, snapshot bool) error {
+	if !snapshot {
+		return metrics.Lint(r)
+	}
+	var hs metrics.HubSnapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hs); err != nil {
+		return err
+	}
+	if len(hs.Nets) == 0 {
+		return fmt.Errorf("snapshot carries no nets")
+	}
+	for _, n := range hs.Nets {
+		if n.Net == "" {
+			return fmt.Errorf("snapshot net with empty name")
+		}
+		if len(n.Series) == 0 {
+			return fmt.Errorf("net %s has no series", n.Net)
+		}
+	}
+	return nil
+}

@@ -25,7 +25,30 @@ type Manager struct {
 	installed map[string]*Installed
 	order     []string
 	upgrades  []*Upgrade
+	lifecycle LifecycleStats
 }
+
+// LifecycleStats counts the Manager's switchlet operations, for the
+// metrics plane and operator tooling. All counts are cumulative over
+// the bridge's lifetime.
+type LifecycleStats struct {
+	// Installs counts successful Install calls (including the install
+	// half of every Upgrade).
+	Installs uint64
+	// Uninstalls counts successful Uninstall calls.
+	Uninstalls uint64
+	// Upgrades counts upgrade attempts that reached the atomic handoff.
+	Upgrades uint64
+	// Commits counts upgrades whose validation passed.
+	Commits uint64
+	// Rollbacks counts upgrades that returned to the old switchlet —
+	// automatically (trap, mismatch, late old-protocol traffic) or by
+	// operator decision.
+	Rollbacks uint64
+}
+
+// Lifecycle returns the cumulative operation counts.
+func (m *Manager) Lifecycle() LifecycleStats { return m.lifecycle }
 
 // Installed is the Manager's record of one installed switchlet.
 type Installed struct {
@@ -113,6 +136,7 @@ func (m *Manager) Install(sw env.Manifest) (*Installed, error) {
 	inst := &Installed{Manifest: sw, At: m.b.sim.Now()}
 	m.installed[name] = inst
 	m.order = append(m.order, name)
+	m.lifecycle.Installs++
 	return inst, nil
 }
 
@@ -197,6 +221,7 @@ func (m *Manager) Uninstall(name string) error {
 			break
 		}
 	}
+	m.lifecycle.Uninstalls++
 	return nil
 }
 
@@ -358,6 +383,7 @@ func (m *Manager) Upgrade(oldName string, next env.Manifest, opts UpgradeOptions
 		_ = m.Uninstall(inst.Manifest.Name)
 		return nil, fmt.Errorf("upgrade %s: stopping old switchlet: %w", oldName, err)
 	}
+	m.lifecycle.Upgrades++
 	if _, err := m.Query(inst.Manifest.Lifecycle.Start, ""); err != nil {
 		u.rollback("start of " + newRef + " trapped: " + err.Error())
 		m.upgrades = append(m.upgrades, u)
@@ -410,6 +436,7 @@ func (u *Upgrade) validate() {
 		return
 	}
 	u.state = UpgradeCommitted
+	u.m.lifecycle.Commits++
 	u.releaseGuard()
 	u.m.b.Log("manager: upgrade to " + u.new.Manifest.Ref() + " committed")
 }
@@ -431,6 +458,7 @@ func (u *Upgrade) rollback(reason string) {
 	}
 	u.state = UpgradeRolledBack
 	u.Reason = reason
+	u.m.lifecycle.Rollbacks++
 	u.m.b.Log("manager: ROLLBACK (" + reason + ")")
 	u.releaseGuard()
 	if _, err := u.m.Query(u.new.Manifest.Lifecycle.Stop, ""); err != nil {

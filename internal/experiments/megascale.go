@@ -6,6 +6,7 @@ import (
 	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/switchlets"
@@ -134,6 +135,19 @@ func FatTree256(cost netsim.CostModel) (*trace.Table, error) {
 		pingers = append(pingers, workload.NewPinger(net.Host(src), net.Host(dst).IP, 64, 5))
 	}
 
+	// With the metrics plane on, every flow publishes live throughput —
+	// instruments only sample existing counters at quiescent points, so
+	// the run (and its golden fingerprint) is identical either way.
+	if reg := net.Metrics(); reg != nil {
+		mls := metrics.Labels{{Name: "net", Value: "fattree256"}}
+		for i, tr := range streams {
+			tr.Instrument(reg, mls.With("flow", fmt.Sprintf("ttcp%d", i)))
+		}
+		for i, p := range pingers {
+			p.Instrument(reg, mls.With("flow", fmt.Sprintf("ping%d", i)))
+		}
+	}
+
 	start := sim.Now()
 	for i, tr := range streams {
 		tr := tr
@@ -161,6 +175,9 @@ func FatTree256(cost netsim.CostModel) (*trace.Table, error) {
 
 	// The post-deployment stream crosses the freshly loaded edge bridge.
 	post := workload.NewTtcp(net.Host(postPair.src), net.Host(postPair.dst), 8192, 128<<10)
+	if reg := net.Metrics(); reg != nil {
+		post.Instrument(reg, metrics.Labels{{Name: "net", Value: "fattree256"}, {Name: "flow", Value: "post-deploy"}})
+	}
 	sim.Schedule(start+netsim.Time(10*netsim.Second), func() {
 		net.ScheduleWarm(postPair.src, postPair.dst, sim.Now())
 	})

@@ -96,9 +96,9 @@ func runScalability(pairs int, cost netsim.CostModel) (aggregate, perStream, uti
 	}
 	aggregate = totalBytes * 8 / window.Seconds() / 1e6
 	perStream = aggregate / float64(done)
-	utilization = float64(b.CPU().Busy-busy0) / float64(window)
-	if utilization > 1 {
-		utilization = 1
-	}
+	// One busy-window definition for the table and the scraped
+	// ab_bridge_cpu_utilization gauge (netsim.Utilization clamps the
+	// cost-accounting rounding that can push the raw ratio past 1).
+	utilization = netsim.Utilization(b.CPU().Busy-busy0, window)
 	return aggregate, perStream, utilization
 }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/switchware/activebridge/internal/netsim"
+)
+
+// TestUtilizationMatchesInlineClamp pins that the shared helper the
+// scalability table now uses computes exactly what its inline
+// busy-window math used to: busy/window with the >1 clamp. If the
+// helper's definition ever drifts, the table, CPU.Utilization and the
+// scraped ab_bridge_cpu_utilization gauge would silently disagree —
+// this test is the tripwire.
+func TestUtilizationMatchesInlineClamp(t *testing.T) {
+	inline := func(busy, window time.Duration) float64 {
+		u := float64(busy) / float64(window)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	windows := []time.Duration{time.Microsecond, time.Millisecond, 900 * time.Second}
+	fractions := []float64{0, 0.001, 0.25, 0.5, 0.97, 1.0, 1.0001, 3.5}
+	for _, w := range windows {
+		for _, f := range fractions {
+			busy := time.Duration(float64(w) * f)
+			got := netsim.Utilization(busy, w)
+			want := inline(busy, w)
+			if got != want {
+				t.Errorf("Utilization(%v, %v) = %v, inline clamp = %v", busy, w, got, want)
+			}
+			// CPU.Utilization resolves to the same definition.
+			cpu := netsim.NewCPU(netsim.New())
+			cpu.Busy = busy
+			if got := cpu.Utilization(w); got != want {
+				t.Errorf("CPU.Utilization(%v busy=%v) = %v, want %v", w, busy, got, want)
+			}
+		}
+	}
+	// The helper additionally defines the empty window (the scalability
+	// path guards it before dividing; the gauge cannot).
+	if got := netsim.Utilization(time.Second, 0); got != 0 {
+		t.Errorf("Utilization(1s, 0) = %v, want 0", got)
+	}
+}

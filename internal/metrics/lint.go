@@ -1,0 +1,311 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition document the way promtool
+// check metrics would, using no external dependencies. It enforces:
+//
+//   - comment lines are well-formed `# HELP <name> <text>` / `# TYPE
+//     <name> <counter|gauge|histogram|summary|untyped>`, with at most
+//     one HELP and one TYPE per metric, TYPE before any of its samples;
+//   - sample lines parse as `name{labels} value [timestamp]` with legal
+//     metric and label names, balanced quoting and valid escapes;
+//   - no duplicate series (same name + label set);
+//   - all samples of one metric name are contiguous (grouped);
+//   - counter samples are finite and non-negative, and counter family
+//     names end in _total;
+//   - histogram _bucket series carry an le label and are cumulative
+//     (non-decreasing in le order), ending with le="+Inf".
+//
+// It returns the first violation found, or nil for a clean document.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	types := map[string]string{}
+	helps := map[string]bool{}
+	seenSeries := map[string]bool{}
+	sampled := map[string]bool{} // family -> samples seen (grouping + TYPE-order checks)
+	lastFamily := ""
+	type bucketState struct {
+		lastCum float64
+		infSeen bool
+	}
+	buckets := map[string]*bucketState{} // histogram series (sans le) -> state
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, types, helps, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := familyOf(name, types)
+		if sampled[family] && lastFamily != family {
+			return fmt.Errorf("line %d: samples of %s are not grouped", lineNo, family)
+		}
+		sampled[family] = true
+		lastFamily = family
+
+		key := name + renderSorted(labels)
+		if seenSeries[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seenSeries[key] = true
+
+		switch types[family] {
+		case "counter":
+			if !strings.HasSuffix(family, "_total") {
+				return fmt.Errorf("line %d: counter %s does not end in _total", lineNo, family)
+			}
+			if math.IsNaN(value) || math.IsInf(value, 0) {
+				return fmt.Errorf("line %d: counter %s is not finite (%g)", lineNo, family, value)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative (%g)", lineNo, family, value)
+			}
+		case "histogram":
+			if strings.HasSuffix(name, "_bucket") {
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: %s has no le label", lineNo, name)
+				}
+				delete(labels, "le")
+				bkey := name + renderSorted(labels)
+				st := buckets[bkey]
+				if st == nil {
+					st = &bucketState{}
+					buckets[bkey] = st
+				}
+				if st.infSeen {
+					return fmt.Errorf("line %d: %s has buckets after le=\"+Inf\"", lineNo, name)
+				}
+				if le == "+Inf" {
+					st.infSeen = true
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: %s le=%q is not a number", lineNo, name, le)
+				}
+				if value < st.lastCum {
+					return fmt.Errorf("line %d: %s buckets are not cumulative (%g after %g)", lineNo, name, value, st.lastCum)
+				}
+				st.lastCum = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for bkey, st := range buckets {
+		if !st.infSeen {
+			return fmt.Errorf("%s: histogram missing le=\"+Inf\" bucket", bkey)
+		}
+	}
+	return nil
+}
+
+// LintString is Lint over an in-memory document.
+func LintString(s string) error { return Lint(strings.NewReader(s)) }
+
+func lintComment(line string, types map[string]string, helps, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return nil // free-form comment: legal
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP: %q", line)
+		}
+		if helps[fields[2]] {
+			return fmt.Errorf("second HELP for %s", fields[2])
+		}
+		helps[fields[2]] = true
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", fields[3], fields[2])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("second TYPE for %s", fields[2])
+		}
+		if sampled[fields[2]] {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family: histogram
+// component suffixes collapse onto the declared base name.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample parses one exposition sample line.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, lerr := parseLabels(rest, labels)
+		if lerr != nil {
+			return "", nil, 0, lerr
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = parseSampleValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i == len(s) {
+			return 0, fmt.Errorf("unterminated label set %q", s)
+		}
+		lname := s[start:i]
+		if !validLabelName(lname) {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[i] {
+				case '\\', '"':
+					val.WriteByte(s[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", lname, s[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[lname]; dup {
+			return 0, fmt.Errorf("duplicate label %s", lname)
+		}
+		out[lname] = val.String()
+	}
+}
+
+// renderSorted renders a parsed label map with sorted keys, for
+// duplicate detection independent of label order.
+func renderSorted(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// Tiny sets: insertion sort keeps this dependency-free and obvious.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -204,6 +204,16 @@ type Coordinator struct {
 	executedA atomic.Uint64
 
 	quiesce []func()
+	// quiesces counts quiescent points reached (completed run windows).
+	quiesces uint64
+	// lag[i] is the virtual time between shard i's last executed event
+	// and the coordinated clock at the most recent quiescent point,
+	// captured before the clocks are re-aligned. A shard that simply
+	// ran out of local work contributes its idle span, so this is an
+	// activity-staleness measure, not a bound on the conservative
+	// synchronization (which aligns every clock at each quiescent
+	// point).
+	lag []Duration
 
 	// ports are all remote-NIC proxies, for stat syncing at quiescence.
 	ports []*xport
@@ -218,6 +228,7 @@ func NewCoordinator(n int) *Coordinator {
 		chans:     make([][]*xchan, n),
 		in:        make([][]*xchan, n),
 		nextLocal: make([]atomic.Int64, n),
+		lag:       make([]Duration, n),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < n; i++ {
@@ -693,7 +704,10 @@ func (c *Coordinator) run(until Time) uint64 {
 		now = until
 	}
 	c.globalNow = now
-	for _, s := range c.shards {
+	for i, s := range c.shards {
+		// Captured before re-alignment: how stale this shard's last
+		// executed event was against the coordinated clock.
+		c.lag[i] = now.Sub(s.lastAt)
 		s.now = now
 	}
 	c.control.now = now
@@ -701,11 +715,66 @@ func (c *Coordinator) run(until Time) uint64 {
 	for _, p := range c.ports {
 		p.syncStats()
 	}
+	c.quiesces++
 	for _, fn := range c.quiesce {
 		fn()
 	}
 	return c.executedTotal() - start
 }
+
+// ShardStats is a quiescent-point observation of one shard engine, the
+// raw material of the per-shard telemetry gauges. Read it only from
+// quiescence callbacks (Coordinator.OnQuiesce) or between Run calls.
+type ShardStats struct {
+	// Clock is the shard's virtual clock (aligned at quiescence).
+	Clock Time
+	// LastEventAt is the instant of the shard's last executed event.
+	LastEventAt Time
+	// LastEventAge is Clock - LastEventAt as captured before the
+	// quiescent clock alignment: how stale the shard's last activity
+	// was when the run drained. It includes plain idleness (a shard
+	// whose local workload finished early ages for the rest of the
+	// run), so read it as an activity measure, not a synchronization
+	// bound.
+	LastEventAge Duration
+	// Executed counts events this shard has executed since creation.
+	Executed uint64
+	// HeapDepth is the shard's pending event count.
+	HeapDepth int
+	// MailboxBacklog counts cross-shard messages queued toward this
+	// shard that have not yet been folded into its heap.
+	MailboxBacklog int
+	// PortBacklog counts frames queued in the remote-NIC transmit
+	// proxies (xports) this shard owns.
+	PortBacklog int
+}
+
+// ShardStats returns the quiescent-point observation of shard i.
+func (c *Coordinator) ShardStats(i int) ShardStats {
+	s := c.shards[i]
+	st := ShardStats{
+		Clock:        s.now,
+		LastEventAt:  s.lastAt,
+		LastEventAge: c.lag[i],
+		Executed:     s.executed,
+		HeapDepth:    s.queue.len(),
+	}
+	c.mu.Lock()
+	for _, ch := range c.in[i] {
+		st.MailboxBacklog += len(ch.q) - ch.head
+	}
+	c.mu.Unlock()
+	for _, p := range c.ports {
+		if p.sim.shard == i {
+			st.PortBacklog += p.queueLen()
+		}
+	}
+	return st
+}
+
+// Quiesces reports how many quiescent points the coordinator has
+// reached (completed Run calls).
+func (c *Coordinator) Quiesces() uint64 { return c.quiesces }
 
 func (c *Coordinator) executedTotal() uint64 {
 	var n uint64

@@ -123,10 +123,7 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 
 // Utilization returns the fraction of the elapsed window the medium was busy.
 func (g *Segment) Utilization(elapsed Duration) float64 {
-	if elapsed <= 0 {
-		return 0
-	}
-	return float64(g.BusyTime) / float64(elapsed)
+	return Utilization(g.BusyTime, elapsed)
 }
 
 // NICs returns the attached interfaces (for topology inspection).

@@ -191,6 +191,12 @@ type Sim struct {
 	lastAt   Time
 	rank     int32
 	curGenAt Time
+
+	// quiesce holds callbacks fired at every quiescent point of a serial
+	// engine: at the end of each Run/RunAll, when no event is executing.
+	// The metrics plane publishes from them. Sharded engines delegate to
+	// the coordinator's quiescence instead (see OnQuiesce).
+	quiesce []func()
 }
 
 // New creates an empty simulation at time zero.
@@ -200,6 +206,35 @@ func New() *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// Executed reports the number of events this engine has executed.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// QueueLen reports this engine's own heap depth (unlike Pending, it
+// never aggregates across a sharded simulation). Read it only from the
+// engine's goroutine or at quiescent points.
+func (s *Sim) QueueLen() int { return s.queue.len() }
+
+// OnQuiesce registers fn to run at every quiescent point: after each
+// Run/RunAll returns its event loop, while no event is executing. On an
+// engine belonging to a sharded simulation the registration is
+// delegated to the coordinator, whose quiescent points play the same
+// role. Callbacks may read any simulation state but must not schedule
+// events or otherwise advance the simulation.
+func (s *Sim) OnQuiesce(fn func()) {
+	if s.coord != nil {
+		s.coord.OnQuiesce(fn)
+		return
+	}
+	s.quiesce = append(s.quiesce, fn)
+}
+
+// quiesced fires the serial quiescence callbacks.
+func (s *Sim) quiesced() {
+	for _, fn := range s.quiesce {
+		fn()
+	}
+}
 
 // clampPast guards against scheduling strictly in the past: the event is
 // clamped to run at the current instant (after already pending events for
@@ -291,6 +326,7 @@ func (s *Sim) Run(until Time) uint64 {
 	if s.now < until && !s.halted && s.queue.len() == 0 {
 		s.now = until
 	}
+	s.quiesced()
 	return s.executed - start
 }
 
@@ -317,6 +353,7 @@ func (s *Sim) RunAll() uint64 {
 			break
 		}
 	}
+	s.quiesced()
 	return s.executed - start
 }
 
@@ -382,12 +419,27 @@ func (c *CPU) QueueDelay() Duration {
 	return c.busyUntil.Sub(c.sim.Now())
 }
 
-// Utilization returns Busy / elapsed, given the elapsed observation window.
-func (c *CPU) Utilization(elapsed Duration) float64 {
+// Utilization is the one busy-window computation every consumer
+// shares: busy time over an observation window, clamped to [0, 1]
+// (rounding in cost accounting can push a raw ratio a hair past 1).
+// CPU.Utilization, Segment.Utilization, the experiments' utilization
+// tables and the metrics plane's ab_bridge_cpu_utilization gauge all
+// resolve to this definition, so a table and a scraped value can never
+// disagree.
+func Utilization(busy, elapsed Duration) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(c.Busy) / float64(elapsed)
+	u := float64(busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Utilization returns Busy / elapsed, given the elapsed observation window.
+func (c *CPU) Utilization(elapsed Duration) float64 {
+	return Utilization(c.Busy, elapsed)
 }
 
 func (c *CPU) String() string {

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/switchware/activebridge/internal/metrics"
+)
+
+// NetMetricsSummary condenses one instrumented net's final snapshot
+// into the numbers a bench report wants alongside wall times: total
+// event load, how evenly it spread across shards, and the wall-clock
+// event rate at the last quiescent point.
+type NetMetricsSummary struct {
+	Net    string `json:"net"`
+	Shards int    `json:"shards"`
+	Events uint64 `json:"events"`
+	// EventsPerShard is indexed by shard (registration order).
+	EventsPerShard []uint64 `json:"events_per_shard,omitempty"`
+	// ShardBalance is min/max of EventsPerShard: 1 is perfectly even,
+	// small values mean one engine carried the net.
+	ShardBalance float64 `json:"shard_balance"`
+	// EventsPerSec is the wall-clock rate summed over shards, as
+	// sampled between the last two publishes (machine-dependent).
+	EventsPerSec float64 `json:"events_per_second"`
+}
+
+// String renders the summary as one human-readable line.
+func (s NetMetricsSummary) String() string {
+	return fmt.Sprintf("%-24s shards=%d events=%d balance=%.2f events/s=%.0f",
+		s.Net, s.Shards, s.Events, s.ShardBalance, s.EventsPerSec)
+}
+
+// SummarizeMetrics reduces every registry attached to the default hub
+// (one per instrumented net) to its NetMetricsSummary — the end-of-run
+// summary the runner's callers print and embed into bench JSON. It
+// reads published values only, so it is safe at any time; call it after
+// the batch finishes for final numbers.
+func SummarizeMetrics() []NetMetricsSummary {
+	var out []NetMetricsSummary
+	for _, snap := range metrics.DefaultHub.SnapshotAll() {
+		s := NetMetricsSummary{Net: snap.Net}
+		for _, p := range snap.Series {
+			switch p.Name {
+			case "ab_shard_events_total":
+				s.EventsPerShard = append(s.EventsPerShard, uint64(p.Value))
+				s.Events += uint64(p.Value)
+			case "ab_shard_events_per_second":
+				s.EventsPerSec += p.Value
+			}
+		}
+		s.Shards = len(s.EventsPerShard)
+		if s.Shards > 0 {
+			min, max := s.EventsPerShard[0], s.EventsPerShard[0]
+			for _, v := range s.EventsPerShard[1:] {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if max > 0 {
+				s.ShardBalance = float64(min) / float64(max)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -19,7 +19,8 @@
 //	expect <bridge> <func> <value>     (assertion; errors on mismatch)
 //	switchlets <bridge>                (list installed switchlets)
 //	upgrade <bridge> <old-module> <builtin>
-//	stats
+//	stats                              (one summary line per node)
+//	stats <bridge>                     (one bridge, through the metrics view)
 //	logs
 //
 // Loading, querying and upgrading all route through the bridge's
@@ -40,6 +41,7 @@ import (
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/switchlets"
@@ -323,6 +325,12 @@ func (w *World) Exec(f []string) error {
 		w.printf("upgrade %s: %s -> %s state=%v captured=%q\n",
 			f[1], u.Old().Manifest.Ref(), u.New().Manifest.Ref(), u.State(), u.Captured)
 	case "stats":
+		if len(f) > 2 {
+			return fmt.Errorf("usage: stats [bridge]")
+		}
+		if len(f) == 2 {
+			return w.bridgeStats(f[1])
+		}
 		for name, b := range w.Bridges {
 			s := b.Stats
 			w.printf("%s: in=%d delivered=%d sent=%d suppressed=%d/%d drops=%d traps=%d vm=%v kernel=%v\n",
@@ -337,6 +345,27 @@ func (w *World) Exec(f []string) error {
 		w.logsOn = true
 	default:
 		return fmt.Errorf("unknown command %q", f[0])
+	}
+	return nil
+}
+
+// bridgeStats prints one bridge's live counters through the metrics
+// view: the same instruments a scrape endpoint would serve (frames,
+// drops, VM/kernel time, lifecycle counts, installed switchlet
+// versions), published on the spot and rendered one series per line.
+func (w *World) bridgeStats(name string) error {
+	b, ok := w.Bridges[name]
+	if !ok {
+		return fmt.Errorf("unknown bridge %s", name)
+	}
+	reg := metrics.NewRegistry("script")
+	b.Instrument(reg, metrics.Labels{{Name: "bridge", Value: name}})
+	// The console is between commands: the simulation is quiescent, so
+	// an explicit publish is licensed.
+	reg.Publish()
+	snap := reg.Snapshot()
+	for _, p := range snap.Series {
+		w.printf("%s%s %s\n", p.Name, p.Labels, metrics.FormatValue(p.Value))
 	}
 	return nil
 }

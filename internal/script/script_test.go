@@ -131,6 +131,41 @@ stats
 	}
 }
 
+func TestBridgeStatsThroughMetricsView(t *testing.T) {
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+host h1 lan1 10.0.0.1
+host h2 lan2 10.0.0.2
+load br0 learning
+ping h1 h2 64 3
+stats br0
+`)
+	// The per-bridge view serves the same instruments a scrape would:
+	// frame counters, drops, VM/kernel time, lifecycle counts and the
+	// installed switchlet versions.
+	for _, frag := range []string{
+		`ab_bridge_frames_in_total{bridge="br0"}`,
+		`ab_bridge_no_handler_drops_total{bridge="br0"}`,
+		`ab_bridge_vm_time_ns_total{bridge="br0"}`,
+		`ab_bridge_kernel_time_ns_total{bridge="br0"}`,
+		`ab_bridge_switchlet_installs_total{bridge="br0"} 1`,
+		`ab_bridge_switchlet_info{bridge="br0",module="Learning",version="`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stats br0 output missing %q:\n%s", frag, out)
+		}
+	}
+	// Frames flowed, so the counter must be nonzero.
+	if strings.Contains(out, `ab_bridge_frames_in_total{bridge="br0"} 0`) {
+		t.Errorf("frames_in still zero after traffic:\n%s", out)
+	}
+	if _, err := run(t, "stats nosuch"); err == nil || !strings.Contains(err.Error(), "unknown bridge") {
+		t.Errorf("stats nosuch: err = %v", err)
+	}
+}
+
 func TestScriptErrors(t *testing.T) {
 	cases := []struct{ src, frag string }{
 		{"segment", "usage"},
@@ -147,6 +182,8 @@ func TestScriptErrors(t *testing.T) {
 		{"segment a\nbridge b a\nquery b nothing.here", "no registered function"},
 		{"segment a\nbridge b a\nload b learning\nexpect b learning.size 999", "expect failed"},
 		{"ping x y 64 1", "unknown host"},
+		{"stats nope", "unknown bridge"},
+		{"segment a\nbridge b a\nstats b extra", "usage"},
 	}
 	for _, c := range cases {
 		if _, err := run(t, c.src); err == nil || !strings.Contains(err.Error(), c.frag) {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/switchware/activebridge/internal/baseline"
 	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/workload"
 )
@@ -29,6 +30,10 @@ type Net struct {
 	Plan *Plan
 
 	coord *netsim.Coordinator
+
+	// metricsReg is the telemetry registry, non-nil once EnableMetrics
+	// ran (see metrics.go).
+	metricsReg *metrics.Registry
 
 	hosts     []*workload.Host
 	bridges   []*bridge.Bridge

@@ -38,6 +38,7 @@ import (
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/workload"
@@ -624,6 +625,14 @@ func (g *Graph) Build(cost netsim.CostModel) (*Net, error) {
 				hi.AddNeighbor(br.NetLoaderAddr(), br.MAC())
 			}
 		}
+	}
+
+	// Telemetry is opt-in process-wide (abbench -metrics-addr, the SDK's
+	// EnableMetrics): every net built while it is on publishes into the
+	// default hub. Instruments only observe at quiescent points, so the
+	// built simulation's virtual-time behaviour is identical either way.
+	if metrics.Enabled() {
+		n.EnableMetrics()
 	}
 	return n, nil
 }

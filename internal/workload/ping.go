@@ -3,6 +3,7 @@ package workload
 import (
 	"github.com/switchware/activebridge/internal/icmp"
 	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 )
 
@@ -21,6 +22,9 @@ type Pinger struct {
 	want    int
 	done    func()
 	timeout netsim.Duration
+	// rttHist receives each reply's RTT when the pinger is instrumented
+	// (see Instrument in metrics.go).
+	rttHist *metrics.Histogram
 }
 
 // NewPinger prepares count echoes of the given ICMP data size from h to dst.
@@ -67,7 +71,9 @@ func (p *Pinger) onReply(e *icmp.Echo, at netsim.Time) {
 		return
 	}
 	delete(p.sentAt, e.Seq)
-	p.rtts = append(p.rtts, at.Sub(t0))
+	rtt := at.Sub(t0)
+	p.rtts = append(p.rtts, rtt)
+	p.observeRTT(rtt)
 	p.sendNext()
 }
 

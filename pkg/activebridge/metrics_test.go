@@ -1,0 +1,76 @@
+package activebridge_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/metrics"
+	ab "github.com/switchware/activebridge/pkg/activebridge"
+)
+
+// TestSDKMetricsEndToEnd is the embedder's path: enable the plane,
+// build a topology, drive traffic, scrape both endpoints.
+func TestSDKMetricsEndToEnd(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+
+	srv, err := ab.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := ab.NewTopology("sdk-metrics")
+	h1 := g.AddHost("")
+	h2 := g.AddHost("")
+	br := g.AddBridge("", ab.LearningBridge, 2)
+	lan1, lan2 := g.AddSegment(""), g.AddSegment("")
+	g.Link(h1, lan1)
+	g.Link(br, lan1)
+	g.Link(h2, lan2)
+	g.Link(br, lan2)
+	net := g.MustBuild(ab.DefaultCostModel())
+	if net.Metrics() == nil {
+		t.Fatal("EnableMetrics did not auto-instrument the built net")
+	}
+	net.Warm(h1, h2)
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	text := get("/metrics")
+	if err := metrics.LintString(text); err != nil {
+		t.Fatalf("/metrics fails lint: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, `ab_bridge_frames_in_total{net="sdk-metrics",bridge="br0",shard="0"}`) {
+		t.Errorf("bridge series missing net/bridge/shard identity:\n%s", text)
+	}
+	var hs metrics.HubSnapshot
+	if err := json.Unmarshal([]byte(get("/snapshot")), &hs); err != nil {
+		t.Fatalf("/snapshot: %v", err)
+	}
+	found := false
+	for _, n := range hs.Nets {
+		if n.Net == "sdk-metrics" {
+			found = true
+			if v, ok := n.Get("ab_shard_events_total", `{net="sdk-metrics",shard="0"}`); !ok || v == 0 {
+				t.Errorf("events_total = %v (ok=%v) after a warmed net", v, ok)
+			}
+		}
+	}
+	if !found {
+		t.Error("sdk-metrics net missing from /snapshot")
+	}
+}
