@@ -21,6 +21,12 @@
 //	-metrics-linger D  keep serving -metrics-addr for D after the run,
 //	               so external scrapers (CI curl) can't lose the race
 //	               against a fast batch
+//	-faults seed   apply the blanket chaos profile (1% loss, 0.2%
+//	               corruption, 0.2% duplication on every segment) to
+//	               every scenario, seeded for exact replay; injected
+//	               totals land in the JSON "faults" section. Scenario
+//	               self-checks may legitimately fail under chaos — the
+//	               fingerprints stay deterministic per seed regardless
 //
 // All virtual-time metrics are deterministic and identical on any
 // machine, any -parallel setting and any -shards setting; the wall-clock
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"github.com/switchware/activebridge/internal/experiments"
+	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/scenario"
@@ -76,6 +83,18 @@ type metricsReport struct {
 	Nets    []metrics.Snapshot           `json:"nets"`
 }
 
+// faultReport is the chaos section of a report: the -faults seed plus
+// the process-wide injected-fault totals across the whole batch.
+type faultReport struct {
+	Seed     uint64 `json:"seed"`
+	Drops    uint64 `json:"drops"`
+	Corrupts uint64 `json:"corrupts"`
+	Dups     uint64 `json:"duplicates"`
+	Flaps    uint64 `json:"flaps"`
+	Crashes  uint64 `json:"crashes"`
+	Restarts uint64 `json:"restarts"`
+}
+
 type benchReport struct {
 	Schema    string           `json:"schema"`
 	Results   []benchResult    `json:"results,omitempty"`
@@ -83,6 +102,8 @@ type benchReport struct {
 	// Metrics is present when the metrics plane was enabled
 	// (-metrics-addr / -metrics-out).
 	Metrics *metricsReport `json:"metrics,omitempty"`
+	// Faults is present when -faults enabled the blanket chaos profile.
+	Faults *faultReport `json:"faults,omitempty"`
 }
 
 // measure benchmarks fn with the same harness the repo's benchmarks use
@@ -147,8 +168,17 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve the live metrics plane on this address (/metrics, /snapshot)")
 	metricsOut := flag.String("metrics-out", "", "write the schema-v3 bench report with the final metrics snapshot to this file")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the run")
+	faultsSeed := flag.Uint64("faults", 0, "apply the seeded blanket chaos profile to every scenario (0 = off)")
 	flag.Parse()
 	cost := netsim.DefaultCostModel()
+
+	if *faultsSeed != 0 {
+		topo.DefaultFaultProfile = &fault.Profile{
+			Seed:  *faultsSeed,
+			Model: fault.DefaultChaosModel(),
+		}
+		fault.ResetTotals()
+	}
 
 	if *metricsAddr != "" || *metricsOut != "" {
 		metrics.Enable()
@@ -234,6 +264,21 @@ func main() {
 			Nets:    nets,
 		}
 	}
+	// faultsSection reports the injected-fault totals once the batch is
+	// done. Only emitted when -faults turned the blanket profile on; the
+	// counters are process-wide, so scenarios carrying their own fault
+	// plans contribute too.
+	faultsSection := func() *faultReport {
+		if *faultsSeed == 0 {
+			return nil
+		}
+		tot := fault.GrandTotals()
+		return &faultReport{
+			Seed: *faultsSeed, Drops: tot.Drops, Corrupts: tot.Corrupts,
+			Dups: tot.Dups, Flaps: tot.Flaps,
+			Crashes: tot.Crashes, Restarts: tot.Restarts,
+		}
+	}
 	writeMetricsOut := func(rep *benchReport) {
 		if *metricsOut == "" {
 			return
@@ -283,6 +328,7 @@ func main() {
 			rep.Scenarios = append(rep.Scenarios, sr)
 		}
 		rep.Metrics = metricsSection()
+		rep.Faults = faultsSection()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -332,12 +378,17 @@ func main() {
 			failed++
 		}
 	})
+	fr := faultsSection()
+	if fr != nil {
+		fmt.Fprintf(os.Stderr, "faults (seed %d): dropped=%d corrupted=%d duplicated=%d flaps=%d crashes=%d restarts=%d\n",
+			fr.Seed, fr.Drops, fr.Corrupts, fr.Dups, fr.Flaps, fr.Crashes, fr.Restarts)
+	}
 	if m := metricsSection(); m != nil {
 		fmt.Fprintln(os.Stderr, "metrics summary (per instrumented net):")
 		for _, s := range m.Summary {
 			fmt.Fprintf(os.Stderr, "  %s\n", s)
 		}
-		writeMetricsOut(&benchReport{Schema: "abbench/v3", Scenarios: collected, Metrics: m})
+		writeMetricsOut(&benchReport{Schema: "abbench/v3", Scenarios: collected, Metrics: m, Faults: fr})
 	}
 	linger()
 	if failed > 0 {

@@ -66,6 +66,8 @@ type Stats struct {
 	NoHandlerDrops  uint64 // no switchlet claimed the frame
 	HandlerTraps    uint64 // runtime failures inside switchlet code
 	TimerFires      uint64
+	Crashes         uint64 // fault-plane crashes of this node
+	Restarts        uint64 // fault-plane cold restarts of this node
 	VMTime          netsim.Duration
 	KernelTime      netsim.Duration
 }
@@ -144,6 +146,25 @@ type Bridge struct {
 	Stats Stats
 
 	netLoader *netLoader
+
+	// --- fault plane ---
+	// crashed freezes the node: ports dead, dispatches suppressed.
+	crashed bool
+	// epoch invalidates callbacks scheduled before a crash: timers,
+	// After() one-shots, spawns and CPU completions all capture it and
+	// die silently if the node crashed since they were scheduled.
+	epoch uint64
+	// discardEmits counts CPU frame completions whose queued sends were
+	// dropped by a crash; emitHead consumes them as no-ops so the FIFO
+	// stays aligned with doneQueue.
+	discardEmits int
+	// timerGen issues never-reused timer generations, so a timer name
+	// recreated after a crash cannot be fired by a stale pre-crash arm.
+	timerGen uint64
+	// txqDrops is one overflow-notification cell per port, written only
+	// by that port's transmit-queue owner (the NIC's engine, or the
+	// segment owner's on a cut) and read at quiescent points.
+	txqDrops []uint64
 }
 
 // IdentityMAC derives the bridge identity address from the id byte:
@@ -173,6 +194,7 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 	if err := env.Install(b.Loader, b, b.Funcs); err != nil {
 		panic(err) // static environment construction cannot fail
 	}
+	b.txqDrops = make([]uint64, numPorts)
 	for i := 0; i < numPorts; i++ {
 		nic := netsim.NewNIC(sim, fmt.Sprintf("%s.eth%d", name, i), b.mac)
 		// Paper: "whenever an input port is bound, it is put into
@@ -180,10 +202,27 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 		nic.Promiscuous = true
 		idx := i
 		nic.SetRecv(func(_ *netsim.NIC, raw []byte) { b.onFrame(idx, raw) })
+		// The overflow notification writes only its own port's cell (the
+		// TxDropFunc contract: on a cut segment it runs on the owner
+		// engine, so it must not touch shared bridge state).
+		cell := &b.txqDrops[i]
+		nic.SetTxDropFn(func(*netsim.NIC, []byte) { *cell++ })
 		b.ports = append(b.ports, nic)
 		b.blocked = append(b.blocked, false)
 	}
 	return b
+}
+
+// TxQueueDrops reports how many frames this node lost to transmit-queue
+// overflow across all ports — the silent death a driver would never
+// report to the switchlet. Read it at quiescent points only (cut ports
+// account owner-side).
+func (b *Bridge) TxQueueDrops() uint64 {
+	var total uint64
+	for i := range b.txqDrops {
+		total += b.txqDrops[i]
+	}
+	return total
 }
 
 // Port returns the NIC for attachment to a segment.
@@ -250,6 +289,9 @@ func (b *Bridge) Send(port int, data string, ctl bool) error {
 }
 
 func (b *Bridge) emit(ps pendingSend) {
+	if b.crashed {
+		return // queued work dies with the node
+	}
 	b.Stats.FramesSent++
 	b.ports[ps.port].Send(ps.data)
 }
@@ -364,12 +406,11 @@ func (b *Bridge) SetNativeTimer(name string, period netsim.Duration, fn func()) 
 }
 
 func (b *Bridge) installTimer(name string, period netsim.Duration, fn vm.Value, native func()) {
-	old := b.timers[name]
-	var gen uint64
-	if old != nil {
-		gen = old.gen + 1
-	}
-	ts := &timerState{name: name, period: period, fn: fn, native: native, gen: gen}
+	// Generations are issued from a node-wide counter and never reused,
+	// so a pending arm can never fire a namesake timer installed after a
+	// crash cleared the table.
+	b.timerGen++
+	ts := &timerState{name: name, period: period, fn: fn, native: native, gen: b.timerGen}
 	b.timers[name] = ts
 	b.armTimer(ts)
 }
@@ -395,14 +436,24 @@ func (b *Bridge) CancelTimer(name string) { delete(b.timers, name) }
 
 // After implements env.Demux.
 func (b *Bridge) After(delayMs int64, fn vm.Value) {
+	ep := b.epoch
 	b.sim.After(netsim.Duration(delayMs)*netsim.Millisecond, func() {
+		if b.epoch != ep {
+			return // scheduled before a crash: the callback died with the node
+		}
 		b.runVMDispatch(fn, 0, vm.Unit{})
 	})
 }
 
 // AfterNative schedules a one-shot native callback with dispatch charging.
 func (b *Bridge) AfterNative(d netsim.Duration, fn func()) {
-	b.sim.After(d, func() { b.runNativeDispatch(fn, 0) })
+	ep := b.epoch
+	b.sim.After(d, func() {
+		if b.epoch != ep {
+			return
+		}
+		b.runNativeDispatch(fn, 0)
+	})
 }
 
 // Spawn implements env.Threads.
@@ -463,6 +514,12 @@ func (b *Bridge) emitSends(sends []pendingSend) {
 
 // emitHead emits the oldest queued send list (see doneQueue).
 func (b *Bridge) emitHead() {
+	if b.discardEmits > 0 {
+		// This completion's sends were dropped by a crash; consume the
+		// no-op so the CPU FIFO stays aligned with doneQueue.
+		b.discardEmits--
+		return
+	}
 	sends := b.doneQueue[b.doneQueueHead]
 	b.doneQueue[b.doneQueueHead] = nil
 	b.doneQueueHead++
@@ -479,6 +536,9 @@ func (b *Bridge) emitHead() {
 }
 
 func (b *Bridge) onFrame(inPort int, raw []byte) {
+	if b.crashed {
+		return // frozen: a dead node processes nothing
+	}
 	b.Stats.FramesIn++
 	if b.netLoader != nil && b.netLoader.maybeHandle(inPort, raw) {
 		return
@@ -594,6 +654,9 @@ func (b *Bridge) invokeVM(fn vm.Value, args []vm.Value) (sends []pendingSend, tr
 // runVMDispatch runs a VM callback outside the frame path (timers, spawns)
 // and charges its cost plus overhead to the CPU.
 func (b *Bridge) runVMDispatch(fn vm.Value, extra netsim.Duration, args ...vm.Value) {
+	if b.crashed {
+		return
+	}
 	sends, trapped := b.invokeVM(fn, args)
 	if trapped {
 		b.Stats.HandlerTraps++
@@ -604,18 +667,35 @@ func (b *Bridge) runVMDispatch(fn vm.Value, extra netsim.Duration, args ...vm.Va
 	}
 	b.Stats.VMTime += b.lastVMCost
 	b.Stats.KernelTime += sendCost
-	b.cpu.Exec(b.lastVMCost+sendCost+extra, func() { b.emitSends(sends) })
+	ep := b.epoch
+	b.cpu.Exec(b.lastVMCost+sendCost+extra, func() {
+		if b.epoch != ep {
+			b.putSendBuf(sends)
+			return
+		}
+		b.emitSends(sends)
+	})
 }
 
 // runNativeDispatch is runVMDispatch for native callbacks.
 func (b *Bridge) runNativeDispatch(fn func(), extra netsim.Duration) {
+	if b.crashed {
+		return
+	}
 	sends := b.collectSends(fn)
 	cost := b.cost.NativePerFrame
 	var sendCost netsim.Duration
 	for i := range sends {
 		sendCost += b.cost.KernelCrossing(len(sends[i].data))
 	}
-	b.cpu.Exec(cost+sendCost+extra, func() { b.emitSends(sends) })
+	ep := b.epoch
+	b.cpu.Exec(cost+sendCost+extra, func() {
+		if b.epoch != ep {
+			b.putSendBuf(sends)
+			return
+		}
+		b.emitSends(sends)
+	})
 }
 
 func (b *Bridge) drainSpawns() {
@@ -624,8 +704,108 @@ func (b *Bridge) drainSpawns() {
 		b.spawnQueue = nil
 		for _, fn := range q {
 			fn := fn
-			b.sim.After(0, func() { b.runVMDispatch(fn, 0, vm.Unit{}) })
+			ep := b.epoch
+			b.sim.After(0, func() {
+				if b.epoch != ep {
+					return
+				}
+				b.runVMDispatch(fn, 0, vm.Unit{})
+			})
 		}
+	}
+}
+
+// --- fault plane ------------------------------------------------------------
+
+// clearAllDstHandlers drops every destination registration (cold-restart
+// wipe; individual unbinds go through ClearDstHandler).
+func (b *Bridge) clearAllDstHandlers() {
+	b.dstHandlers = map[ethernet.MAC]FrameHandler{}
+	b.unicastDsts = 0
+}
+
+// Crashed reports whether the node is currently frozen by a fault-plane
+// crash.
+func (b *Bridge) Crashed() bool { return b.crashed }
+
+// Crash freezes the node at the current instant: a power cut, not a
+// graceful shutdown. All ports lose carrier, every queued dispatch and
+// pending send dies, timers and scheduled one-shots are invalidated, and
+// nothing is processed until Restart. The Manager snapshots the installed
+// manifest set and running state first, so Restart can re-install what a
+// real node would re-deploy from stable storage; any upgrade caught in its
+// validation window is marked rolled back (a crashed bridge cannot commit).
+//
+// Call it only from the node's own engine or from a coordinator control
+// event (the fault plane schedules crashes on the control engine, which
+// runs at a global barrier).
+func (b *Bridge) Crash() {
+	if b.crashed {
+		return
+	}
+	// Snapshot lifecycle state while the machine is still answerable:
+	// noteCrash queries each switchlet's Running probe and fails pending
+	// upgrade validations before the freeze makes queries meaningless.
+	b.Manager().noteCrash()
+	b.crashed = true
+	b.epoch++
+	b.Stats.Crashes++
+	for i, p := range b.ports {
+		p.SetLinkDown(true)
+		b.blocked[i] = false
+	}
+	// Queued frame-path completions: their sends die, but the CPU FIFO
+	// still fires each completion, so convert them to no-ops.
+	for i := b.doneQueueHead; i < len(b.doneQueue); i++ {
+		b.putSendBuf(b.doneQueue[i])
+		b.doneQueue[i] = nil
+		b.discardEmits++
+	}
+	b.doneQueue = b.doneQueue[:0]
+	b.doneQueueHead = 0
+	b.spawnQueue = nil
+	for name := range b.timers {
+		delete(b.timers, name)
+	}
+	b.Log("bridge: CRASH (fault plane)")
+}
+
+// Restart brings a crashed node back with cold state: carrier returns,
+// learning tables and the VM heap contents installed by dead dispatches
+// are gone, and the Manager re-installs the manifest set it snapshotted at
+// crash time (the node's stable-storage image) and restarts whatever was
+// running. Natively installed behaviour and netloaded switchlets are NOT
+// restored — they arrived outside the Manager and die with the node; see
+// the package fault documentation. Restart returns the first re-install
+// error, if any (the node is unfrozen regardless).
+func (b *Bridge) Restart() error {
+	if !b.crashed {
+		return nil
+	}
+	b.crashed = false
+	b.Stats.Restarts++
+	for _, p := range b.ports {
+		p.SetLinkDown(false)
+	}
+	b.Log("bridge: restart (cold)")
+	return b.Manager().coldRestart()
+}
+
+// SetPortLink sets the fault plane's carrier state on one port (a pulled
+// cable on a multi-port node, as opposed to Segment.SetDown which cuts the
+// whole medium). Dropping a link notifies the Manager: an upgrade caught
+// in its validation window rolls back rather than committing on a probe
+// it measured across a fault.
+func (b *Bridge) SetPortLink(port int, down bool) {
+	if port < 0 || port >= len(b.ports) {
+		return
+	}
+	if b.ports[port].LinkDown() == down {
+		return
+	}
+	b.ports[port].SetLinkDown(down)
+	if down && b.manager != nil {
+		b.manager.NoteFault(fmt.Sprintf("port %d link down", port))
 	}
 }
 

@@ -26,6 +26,17 @@ type Manager struct {
 	order     []string
 	upgrades  []*Upgrade
 	lifecycle LifecycleStats
+	// crash is the stable-storage snapshot taken by noteCrash, consumed
+	// by coldRestart.
+	crash *crashState
+}
+
+// crashState is what a crashed node's stable storage would hold: the
+// manifests the Manager had installed (in order) and which protocols were
+// running when the power went out.
+type crashState struct {
+	manifests []env.Manifest
+	running   []string
 }
 
 // LifecycleStats counts the Manager's switchlet operations, for the
@@ -503,4 +514,115 @@ func (m *Manager) Rollback(reason string) error {
 		return fmt.Errorf("rollback: %w", ErrNotInstalled)
 	}
 	return u.Rollback(reason)
+}
+
+// NoteFault tells the Manager a fault touched this node — a port lost
+// carrier, a link the node depends on flapped. Any upgrade still in its
+// validation window rolls back: its probe comparison would be measured
+// across the fault, and a transition must not commit on evidence the
+// network corrupted. This is what makes Upgrade validation fault-aware.
+func (m *Manager) NoteFault(reason string) {
+	for _, u := range m.upgrades {
+		if u.state == UpgradeValidating {
+			u.rollback("fault during validation window: " + reason)
+		}
+	}
+}
+
+// noteCrash snapshots the Manager's state at the instant of a fault-plane
+// crash, while the machine is still answerable. Validating upgrades are
+// marked rolled back directly — the node is dying, so the usual
+// stop-new/start-old choreography is meaningless; what matters is that
+// the snapshot records the OLD switchlet as the one to restore, and that
+// the upgrade can never commit from a post-restart validate() fire.
+func (m *Manager) noteCrash() {
+	cs := &crashState{}
+	exclude := map[string]bool{}
+	forceRun := map[string]bool{}
+	for _, u := range m.upgrades {
+		if u.state != UpgradeValidating {
+			continue
+		}
+		u.state = UpgradeRolledBack
+		u.Reason = "bridge crashed during validation window"
+		m.lifecycle.Rollbacks++
+		m.b.Log("manager: ROLLBACK (" + u.Reason + ")")
+		exclude[u.new.Manifest.Name] = true
+		forceRun[u.old.Manifest.Name] = true
+	}
+	for _, name := range m.order {
+		if exclude[name] {
+			continue
+		}
+		inst := m.installed[name]
+		cs.manifests = append(cs.manifests, inst.Manifest)
+		lc := inst.Manifest.Lifecycle
+		running := forceRun[name]
+		if !running && lc.Running != "" {
+			if ans, err := m.Query(lc.Running, ""); err == nil && ans == "yes" {
+				running = true
+			}
+		}
+		if running && lc.Start != "" {
+			cs.running = append(cs.running, name)
+		}
+	}
+	m.crash = cs
+}
+
+// coldRestart rebuilds the node from the crash snapshot: wipe the whole
+// switchlet namespace (the VM heap died with the node), re-install every
+// snapshotted manifest in order, and restart the protocols that were
+// running. Switchlets that arrived outside the Manager — netloaded over
+// TFTP, or natively installed — are not in the snapshot and stay gone.
+// Returns the first re-install or restart error; the rebuild continues
+// past failures so one bad switchlet does not block the rest.
+func (m *Manager) coldRestart() error {
+	cs := m.crash
+	m.crash = nil
+	// Wholesale wipe, newest first: unregister everything each manifest
+	// declared and unload its module. Timers were already cleared by the
+	// crash; dst registrations and the data-path handler are wiped below.
+	for i := len(m.order) - 1; i >= 0; i-- {
+		inst := m.installed[m.order[i]]
+		for _, h := range inst.Manifest.Handlers {
+			m.b.Funcs.Unregister(h)
+		}
+		lc := inst.Manifest.Lifecycle
+		for _, h := range []string{lc.Start, lc.Stop, lc.Probe, lc.Running} {
+			if h != "" {
+				m.b.Funcs.Unregister(h)
+			}
+		}
+		m.b.Loader.Unload(m.order[i])
+	}
+	m.installed = map[string]*Installed{}
+	m.order = nil
+	m.b.ClearHandler()
+	m.b.clearAllDstHandlers()
+	if cs == nil {
+		return nil
+	}
+	var firstErr error
+	for _, sw := range cs.manifests {
+		if _, err := m.Install(sw); err != nil {
+			m.b.Log("manager: restart re-install of " + sw.Ref() + " failed: " + err.Error())
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, name := range cs.running {
+		inst, ok := m.installed[name]
+		if !ok {
+			continue // its re-install failed above
+		}
+		if _, err := m.Query(inst.Manifest.Lifecycle.Start, ""); err != nil {
+			m.b.Log("manager: restart of " + inst.Manifest.Ref() + " trapped: " + err.Error())
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }

@@ -27,6 +27,18 @@ func (b *Bridge) Instrument(reg *metrics.Registry, ls metrics.Labels) {
 	counter("ab_bridge_output_blocked_total", "sends dropped due to port blocking", &s.OutputBlocked)
 	counter("ab_bridge_handler_traps_total", "runtime failures inside switchlet code", &s.HandlerTraps)
 	counter("ab_bridge_timer_fires_total", "switchlet timer expirations", &s.TimerFires)
+	counter("ab_bridge_crashes_total", "fault-plane crashes of this node", &s.Crashes)
+	counter("ab_bridge_restarts_total", "fault-plane cold restarts of this node", &s.Restarts)
+	reg.SampleCounter("ab_bridge_txq_drops_total", "frames lost to transmit-queue overflow", ls,
+		func() float64 { return float64(b.TxQueueDrops()) })
+	reg.SampleCounter("ab_bridge_fault_drops_total", "frames destroyed at this node's ports by the fault plane", ls,
+		func() float64 {
+			var v uint64
+			for _, p := range b.ports {
+				v += p.FaultDrops
+			}
+			return float64(v)
+		})
 
 	reg.SampleCounter("ab_bridge_vm_time_ns_total", "virtual time spent in switchlet execution", ls,
 		func() float64 { return float64(s.VMTime) })

@@ -260,4 +260,5 @@ func registerAll() {
 
 	registerScale()
 	registerMegaScale()
+	registerChaos()
 }

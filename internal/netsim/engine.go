@@ -133,6 +133,12 @@ func (p *xport) send(raw []byte) {
 	accepted, start := p.tx.offer(raw, p.nic.TxQueueLimit)
 	if !accepted {
 		p.txDrops++
+		if fn := p.nic.dropFn; fn != nil {
+			// Owner-side notification: runs on the segment owner's
+			// engine, which is why TxDropFunc's contract confines the
+			// callback to state it alone writes.
+			fn(p.nic, raw)
+		}
 		return
 	}
 	if start {

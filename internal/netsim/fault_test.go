@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// TestTxQueueOverflowNotification pins the overflow contract: with a
+// 2-frame transmit queue, a burst of 6 sends accepts the queue's worth
+// (plus the frame on the wire) and reports every loss through both the
+// TxDrops counter and the installed drop callback, with the dropped
+// frame's bytes visible to the callback.
+func TestTxQueueOverflowNotification(t *testing.T) {
+	s := New()
+	seg := NewSegment(s, "lan")
+	a := NewNIC(s, "a", mac(1))
+	b := NewNIC(s, "b", mac(2))
+	a.TxQueueLimit = 2
+	var delivered int
+	b.SetRecv(func(*NIC, []byte) { delivered++ })
+	seg.Attach(a)
+	seg.Attach(b)
+
+	var drops int
+	var droppedLen int
+	a.SetTxDropFn(func(n *NIC, raw []byte) {
+		if n != a {
+			t.Errorf("drop callback got NIC %s, want a", n.Name)
+		}
+		drops++
+		droppedLen = len(raw)
+	})
+
+	raw := frameBytes(t, mac(2), mac(1), 100)
+	const burst = 6
+	s.Schedule(0, func() {
+		for i := 0; i < burst; i++ {
+			a.Send(raw)
+		}
+	})
+	s.RunAll()
+
+	// One frame transmits immediately, two queue, the rest overflow.
+	const wantDelivered = 3
+	if delivered != wantDelivered {
+		t.Errorf("delivered = %d, want %d", delivered, wantDelivered)
+	}
+	if drops != burst-wantDelivered {
+		t.Errorf("drop callbacks = %d, want %d", drops, burst-wantDelivered)
+	}
+	if a.TxDrops != uint64(burst-wantDelivered) {
+		t.Errorf("TxDrops = %d, want %d", a.TxDrops, burst-wantDelivered)
+	}
+	if droppedLen != len(raw) {
+		t.Errorf("callback saw %d bytes, want the %d-byte frame", droppedLen, len(raw))
+	}
+}
+
+// TestLinkDownSuppressesBothDirections: a NIC with its link down neither
+// transmits (counted as fault drops) nor receives, and healing the link
+// restores both directions.
+func TestLinkDownSuppressesBothDirections(t *testing.T) {
+	s := New()
+	seg := NewSegment(s, "lan")
+	a := NewNIC(s, "a", mac(1))
+	b := NewNIC(s, "b", mac(2))
+	var got int
+	b.SetRecv(func(*NIC, []byte) { got++ })
+	seg.Attach(a)
+	seg.Attach(b)
+
+	a.SetLinkDown(true)
+	if !a.LinkDown() {
+		t.Fatal("LinkDown not reported")
+	}
+	raw := frameBytes(t, mac(2), mac(1), 64)
+	s.Schedule(0, func() { a.Send(raw) })
+	s.RunAll()
+	if got != 0 {
+		t.Errorf("frame crossed a downed transmit link")
+	}
+	if a.FaultDrops == 0 {
+		t.Errorf("transmit on a downed link not counted as a fault drop")
+	}
+
+	// Receive side: b's link down eats the delivery.
+	a.SetLinkDown(false)
+	b.SetLinkDown(true)
+	s.Schedule(s.Now()+1, func() { a.Send(raw) })
+	s.RunAll()
+	if got != 0 {
+		t.Errorf("frame delivered through a downed receive link")
+	}
+	if b.FaultDrops == 0 {
+		t.Errorf("receive on a downed link not counted as a fault drop")
+	}
+
+	b.SetLinkDown(false)
+	s.Schedule(s.Now()+1, func() { a.Send(raw) })
+	s.RunAll()
+	if got != 1 {
+		t.Errorf("delivery did not resume after link heal: got %d", got)
+	}
+}
+
+// TestRxFaultActions drives each receive-side verdict: drop destroys the
+// frame, corrupt suppresses delivery (and counts separately), duplicate
+// delivers twice.
+func TestRxFaultActions(t *testing.T) {
+	cases := []struct {
+		action   FaultAction
+		want     int
+		drops    uint64
+		corrupts uint64
+		dups     uint64
+	}{
+		{FaultNone, 1, 0, 0, 0},
+		{FaultDrop, 0, 1, 0, 0},
+		{FaultCorrupt, 0, 0, 1, 0},
+		{FaultDuplicate, 2, 0, 0, 1},
+	}
+	for _, c := range cases {
+		s := New()
+		seg := NewSegment(s, "lan")
+		a := NewNIC(s, "a", mac(1))
+		b := NewNIC(s, "b", mac(2))
+		var got int
+		b.SetRecv(func(*NIC, []byte) { got++ })
+		seg.Attach(a)
+		seg.Attach(b)
+		action := c.action
+		b.SetRxFault(func([]byte) FaultAction { return action })
+		raw := frameBytes(t, mac(2), mac(1), 64)
+		s.Schedule(0, func() { a.Send(raw) })
+		s.RunAll()
+		if got != c.want {
+			t.Errorf("%v: delivered %d, want %d", c.action, got, c.want)
+		}
+		if b.FaultDrops != c.drops || b.FaultCorrupts != c.corrupts || b.FaultDups != c.dups {
+			t.Errorf("%v: counters drop=%d corrupt=%d dup=%d, want %d/%d/%d",
+				c.action, b.FaultDrops, b.FaultCorrupts, b.FaultDups, c.drops, c.corrupts, c.dups)
+		}
+	}
+}
+
+// TestSegmentFaultFilter exercises the medium-level filter: a downed
+// segment eats everything; a fault function's verdicts apply per frame
+// and a duplicate arrives at every receiver twice at the same instant.
+func TestSegmentFaultFilter(t *testing.T) {
+	s := New()
+	seg := NewSegment(s, "lan")
+	a := NewNIC(s, "a", mac(1))
+	b := NewNIC(s, "b", mac(2))
+	var got int
+	b.SetRecv(func(*NIC, []byte) { got++ })
+	seg.Attach(a)
+	seg.Attach(b)
+
+	seg.SetDown(true)
+	if !seg.Down() {
+		t.Fatal("Down not reported")
+	}
+	raw := frameBytes(t, mac(2), mac(1), 64)
+	s.Schedule(0, func() { a.Send(raw) })
+	s.RunAll()
+	if got != 0 {
+		t.Errorf("frame crossed a downed segment")
+	}
+	if seg.FaultDrops != 1 {
+		t.Errorf("downed segment counted %d drops, want 1", seg.FaultDrops)
+	}
+
+	seg.SetDown(false)
+	seg.SetFault(func([]byte) FaultAction { return FaultDuplicate })
+	s.Schedule(s.Now()+1, func() { a.Send(raw) })
+	s.RunAll()
+	if got != 2 {
+		t.Errorf("duplicate verdict delivered %d copies, want 2", got)
+	}
+	if seg.FaultDups != 1 {
+		t.Errorf("FaultDups = %d, want 1", seg.FaultDups)
+	}
+}

@@ -63,6 +63,38 @@ func (t *txq) backlog() int { return len(t.q) - t.head }
 // on the segment, exactly as a broadcast medium shares bits.
 type RecvFunc func(nic *NIC, raw []byte)
 
+// FaultAction is a fault verdict for one frame in flight, returned by a
+// FaultFunc installed on a segment or NIC (see internal/fault for the
+// seeded plans that supply these).
+type FaultAction uint8
+
+// The frame fates a fault filter can impose.
+const (
+	// FaultNone lets the frame through untouched.
+	FaultNone FaultAction = iota
+	// FaultDrop destroys the frame in flight.
+	FaultDrop
+	// FaultCorrupt damages the frame in flight: it still occupies the
+	// wire, but every receiver's FCS check discards it, so it is
+	// delivered to no one and counted separately from a drop.
+	FaultCorrupt
+	// FaultDuplicate delivers the frame twice to every receiver.
+	FaultDuplicate
+)
+
+// FaultFunc decides the fate of one frame. It must be deterministic given
+// its own call sequence (the fault plane derives each filter from a
+// per-entity seeded stream), and must not retain or mutate raw.
+type FaultFunc func(raw []byte) FaultAction
+
+// TxDropFunc is the transmit-queue overflow notification. It is invoked
+// at the exact instant Send (or, on a cut segment, the owner-side
+// transmit proxy) rejects a frame. On a cut segment it runs on the
+// goroutine of the segment owner's engine, not the NIC's, so it must
+// touch only state dedicated to this callback — a counter cell the
+// callback alone writes — never the NIC's owning node.
+type TxDropFunc func(nic *NIC, raw []byte)
+
 // NIC is a simulated Ethernet adapter: one port of a host or bridge.
 //
 // Output is queued: Send appends to a bounded transmit queue which drains
@@ -97,11 +129,29 @@ type NIC struct {
 	// drainFn is the drain callback allocated once, not per transmission.
 	drainFn func()
 
+	// linkDown is the fault plane's carrier state: a downed NIC drops
+	// every frame at both the send and the deliver boundary. It changes
+	// only from the NIC's own engine or at a coordinator barrier (fault
+	// events are control events), never mid-window.
+	linkDown bool
+	// rxFault, when set, passes every arriving frame through a fault
+	// filter before the adapter accepts it.
+	rxFault FaultFunc
+	// dropFn, when set, is notified of every transmit-queue overflow
+	// (see TxDropFunc for the threading contract).
+	dropFn TxDropFunc
+
 	// Stats.
 	RxFrames, TxFrames uint64
 	RxBytes, TxBytes   uint64
 	TxDrops            uint64
 	RxFiltered         uint64
+	// Fault-plane stats: frames destroyed at this NIC by link-down state
+	// or an rx fault filter, frames discarded as corrupt, and duplicate
+	// deliveries injected.
+	FaultDrops    uint64
+	FaultCorrupts uint64
+	FaultDups     uint64
 }
 
 // NewNIC creates an interface with the given MAC bound to the simulation.
@@ -123,8 +173,53 @@ func (n *NIC) Leave(group ethernet.MAC) { delete(n.groups, group) }
 // Segment returns the attached segment, or nil.
 func (n *NIC) Segment() *Segment { return n.segment }
 
+// SetLinkDown sets the fault plane's carrier state. While down, the NIC
+// drops every frame on both the transmit and the receive boundary
+// (counted in FaultDrops) — the wire-level view of a pulled cable or a
+// crashed node. Frames already on the medium when the link drops are
+// lost at delivery, exactly as a cut mid-flight would lose them. Call it
+// only from the NIC's own engine or from a coordinator control event
+// (the fault plane schedules flaps on the control engine, which runs at
+// a global barrier).
+func (n *NIC) SetLinkDown(down bool) { n.linkDown = down }
+
+// LinkDown reports the fault plane's carrier state.
+func (n *NIC) LinkDown() bool { return n.linkDown }
+
+// SetRxFault installs a receive-side fault filter (nil removes it). The
+// filter runs on the NIC's own engine in delivery order.
+func (n *NIC) SetRxFault(fn FaultFunc) { n.rxFault = fn }
+
+// SetTxDropFn installs the transmit-queue overflow notification (nil
+// removes it). See TxDropFunc for the threading contract.
+func (n *NIC) SetTxDropFn(fn TxDropFunc) { n.dropFn = fn }
+
 // deliver is called by the segment when a frame arrives at this NIC.
 func (n *NIC) deliver(raw []byte) {
+	if n.linkDown {
+		n.FaultDrops++
+		return
+	}
+	if n.rxFault != nil {
+		switch n.rxFault(raw) {
+		case FaultDrop:
+			n.FaultDrops++
+			return
+		case FaultCorrupt:
+			n.FaultCorrupts++
+			return
+		case FaultDuplicate:
+			// Receive the frame twice: the adapter saw the same bits
+			// again (a reflection, a repeated symbol). Both copies run
+			// through the same accept filter and handler.
+			n.FaultDups++
+			n.deliverAccepted(raw)
+		}
+	}
+	n.deliverAccepted(raw)
+}
+
+func (n *NIC) deliverAccepted(raw []byte) {
 	if !n.accepts(raw) {
 		n.RxFiltered++
 		return
@@ -159,6 +254,12 @@ func (n *NIC) Send(raw []byte) bool {
 	if n.segment == nil {
 		panic(fmt.Sprintf("netsim: NIC %s (%v) not attached to a segment", n.Name, n.MAC))
 	}
+	if n.linkDown {
+		// No carrier: the driver's view of a dead link is a frame that
+		// vanishes, not an error (compare Bridge.Send on a nil segment).
+		n.FaultDrops++
+		return false
+	}
 	if n.xport != nil {
 		n.sim.coord.postRequest(n, raw)
 		return true
@@ -166,6 +267,9 @@ func (n *NIC) Send(raw []byte) bool {
 	accepted, start := n.tx.offer(raw, n.TxQueueLimit)
 	if !accepted {
 		n.TxDrops++
+		if n.dropFn != nil {
+			n.dropFn(n, raw)
+		}
 		return false
 	}
 	if start {

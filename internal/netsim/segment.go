@@ -23,11 +23,26 @@ type Segment struct {
 
 	busyUntil Time
 
+	// down is the fault plane's cable state: a downed segment consumes
+	// transmissions (the sender's drain still paces on the wire time) but
+	// delivers to no one — a cut cable, not a jammed medium. It changes
+	// only from the owner engine or at a coordinator barrier.
+	down bool
+	// fault, when set, passes every transmitted frame through a fault
+	// filter on the owner engine, in transmit order.
+	fault FaultFunc
+
 	// Stats.
 	Frames    uint64
 	Bytes     uint64
 	BusyTime  Duration
 	lastStart Time
+	// Fault-plane stats: frames destroyed on this segment (drops plus
+	// everything eaten while down), frames delivered corrupt and so
+	// discarded by every receiver, and duplicate deliveries injected.
+	FaultDrops    uint64
+	FaultCorrupts uint64
+	FaultDups     uint64
 }
 
 // Default medium parameters (NewSegment's initial values).
@@ -107,6 +122,27 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 	g.Bytes += uint64(len(raw))
 	g.BusyTime += dur
 
+	if g.down {
+		g.FaultDrops++
+		return end
+	}
+	dup := false
+	if g.fault != nil {
+		switch g.fault(raw) {
+		case FaultDrop:
+			g.FaultDrops++
+			return end
+		case FaultCorrupt:
+			// The damaged frame occupies the wire but every receiver's
+			// FCS check discards it, so nothing is delivered.
+			g.FaultCorrupts++
+			return end
+		case FaultDuplicate:
+			g.FaultDups++
+			dup = true
+		}
+	}
+
 	arrive := end.Add(g.Propagation)
 	for _, nic := range g.nics {
 		if nic == from {
@@ -114,12 +150,31 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 		}
 		if nic.sim != g.sim {
 			g.sim.coord.postDelivery(g, nic, arrive, raw)
+			if dup {
+				g.sim.coord.postDelivery(g, nic, arrive, raw)
+			}
 			continue
 		}
 		g.sim.scheduleDeliver(arrive, nic, raw)
+		if dup {
+			g.sim.scheduleDeliver(arrive, nic, raw)
+		}
 	}
 	return end
 }
+
+// SetDown sets the fault plane's cable state; see the down field for the
+// semantics and the threading contract.
+func (g *Segment) SetDown(down bool) { g.down = down }
+
+// Down reports the fault plane's cable state.
+func (g *Segment) Down() bool { return g.down }
+
+// SetFault installs a per-segment fault filter (nil removes it). The
+// filter runs on the segment owner's engine in transmit order, which is
+// identical serial and sharded — the filter's verdict sequence, and so
+// the chaos run, stays byte-for-byte reproducible at any shard count.
+func (g *Segment) SetFault(fn FaultFunc) { g.fault = fn }
 
 // Utilization returns the fraction of the elapsed window the medium was busy.
 func (g *Segment) Utilization(elapsed Duration) float64 {

@@ -56,6 +56,10 @@ var goldenFingerprints = map[string]string{
 	"scale-fattree256":            "51948f6205ae6da8",
 	"scale-ring8-upgrade":         "b8f0ed21ca425a12",
 	"scale-storm-containment":     "c49013bbe3c70a3e",
+	"chaos-lossy-deployment":      "263b623d064ff3bf",
+	"chaos-flapping-ring":         "321410c6072bdcb6",
+	"chaos-crash-upgrade":         "0f553ca4b4da0356",
+	"chaos-partition-heal":        "c1a29bc66e65e093",
 }
 
 // TestScenarioGoldenFingerprints pins every registered scenario's

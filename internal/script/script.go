@@ -21,6 +21,9 @@
 //	upgrade <bridge> <old-module> <builtin>
 //	stats                              (one summary line per node)
 //	stats <bridge>                     (one bridge, through the metrics view)
+//	fail <segment|bridge>              (cut a segment's medium / crash a bridge)
+//	heal <segment|bridge>              (restore the medium / restart the bridge)
+//	faults                             (fault state of every segment and bridge)
 //	logs
 //
 // Loading, querying and upgrading all route through the bridge's
@@ -33,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +44,7 @@ import (
 	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
@@ -341,12 +346,115 @@ func (w *World) Exec(f []string) error {
 		for name, h := range w.Hosts {
 			w.printf("%s: out=%d in=%d echoes-answered=%d\n", name, h.FramesOut, h.FramesIn, h.EchoRequests)
 		}
+	case "fail", "heal":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: %s <segment|bridge>", f[0])
+		}
+		return w.setFault(f[1], f[0] == "fail")
+	case "faults":
+		if len(f) != 1 {
+			return fmt.Errorf("usage: faults")
+		}
+		w.listFaults()
 	case "logs":
 		w.logsOn = true
 	default:
 		return fmt.Errorf("unknown command %q", f[0])
 	}
 	return nil
+}
+
+// setFault cuts or restores one named element: a segment's shared medium
+// (fail = every frame on it dies, as if the cable were pulled) or a whole
+// bridge (fail = crash: queued work dropped, learning tables lost; heal =
+// cold restart through the Manager's snapshot). Managers of bridges on a
+// cut segment are notified so a validating upgrade rolls back rather than
+// commits across the fault.
+func (w *World) setFault(name string, down bool) error {
+	if seg, ok := w.Segments[name]; ok {
+		if seg.Down() == down {
+			w.printf("segment %s already %s\n", name, downWord(down))
+			return nil
+		}
+		seg.SetDown(down)
+		fault.NoteFlap()
+		if down {
+			for _, bn := range w.sortedBridgeNames() {
+				b := w.Bridges[bn]
+				for p := 0; p < b.NumPorts(); p++ {
+					if b.Port(p).Segment() == seg {
+						b.Manager().NoteFault(fmt.Sprintf("segment %s down", name))
+						break
+					}
+				}
+			}
+		}
+		w.printf("segment %s %s\n", name, downWord(down))
+		return nil
+	}
+	if b, ok := w.Bridges[name]; ok {
+		if down {
+			if b.Crashed() {
+				w.printf("bridge %s already crashed\n", name)
+				return nil
+			}
+			b.Crash()
+			fault.NoteCrash()
+			w.printf("bridge %s crashed\n", name)
+			return nil
+		}
+		if !b.Crashed() {
+			w.printf("bridge %s already running\n", name)
+			return nil
+		}
+		if err := b.Restart(); err != nil {
+			return fmt.Errorf("restart %s: %w", name, err)
+		}
+		fault.NoteRestart()
+		w.printf("bridge %s restarted\n", name)
+		return nil
+	}
+	return fmt.Errorf("unknown segment or bridge %s", name)
+}
+
+func downWord(down bool) string {
+	if down {
+		return "down"
+	}
+	return "up"
+}
+
+// listFaults prints the fault state of every element, sorted by name so
+// scripts can assert on the output.
+func (w *World) listFaults() {
+	names := make([]string, 0, len(w.Segments))
+	for n := range w.Segments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seg := w.Segments[n]
+		w.printf("segment %s: %s dropped=%d corrupted=%d duplicated=%d\n",
+			n, downWord(seg.Down()), seg.FaultDrops, seg.FaultCorrupts, seg.FaultDups)
+	}
+	for _, n := range w.sortedBridgeNames() {
+		b := w.Bridges[n]
+		state := "running"
+		if b.Crashed() {
+			state = "crashed"
+		}
+		w.printf("bridge %s: %s crashes=%d restarts=%d txq-drops=%d\n",
+			n, state, b.Stats.Crashes, b.Stats.Restarts, b.TxQueueDrops())
+	}
+}
+
+func (w *World) sortedBridgeNames() []string {
+	names := make([]string, 0, len(w.Bridges))
+	for n := range w.Bridges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // bridgeStats prints one bridge's live counters through the metrics

@@ -192,6 +192,119 @@ func TestScriptErrors(t *testing.T) {
 	}
 }
 
+func TestFailHealSegment(t *testing.T) {
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+host h1 lan1 10.0.0.1
+host h2 lan2 10.0.0.2
+load br0 learning
+ping h1 h2 64 2
+fail lan2
+ping h1 h2 64 2
+heal lan2
+ping h1 h2 64 2
+faults
+`)
+	if !strings.Contains(out, "segment lan2 down") {
+		t.Errorf("fail output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0/2 replies") {
+		t.Errorf("pings crossed a cut segment:\n%s", out)
+	}
+	if !strings.Contains(out, "segment lan2 up") {
+		t.Errorf("heal output missing:\n%s", out)
+	}
+	// First and last ping exchanges both complete.
+	if strings.Count(out, "2/2 replies") != 2 {
+		t.Errorf("delivery did not resume after heal:\n%s", out)
+	}
+	if !strings.Contains(out, "segment lan1: up") || !strings.Contains(out, "segment lan2: up") {
+		t.Errorf("faults listing missing segments:\n%s", out)
+	}
+	if !strings.Contains(out, "bridge br0: running") {
+		t.Errorf("faults listing missing bridge:\n%s", out)
+	}
+}
+
+func TestFailHealBridge(t *testing.T) {
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+host h1 lan1 10.0.0.1
+host h2 lan2 10.0.0.2
+load br0 learning
+ping h1 h2 64 2
+fail br0
+faults
+ping h1 h2 64 2
+heal br0
+ping h1 h2 64 2
+`)
+	if !strings.Contains(out, "bridge br0 crashed") {
+		t.Errorf("crash output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "bridge br0: crashed crashes=1 restarts=0") {
+		t.Errorf("faults listing missing crash state:\n%s", out)
+	}
+	if !strings.Contains(out, "0/2 replies") {
+		t.Errorf("pings crossed a crashed bridge:\n%s", out)
+	}
+	if !strings.Contains(out, "bridge br0 restarted") {
+		t.Errorf("restart output missing:\n%s", out)
+	}
+	// The restart reinstalls the snapshot: learning is cold but present,
+	// so the final exchange floods, re-learns and completes.
+	if strings.Count(out, "2/2 replies") != 2 {
+		t.Errorf("delivery did not resume after restart:\n%s", out)
+	}
+}
+
+func TestFailDuringUpgradeValidationRollsBack(t *testing.T) {
+	// A link fault inside the validation window must abort the DEC→IEEE
+	// transition: the Manager rolls back to the old protocol instead of
+	// committing across a degraded network.
+	out := mustRun(t, `
+segment lan1
+segment lan2
+bridge br0 lan1 lan2
+load br0 dec
+run 35s
+upgrade br0 Decspan spanning
+run 5s
+fail lan2
+heal lan2
+run 70s
+expect br0 dec.running yes
+expect br0 ieee.running no
+`)
+	if !strings.Contains(out, "expect br0 dec.running = yes: ok") {
+		t.Errorf("old protocol not restored after fault-triggered rollback:\n%s", out)
+	}
+}
+
+func TestFaultCommandErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"fail", "usage"},
+		{"heal", "usage"},
+		{"fail nosuch", "unknown segment or bridge"},
+		{"heal nosuch", "unknown segment or bridge"},
+		{"segment a\nfaults extra", "usage"},
+	}
+	for _, c := range cases {
+		if _, err := run(t, c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("script %q: err = %v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+	// Redundant transitions are no-ops, not errors.
+	out := mustRun(t, "segment a\nheal a\nsegment b\nbridge br a b\nheal br")
+	if !strings.Contains(out, "segment a already up") || !strings.Contains(out, "bridge br already running") {
+		t.Errorf("redundant heal not reported:\n%s", out)
+	}
+}
+
 func TestCommentsAndBlankLines(t *testing.T) {
 	mustRun(t, `
 # a comment

@@ -1,6 +1,7 @@
 package tftp
 
 import (
+	"bytes"
 	"testing"
 
 	"github.com/switchware/activebridge/internal/ipv4"
@@ -29,6 +30,46 @@ func FuzzParse(f *testing.F) {
 		}
 		if _, err := Parse(enc); err != nil {
 			t.Fatalf("re-marshalled packet does not parse: %v", err)
+		}
+	})
+}
+
+// FuzzPutTimeout drives the client's timeout/retransmit state machine
+// with an arbitrary interleaving of replies and timer fires. Whatever the
+// order, the Put must never panic, never resend after a terminal state,
+// and every resend must be a well-formed packet.
+func FuzzPutTimeout(f *testing.F) {
+	f.Add([]byte{0x00}, []byte("data"))                   // one timeout
+	f.Add([]byte{0x01, 0x00, 0x01, 0x01}, []byte("d"))    // acks and timeouts
+	f.Add(bytes.Repeat([]byte{0x00}, 20), []byte("xyz"))  // budget exhaustion
+	f.Add([]byte{0x02, 0x03, 0x01, 0x00}, []byte("abcd")) // junk replies
+	f.Fuzz(func(t *testing.T, script, content []byte) {
+		put := NewPut("f.swo", content)
+		put.MaxRetries = 4
+		put.Start()
+		block := uint16(0)
+		for _, op := range script {
+			wasTerminal := put.Done() || put.Err() != nil
+			switch op % 4 {
+			case 0: // timer fire
+				resend, ok := put.Timeout()
+				if ok && wasTerminal {
+					t.Fatal("resend after terminal state")
+				}
+				if ok {
+					if _, err := Parse(resend); err != nil {
+						t.Fatalf("resend unparseable: %v", err)
+					}
+				}
+			case 1: // the expected ack
+				if put.Next(Marshal(&Ack{Block: block})) != nil {
+					block++
+				}
+			case 2: // a stale/duplicate ack
+				put.Next(Marshal(&Ack{Block: block ^ 0x8000}))
+			case 3: // garbage from the network
+				put.Next([]byte{op, 0, op})
+			}
 		}
 	})
 }

@@ -40,7 +40,17 @@ const (
 var (
 	ErrTruncated = errors.New("tftp: truncated packet")
 	ErrMalformed = errors.New("tftp: malformed packet")
+	// ErrTimeout is the terminal failure after a transfer's retry budget
+	// is exhausted (see Put.Timeout).
+	ErrTimeout = errors.New("tftp: retry budget exhausted")
 )
+
+// DefaultMaxRetries is the per-packet retransmission budget: how many
+// times the client re-sends one outstanding datagram before declaring the
+// transfer dead. With exponential backoff from 1 s capped at 8 s this
+// gives roughly a minute of persistence, enough to ride out the paper's
+// worst extended-LAN reconvergence (Max Age + twice Forward Delay = 50 s).
+const DefaultMaxRetries = 8
 
 // Packet is one of WRQ, RRQ, Data, Ack, or ErrorPkt.
 type Packet interface{ marshal() []byte }
@@ -277,25 +287,42 @@ func errorReply(to Endpoint, fromPort uint16, code uint16, msg string) Reply {
 // terminated by a zero-length final block, per RFC 1350.
 type Put struct {
 	Filename string
+	// MaxRetries bounds retransmissions of a single outstanding datagram
+	// (default DefaultMaxRetries; set before driving the transfer).
+	MaxRetries int
+	// Retransmits counts every retransmission over the whole transfer.
+	Retransmits uint64
+
 	data     []byte
 	nblocks  int // total DATA blocks, including the short/empty terminator
 	sent     int // highest DATA block transmitted (0 = only WRQ so far)
+	last     []byte
+	retries  int // retransmissions of the current outstanding datagram
 	complete bool
 	err      error
 }
 
 // NewPut creates a write transfer for the given file contents.
 func NewPut(filename string, data []byte) *Put {
-	return &Put{Filename: filename, data: data, nblocks: len(data)/BlockSize + 1}
+	return &Put{
+		Filename:   filename,
+		MaxRetries: DefaultMaxRetries,
+		data:       data,
+		nblocks:    len(data)/BlockSize + 1,
+	}
 }
 
 // Start returns the initial WRQ payload.
 func (p *Put) Start() []byte {
-	return Marshal(&Request{Write: true, Filename: p.Filename, Mode: "octet"})
+	p.last = Marshal(&Request{Write: true, Filename: p.Filename, Mode: "octet"})
+	return p.last
 }
 
 // Next consumes a server reply and returns the next datagram to send, or nil
-// when the transfer is complete or failed (check Done/Err).
+// when the transfer is complete or failed (check Done/Err) — or when the
+// reply was a stale/duplicate ack, in which case the outstanding datagram
+// stays outstanding and the caller's retransmission timer must keep
+// running.
 func (p *Put) Next(reply []byte) []byte {
 	if p.complete || p.err != nil {
 		return nil
@@ -313,15 +340,18 @@ func (p *Put) Next(reply []byte) []byte {
 		}
 		if p.sent == p.nblocks {
 			p.complete = true
+			p.last = nil
 			return nil
 		}
 		p.sent++
+		p.retries = 0 // progress: the new datagram gets a fresh budget
 		lo := (p.sent - 1) * BlockSize
 		hi := lo + BlockSize
 		if hi > len(p.data) {
 			hi = len(p.data)
 		}
-		return Marshal(&Data{Block: uint16(p.sent), Payload: p.data[lo:hi]})
+		p.last = Marshal(&Data{Block: uint16(p.sent), Payload: p.data[lo:hi]})
+		return p.last
 	case *ErrorPkt:
 		p.err = fmt.Errorf("tftp: server error %d: %s", q.Code, q.Msg)
 		return nil
@@ -329,6 +359,26 @@ func (p *Put) Next(reply []byte) []byte {
 		p.err = ErrMalformed
 		return nil
 	}
+}
+
+// Timeout is the retransmission decision point, called when the caller's
+// timer expires with no acceptable ack. It returns the outstanding
+// datagram to re-send, or (nil, false) when the transfer is already over
+// or the retry budget is exhausted — in the latter case Err() reports
+// ErrTimeout and the transfer is terminally failed.
+func (p *Put) Timeout() (resend []byte, ok bool) {
+	if p.complete || p.err != nil || p.last == nil {
+		return nil, false
+	}
+	if p.retries >= p.MaxRetries {
+		p.err = fmt.Errorf("%w (%s, block %d after %d attempts)",
+			ErrTimeout, p.Filename, p.sent, p.retries)
+		p.last = nil
+		return nil, false
+	}
+	p.retries++
+	p.Retransmits++
+	return p.last, true
 }
 
 // Done reports whether the transfer completed successfully.

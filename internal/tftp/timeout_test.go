@@ -1,0 +1,130 @@
+package tftp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestPutTimeoutResendsOutstanding: with no reply, every Timeout returns
+// the exact bytes of the outstanding datagram (first the WRQ, then the
+// unacknowledged DATA block) and counts the retransmission.
+func TestPutTimeoutResendsOutstanding(t *testing.T) {
+	put := NewPut("r.swo", make([]byte, 700))
+	wrq := put.Start()
+
+	resend, ok := put.Timeout()
+	if !ok {
+		t.Fatal("timeout with outstanding WRQ refused to resend")
+	}
+	if !bytes.Equal(resend, wrq) {
+		t.Error("resend differs from the outstanding WRQ")
+	}
+	if put.Retransmits != 1 {
+		t.Errorf("Retransmits = %d, want 1", put.Retransmits)
+	}
+
+	// Progress: the WRQ ack releases block 1 and resets the per-packet
+	// retry count; the next timeout resends block 1, not the WRQ.
+	block1 := put.Next(Marshal(&Ack{Block: 0}))
+	if block1 == nil {
+		t.Fatal("no first block after WRQ ack")
+	}
+	resend, ok = put.Timeout()
+	if !ok || !bytes.Equal(resend, block1) {
+		t.Fatalf("timeout after progress: ok=%v, resend==block1=%v", ok, bytes.Equal(resend, block1))
+	}
+}
+
+// TestPutRetryBudgetExhaustion: MaxRetries timeouts on one datagram
+// without progress exhaust the budget — the transfer fails terminally
+// with ErrTimeout and stays failed.
+func TestPutRetryBudgetExhaustion(t *testing.T) {
+	put := NewPut("x.swo", make([]byte, 100))
+	put.MaxRetries = 3
+	put.Start()
+	for i := 0; i < 3; i++ {
+		if _, ok := put.Timeout(); !ok {
+			t.Fatalf("timeout %d refused inside the budget", i+1)
+		}
+	}
+	if _, ok := put.Timeout(); ok {
+		t.Fatal("timeout past the budget still resends")
+	}
+	if !errors.Is(put.Err(), ErrTimeout) {
+		t.Errorf("Err = %v, want ErrTimeout", put.Err())
+	}
+	if put.Done() {
+		t.Error("exhausted transfer reports Done")
+	}
+	// Terminal: further timeouts and replies are inert.
+	if _, ok := put.Timeout(); ok {
+		t.Error("timeout after terminal failure resends")
+	}
+	if put.Next(Marshal(&Ack{Block: 0})) != nil {
+		t.Error("reply after terminal failure produced a datagram")
+	}
+}
+
+// TestPutRetriesResetOnProgress: the budget is per outstanding datagram,
+// not per transfer — a slow lossy link that makes progress never
+// exhausts it.
+func TestPutRetriesResetOnProgress(t *testing.T) {
+	put := NewPut("slow.swo", make([]byte, 1200)) // 3 blocks
+	put.MaxRetries = 2
+	cur := put.Start()
+	block := uint16(0)
+	for cur != nil {
+		// Lose the datagram once per block, then let the ack through.
+		if _, ok := put.Timeout(); !ok {
+			t.Fatalf("block %d: budget exhausted despite progress", block)
+		}
+		cur = put.Next(Marshal(&Ack{Block: block}))
+		block++
+	}
+	if !put.Done() || put.Err() != nil {
+		t.Fatalf("transfer failed: done=%v err=%v", put.Done(), put.Err())
+	}
+	if put.Retransmits != uint64(block) {
+		t.Errorf("Retransmits = %d, want %d (one per block)", put.Retransmits, block)
+	}
+}
+
+// TestPutTimeoutAfterCompletionInert: a completed transfer has nothing
+// outstanding; a late timer fire must not resend or corrupt state.
+func TestPutTimeoutAfterCompletionInert(t *testing.T) {
+	put := NewPut("done.swo", []byte("tiny"))
+	put.Start()
+	cur := put.Next(Marshal(&Ack{Block: 0}))
+	for block := uint16(1); cur != nil; block++ {
+		cur = put.Next(Marshal(&Ack{Block: block}))
+	}
+	if !put.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	if _, ok := put.Timeout(); ok {
+		t.Error("timeout after completion resends")
+	}
+	if put.Err() != nil {
+		t.Errorf("late timeout set an error: %v", put.Err())
+	}
+}
+
+// TestPutStaleAckLeavesTimerPath: a stale or duplicate ack produces no
+// datagram AND leaves the outstanding one resendable — the caller's
+// timer keeps running, so the state machine must still honor it.
+func TestPutStaleAckLeavesTimerPath(t *testing.T) {
+	put := NewPut("st.swo", make([]byte, 900))
+	put.Start()
+	block1 := put.Next(Marshal(&Ack{Block: 0}))
+	if put.Next(Marshal(&Ack{Block: 0})) != nil { // duplicate WRQ ack
+		t.Fatal("duplicate ack advanced the transfer")
+	}
+	if put.Next(Marshal(&Ack{Block: 7})) != nil { // future ack
+		t.Fatal("future ack advanced the transfer")
+	}
+	resend, ok := put.Timeout()
+	if !ok || !bytes.Equal(resend, block1) {
+		t.Error("outstanding block no longer resendable after stale acks")
+	}
+}

@@ -99,6 +99,29 @@ func (n *Net) EnableMetrics() *metrics.Registry {
 			With("shard", strconv.Itoa(shard)))
 	}
 
+	// Per-segment fault counters exist only when a fault plan was
+	// applied: a clean net has nothing to count and keeps its scrape
+	// output identical to the pre-fault plane.
+	if n.faultPlan != nil {
+		for _, seg := range n.segments {
+			seg := seg
+			ls := base.With("segment", seg.Name)
+			reg.SampleCounter("ab_fault_dropped_frames_total", "frames destroyed on the segment by the fault plane", ls,
+				func() float64 { return float64(seg.FaultDrops) })
+			reg.SampleCounter("ab_fault_corrupted_frames_total", "frames delivered corrupt and discarded by receivers", ls,
+				func() float64 { return float64(seg.FaultCorrupts) })
+			reg.SampleCounter("ab_fault_duplicated_frames_total", "duplicate deliveries injected on the segment", ls,
+				func() float64 { return float64(seg.FaultDups) })
+			reg.SampleGauge("ab_fault_segment_down", "1 while the segment's medium is cut", ls,
+				func() float64 {
+					if seg.Down() {
+						return 1
+					}
+					return 0
+				})
+		}
+	}
+
 	// Publish at every quiescent point (serial Run end / coordinator
 	// quiescence), and once now so a scraper arriving before the first
 	// Run sees the registered series instead of an empty document.

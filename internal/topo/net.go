@@ -6,6 +6,7 @@ import (
 
 	"github.com/switchware/activebridge/internal/baseline"
 	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/workload"
@@ -34,6 +35,10 @@ type Net struct {
 	// metricsReg is the telemetry registry, non-nil once EnableMetrics
 	// ran (see metrics.go).
 	metricsReg *metrics.Registry
+
+	// faultPlan is the fault schedule the net was built with (see
+	// fault.go), nil for a clean build.
+	faultPlan *fault.Plan
 
 	hosts     []*workload.Host
 	bridges   []*bridge.Bridge

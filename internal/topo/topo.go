@@ -37,6 +37,7 @@ import (
 	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
@@ -141,6 +142,7 @@ type bridgeSpec struct {
 	hasNetLoader bool
 	spanningSrc  string
 	logSink      func(at netsim.Time, bridge, msg string)
+	faultModel   *fault.Model
 	linkCursor   int
 }
 
@@ -221,12 +223,17 @@ type Graph struct {
 	shardsSet bool
 	affine    [][2]nodeRef
 
+	// faultPlan is the attached fault schedule, nil for a clean build
+	// (see fault.go).
+	faultPlan *fault.Plan
+
 	err error
 }
 
 type segmentSpec struct {
 	name        string
 	propagation netsim.Duration
+	faultModel  *fault.Model
 }
 
 // latencyNs is the segment's minimum source-to-sink latency in
@@ -624,6 +631,16 @@ func (g *Graph) Build(cost netsim.CostModel) (*Net, error) {
 			if g.bridges[k].hasNetLoader {
 				hi.AddNeighbor(br.NetLoaderAddr(), br.MAC())
 			}
+		}
+	}
+
+	// Fault plane last: impairment streams install on already-wired
+	// entities, and scheduled events are the plan's only build-time
+	// events. A clean build (no plan, no annotations, no process-wide
+	// profile) skips this entirely.
+	if plan := g.effectiveFaultPlan(); plan != nil {
+		if err := n.applyFaults(plan); err != nil {
+			return nil, fmt.Errorf("topo %q: %w", g.Name, err)
 		}
 	}
 
