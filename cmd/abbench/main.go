@@ -27,6 +27,13 @@
 //	               totals land in the JSON "faults" section. Scenario
 //	               self-checks may legitimately fail under chaos — the
 //	               fingerprints stay deterministic per seed regardless
+//	-vmlevels      benchmark 1024B frame forwarding with the switchlet
+//	               optimizing tier off (-O0) and on (-O1); fails if the
+//	               virtual frame rates differ. With -json, adds a
+//	               "vm_levels" section
+//	-vm-baseline F gate the -O1 tier against F's frame_rates_1024B
+//	               entry: identical virtual rate, no alloc regression,
+//	               and -O1 no slower than -O0 on this machine
 //
 // All virtual-time metrics are deterministic and identical on any
 // machine, any -parallel setting and any -shards setting; the wall-clock
@@ -38,11 +45,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/experiments"
 	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/metrics"
@@ -95,9 +104,21 @@ type faultReport struct {
 	Restarts uint64 `json:"restarts"`
 }
 
+// vmLevelResult is the VM-bound frame-forwarding benchmark at one
+// switchlet optimization level. The virtual frame rate must be identical
+// at every level (the optimizer's correctness contract); the wall and
+// allocation columns are what the compiler tier buys on this machine.
+type vmLevelResult struct {
+	OptLevel    int     `json:"opt_level"`
+	FramesPS    float64 `json:"frames_per_s"`
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 type benchReport struct {
 	Schema    string           `json:"schema"`
 	Results   []benchResult    `json:"results,omitempty"`
+	VMLevels  []vmLevelResult  `json:"vm_levels,omitempty"`
 	Scenarios []scenarioResult `json:"scenarios"`
 	// Metrics is present when the metrics plane was enabled
 	// (-metrics-addr / -metrics-out).
@@ -157,6 +178,78 @@ func headlines(cost netsim.CostModel) []benchResult {
 	return out
 }
 
+// vmLevels measures the most VM-bound headline — 1024-byte frame
+// forwarding through the learning switchlet — with the optimizing tier
+// off and on, verifying along the way that the virtual frame rate is
+// bit-identical at both levels.
+func vmLevels(cost netsim.CostModel) ([]vmLevelResult, error) {
+	defer func(old int) { bridge.DefaultOptLevel = old }(bridge.DefaultOptLevel)
+	var out []vmLevelResult
+	for _, lvl := range []int{0, 1} {
+		bridge.DefaultOptLevel = lvl
+		var fps float64
+		ns, allocs := measure(func() {
+			tb := testbed.New(testbed.ActiveBridge, cost)
+			tb.Warm()
+			fps = tb.TtcpRun(1024, 2<<20).FramesPerSecond()
+		})
+		out = append(out, vmLevelResult{OptLevel: lvl, FramesPS: fps, WallNsPerOp: ns, AllocsPerOp: allocs})
+	}
+	if out[0].FramesPS != out[1].FramesPS {
+		return out, fmt.Errorf("virtual frame rate differs across levels: -O0 %v, -O1 %v",
+			out[0].FramesPS, out[1].FramesPS)
+	}
+	return out, nil
+}
+
+// compareVMBaseline gates the optimizing tier against a committed BENCH
+// json's frame_rates_1024B entry:
+//   - the virtual frame rate must match the baseline exactly (it is
+//     deterministic, so any difference is a semantics change);
+//   - -O1 must not allocate more per op than the baseline did;
+//   - -O1 must not be slower than -O0 measured in this same run (the
+//     cross-machine wall clock is advisory, the same-machine ratio is
+//     the regression gate).
+func compareVMBaseline(path string, levels []vmLevelResult) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abbench: -vm-baseline: %v\n", err)
+		return false
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "abbench: -vm-baseline %s: %v\n", path, err)
+		return false
+	}
+	var ref *benchResult
+	for i := range base.Results {
+		if base.Results[i].Name == "frame_rates_1024B" {
+			ref = &base.Results[i]
+		}
+	}
+	if ref == nil {
+		fmt.Fprintf(os.Stderr, "abbench: -vm-baseline %s has no frame_rates_1024B entry\n", path)
+		return false
+	}
+	o0, o1 := levels[0], levels[1]
+	ok := true
+	if math.Abs(o1.FramesPS-ref.FramesPS) > 1e-6*ref.FramesPS {
+		fmt.Fprintf(os.Stderr, "abbench: virtual frame rate moved: baseline %v, now %v\n", ref.FramesPS, o1.FramesPS)
+		ok = false
+	}
+	if o1.AllocsPerOp > ref.AllocsPerOp {
+		fmt.Fprintf(os.Stderr, "abbench: -O1 allocs/op regressed: baseline %.0f, now %.0f\n", ref.AllocsPerOp, o1.AllocsPerOp)
+		ok = false
+	}
+	if o1.WallNsPerOp > o0.WallNsPerOp {
+		fmt.Fprintf(os.Stderr, "abbench: -O1 slower than -O0 on this machine: %.0fns vs %.0fns\n", o1.WallNsPerOp, o0.WallNsPerOp)
+		ok = false
+	}
+	fmt.Fprintf(os.Stderr, "vm levels vs %s: wall %.2fms (base) -> %.2fms (-O0) / %.2fms (-O1); allocs %.0f -> %.0f\n",
+		path, ref.WallNsPerOp/1e6, o0.WallNsPerOp/1e6, o1.WallNsPerOp/1e6, ref.AllocsPerOp, o1.AllocsPerOp)
+	return ok
+}
+
 func main() {
 	short := flag.Bool("short", false, "skip the slower parameter sweeps")
 	jsonOut := flag.Bool("json", false, "emit headline results as JSON (for BENCH_*.json tracking)")
@@ -169,7 +262,12 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the schema-v3 bench report with the final metrics snapshot to this file")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the run")
 	faultsSeed := flag.Uint64("faults", 0, "apply the seeded blanket chaos profile to every scenario (0 = off)")
+	vmLvls := flag.Bool("vmlevels", false, "benchmark frame forwarding at -O0 and -O1 and include a vm_levels section (-json)")
+	vmBaseline := flag.String("vm-baseline", "", "BENCH json whose frame_rates_1024B entry gates the -O1 tier (implies -vmlevels)")
 	flag.Parse()
+	if *vmBaseline != "" {
+		*vmLvls = true
+	}
 	cost := netsim.DefaultCostModel()
 
 	if *faultsSeed != 0 {
@@ -314,6 +412,16 @@ func main() {
 			rep.Results = headlines(cost)
 			metrics.SetEnabled(was)
 		}
+		if *vmLvls {
+			was := metrics.SetEnabled(false)
+			lvls, lerr := vmLevels(cost)
+			metrics.SetEnabled(was)
+			rep.VMLevels = lvls
+			if lerr != nil {
+				fmt.Fprintf(os.Stderr, "abbench: %v\n", lerr)
+				os.Exit(1)
+			}
+		}
 		for i := range results {
 			r := &results[i]
 			sr := scenarioResult{
@@ -346,6 +454,9 @@ func main() {
 			}
 		}
 		if *baseline != "" && !compareBaseline(*baseline, rep) {
+			os.Exit(1)
+		}
+		if *vmBaseline != "" && !compareVMBaseline(*vmBaseline, rep.VMLevels) {
 			os.Exit(1)
 		}
 		return
@@ -389,6 +500,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s\n", s)
 		}
 		writeMetricsOut(&benchReport{Schema: "abbench/v3", Scenarios: collected, Metrics: m, Faults: fr})
+	}
+	if *vmLvls {
+		was := metrics.SetEnabled(false)
+		lvls, lerr := vmLevels(cost)
+		metrics.SetEnabled(was)
+		for _, lr := range lvls {
+			fmt.Printf("frame_rates_1024B -O%d: %.1f frames/s (virtual), %.2fms/op, %.0f allocs/op\n",
+				lr.OptLevel, lr.FramesPS, lr.WallNsPerOp/1e6, lr.AllocsPerOp)
+		}
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "abbench: %v\n", lerr)
+			os.Exit(1)
+		}
+		if *vmBaseline != "" && !compareVMBaseline(*vmBaseline, lvls) {
+			os.Exit(1)
+		}
 	}
 	linger()
 	if failed > 0 {

@@ -7,8 +7,16 @@
 //	swc [flags] file.swl            compile to file.swo
 //	swc -builtin learning -o l.swo  emit a bundled switchlet
 //	swc -d file.swo                 disassemble an object file
+//	swc -d -O1 file.swo             ... including the quickened form
+//	swc -d -O1 file.swl             compile in-process and disassemble the
+//	                                trusted quickened form (untagged loops)
 //	swc -sig file.swl               print the inferred export signature
 //	swc -env                        list the available module signatures
+//
+// -O0 and -O1 select the optimization level (default -O1). The .swo wire
+// format is identical at every level — quickening is an in-memory form the
+// loader derives — so the level only changes what -d shows and what the
+// in-process interpreter would run.
 //
 // The module name defaults to the capitalized base name of the source file.
 package main
@@ -35,9 +43,18 @@ func main() {
 		envList = flag.Bool("env", false, "list the node environment's module signatures")
 		builtin = flag.String("builtin", "", "emit a bundled switchlet: dumb|learning|spanning|dec|control|spanbug")
 		ports   = flag.Int("ports", 4, "number of ports of the target node (affects nothing statically; reserved)")
+		o0      = flag.Bool("O0", false, "compile/disassemble the naive bytecode only")
+		o1      = flag.Bool("O1", false, "quicken: superinstructions, inline caches, untagged loops (default; wire bytes are identical)")
 	)
 	flag.Parse()
 	_ = ports
+	if *o0 && *o1 {
+		fatal("-O0 and -O1 are mutually exclusive")
+	}
+	optLevel := 1
+	if *o0 {
+		optLevel = 0
+	}
 
 	// The compilation environment is exactly what a fresh bridge node
 	// offers switchlets.
@@ -58,7 +75,7 @@ func main() {
 		if !ok {
 			fatal("unknown builtin %q", *builtin)
 		}
-		obj, sig, err := vm.Compile(name, src, env)
+		obj, sig, err := vm.CompileLevel(name, src, env, optLevel)
 		if err != nil {
 			fatal("compile %s: %v", name, err)
 		}
@@ -71,18 +88,42 @@ func main() {
 
 	case *disasm:
 		if flag.NArg() != 1 {
-			fatal("usage: swc -d file.swo")
+			fatal("usage: swc -d [-O1] file.swo|file.swl")
 		}
-		data, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal("%v", err)
-		}
-		obj, err := vm.DecodeObject(data)
-		if err != nil {
-			fatal("decode: %v", err)
-		}
-		if err := obj.Verify(); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		arg := flag.Arg(0)
+		var obj *vm.Object
+		if strings.EqualFold(filepath.Ext(arg), ".swl") {
+			// Compile in-process: the trusted path, so -O1 shows the full
+			// quickened form including type-directed untagged loops.
+			src, err := os.ReadFile(arg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			name := *modName
+			if name == "" {
+				base := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+				name = strings.ToUpper(base[:1]) + base[1:]
+			}
+			obj, _, err = vm.CompileLevel(name, string(src), env, optLevel)
+			if err != nil {
+				fatal("%v", err)
+			}
+		} else {
+			data, err := os.ReadFile(arg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			obj, err = vm.DecodeObject(data)
+			if err != nil {
+				fatal("decode: %v", err)
+			}
+			if err := obj.Verify(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+			} else if optLevel > 0 {
+				// Decoded objects are untrusted: quicken in hostile mode,
+				// exactly as the loader would.
+				vm.OptimizeObject(obj, false)
+			}
 		}
 		fmt.Print(vm.Disassemble(obj))
 		return
@@ -101,7 +142,7 @@ func main() {
 		base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		name = strings.ToUpper(base[:1]) + base[1:]
 	}
-	obj, sig, err := vm.Compile(name, string(src), env)
+	obj, sig, err := vm.CompileLevel(name, string(src), env, optLevel)
 	if err != nil {
 		fatal("%v", err)
 	}

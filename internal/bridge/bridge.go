@@ -130,6 +130,10 @@ type Bridge struct {
 	// frameArgs is the reusable argument buffer for frame dispatches
 	// (the VM does not retain it).
 	frameArgs [2]vm.Value
+	// argBoxes amortizes the per-frame interface boxing of the frame
+	// string and port number arguments.
+	strBox vm.StrBoxer
+	intBox vm.IntBoxer
 	// curRaw is the frame being dispatched; a switchlet send of the
 	// identical bytes (the forwarding fast path) reuses this buffer
 	// instead of copying and re-validating the FCS.
@@ -177,6 +181,13 @@ func IdentityMAC(id byte) ethernet.MAC {
 // New creates a bridge with the given number of ports. MACs are derived
 // from the id byte (IdentityMAC) and ports share the identity address
 // (transparent bridges do not source data frames).
+// DefaultOptLevel is the switchlet optimization level new bridges adopt
+// (0 naive bytecode, 1 quickened). Virtual time is identical at every
+// level; the knob exists so benchmarks and differential tests can measure
+// the tiers against each other. Set it before constructing bridges — it
+// is read once per New and not synchronized.
+var DefaultOptLevel = 1
+
 func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostModel) *Bridge {
 	b := &Bridge{
 		Name:        name,
@@ -190,6 +201,7 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 	b.emitHeadFn = b.emitHead
 	b.Machine = vm.NewMachine()
 	b.Loader = vm.StdLoader(b.Machine)
+	b.Loader.OptLevel = DefaultOptLevel
 	b.Funcs = env.NewFuncRegistry()
 	if err := env.Install(b.Loader, b, b.Funcs); err != nil {
 		panic(err) // static environment construction cannot fail
@@ -579,8 +591,8 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 		execCost = b.cost.NativePerFrame
 	} else {
 		var trapped bool
-		b.frameArgs[0] = frameString(raw)
-		b.frameArgs[1] = int64(inPort)
+		b.frameArgs[0] = b.strBox.Box(frameString(raw))
+		b.frameArgs[1] = b.intBox.Box(int64(inPort))
 		sends, trapped = b.invokeVM(h.VM, b.frameArgs[:])
 		execCost = b.lastVMCost
 		if trapped {
@@ -815,6 +827,22 @@ func (b *Bridge) SetPortLink(port int, down bool) {
 func (b *Bridge) LoadObjectBytes(data []byte) error {
 	steps0, alloc0 := b.Machine.Steps, b.Machine.AllocBytes
 	_, err := b.Loader.Load(data)
+	cost := b.cost.VMCost(b.Machine.Steps-steps0, b.Machine.AllocBytes-alloc0)
+	b.cpu.Hold(cost)
+	if err != nil {
+		b.Log("switchlet load failed: " + err.Error())
+		return err
+	}
+	b.drainSpawns()
+	return nil
+}
+
+// LoadDecodedObject links an already decoded switchlet object — typically
+// the process-wide cache's shared, trusted-mode-quickened form — charging
+// the same evaluation cost as LoadObjectBytes without re-decoding.
+func (b *Bridge) LoadDecodedObject(obj *vm.Object) error {
+	steps0, alloc0 := b.Machine.Steps, b.Machine.AllocBytes
+	_, err := b.Loader.LoadObject(obj)
 	cost := b.cost.VMCost(b.Machine.Steps-steps0, b.Machine.AllocBytes-alloc0)
 	b.cpu.Hold(cost)
 	if err != nil {

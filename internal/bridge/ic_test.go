@@ -1,0 +1,108 @@
+package bridge
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/env"
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// icManifest is a switchlet whose query handler runs through a quickened
+// Hashtbl.find site, so exercising it populates an inline cache.
+func icManifest(name, prefix string) env.Manifest {
+	return env.Manifest{
+		Name:         name,
+		Version:      env.Version{Major: 1},
+		Capabilities: []env.Capability{env.CapLog, env.CapFuncs},
+		Lifecycle: env.Lifecycle{
+			Start: prefix + ".start", Stop: prefix + ".stop",
+			Probe: prefix + ".probe", Running: prefix + ".running",
+		},
+		Source: strings.ReplaceAll(`
+let t = Hashtbl.create 4
+let _ = Hashtbl.add t "k" "v"
+let on = ref false
+let _ = Func.register "@.get" (fun s -> (Hashtbl.find t "k") ^ "")
+let _ = Func.register "@.probe" (fun s -> "state")
+let _ = Func.register "@.running" (fun s -> if !on then "yes" else "no")
+let _ = Func.register "@.start" (fun s -> on := true; "ok")
+let _ = Func.register "@.stop" (fun s -> on := false; "ok")
+`, "@", prefix),
+	}
+}
+
+func warmIC(t *testing.T, man *Manager, prefix string, lm *vm.LinkedModule) {
+	t.Helper()
+	if v, err := man.Query(prefix+".get", ""); err != nil || v != "v" {
+		t.Fatalf("%s.get = %q, %v", prefix, v, err)
+	}
+	if lm.LiveICs() == 0 {
+		t.Fatalf("%s: inline cache not populated by a query", prefix)
+	}
+}
+
+// TestManagerFlushesICsAcrossEpochs pins the invalidation contract: any
+// change to the loaded-module set — Install, Uninstall, Upgrade handoff,
+// Rollback — starts a new inline-cache epoch, so no site carries a cached
+// value across it.
+func TestManagerFlushesICsAcrossEpochs(t *testing.T) {
+	r := newRig(t)
+	man := r.b.Manager()
+
+	if _, err := man.Install(icManifest("ICDemo", "icdemo")); err != nil {
+		t.Fatal(err)
+	}
+	lm, ok := r.b.Loader.Module("ICDemo")
+	if !ok {
+		t.Fatal("module not loaded")
+	}
+	if lm.LiveICs() != 0 {
+		t.Fatalf("fresh module has %d live ICs", lm.LiveICs())
+	}
+	warmIC(t, man, "icdemo", lm)
+
+	// Install of an unrelated switchlet flushes every module's sites.
+	if _, err := man.Install(icManifest("Other", "other")); err != nil {
+		t.Fatal(err)
+	}
+	if n := lm.LiveICs(); n != 0 {
+		t.Errorf("install epoch: %d ICs survived", n)
+	}
+	warmIC(t, man, "icdemo", lm)
+
+	// Uninstall flushes too.
+	if err := man.Uninstall("Other"); err != nil {
+		t.Fatal(err)
+	}
+	if n := lm.LiveICs(); n != 0 {
+		t.Errorf("uninstall epoch: %d ICs survived", n)
+	}
+
+	// Upgrade handoff (which installs the replacement) flushes...
+	if _, err := man.Query("icdemo.start", ""); err != nil {
+		t.Fatal(err)
+	}
+	warmIC(t, man, "icdemo", lm)
+	u, err := man.Upgrade("ICDemo", icManifest("ICDemo2", "icdemo2"), UpgradeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := lm.LiveICs(); n != 0 {
+		t.Errorf("upgrade epoch: %d ICs survived on the old module", n)
+	}
+	lm2, ok := r.b.Loader.Module("ICDemo2")
+	if !ok {
+		t.Fatal("upgraded module not loaded")
+	}
+
+	// ...and rollback starts yet another epoch, for both generations.
+	warmIC(t, man, "icdemo", lm)
+	warmIC(t, man, "icdemo2", lm2)
+	if err := u.Rollback("operator decision"); err != nil {
+		t.Fatal(err)
+	}
+	if n := lm.LiveICs() + lm2.LiveICs(); n != 0 {
+		t.Errorf("rollback epoch: %d ICs survived", n)
+	}
+}

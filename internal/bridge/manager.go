@@ -84,19 +84,21 @@ func (m *Manager) Bridge() *Bridge { return m.b }
 // compile turns a manifest into a verified, capability-checked encoded
 // object without touching the node's namespace. The returned name is the
 // module name — sw.Name, or the object's own module name when the
-// manifest left Name empty.
-func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, err error) {
+// manifest left Name empty. obj is the decoded form ready for linking:
+// for source installs it is the process-wide cached object carrying the
+// compiler's trusted-mode quickening, shared across bridges.
+func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, obj *vm.Object, err error) {
 	if err := sw.Validate(); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	var imports []string
 	if len(sw.Object) > 0 {
-		obj, err := vm.DecodeObject(sw.Object)
+		obj, err = vm.DecodeObject(sw.Object)
 		if err != nil {
-			return nil, "", fmt.Errorf("switchlet %s: %w", sw.Name, err)
+			return nil, "", nil, fmt.Errorf("switchlet %s: %w", sw.Name, err)
 		}
 		if sw.Name != "" && obj.ModName != sw.Name {
-			return nil, "", fmt.Errorf("switchlet %s: object names module %s", sw.Name, obj.ModName)
+			return nil, "", nil, fmt.Errorf("switchlet %s: object names module %s", sw.Name, obj.ModName)
 		}
 		name, enc = obj.ModName, sw.Object
 		imports = make([]string, 0, len(obj.Imports))
@@ -107,16 +109,16 @@ func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, err error) 
 		// Source installs go through the process-wide object cache:
 		// installing the same switchlet on N identically-provisioned
 		// bridges compiles once.
-		ent, err := compileCached(sw.Name, sw.Source, sw.Version.String(), m.b.Loader.SigEnv())
+		ent, err := compileCached(sw.Name, sw.Source, sw.Version.String(), m.b.Loader.SigEnv(), m.b.Loader.OptLevel)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
-		name, enc, imports = ent.name, ent.enc, ent.imports
+		name, enc, imports, obj = ent.name, ent.enc, ent.imports, ent.obj
 	}
 	if err := env.CheckImports(name, imports, sw.Capabilities); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	return enc, name, nil
+	return enc, name, obj, nil
 }
 
 // Compile compiles a manifest against this node and returns the encoded
@@ -124,7 +126,7 @@ func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, err error) 
 // produce the bytes for network delivery (the §5.2 TFTP loader) without
 // installing locally.
 func (m *Manager) Compile(sw env.Manifest) ([]byte, error) {
-	enc, _, err := m.compile(sw)
+	enc, _, _, err := m.compile(sw)
 	return enc, err
 }
 
@@ -133,16 +135,19 @@ func (m *Manager) Compile(sw env.Manifest) ([]byte, error) {
 // to the node CPU. The install is atomic: a validation, capability,
 // compile, link or init-trap failure leaves the node unchanged.
 func (m *Manager) Install(sw env.Manifest) (*Installed, error) {
-	enc, name, err := m.compile(sw)
+	_, name, obj, err := m.compile(sw)
 	if err != nil {
 		return nil, err
 	}
 	if _, dup := m.installed[name]; dup {
 		return nil, fmt.Errorf("%s: %w", name, ErrAlreadyInstalled)
 	}
-	if err := m.b.LoadObjectBytes(enc); err != nil {
+	if err := m.b.LoadDecodedObject(obj); err != nil {
 		return nil, err
 	}
+	// The loaded-module set changed: inline caches must not carry values
+	// across the epoch.
+	m.b.Loader.FlushAllICs()
 	sw.Name = name
 	inst := &Installed{Manifest: sw, At: m.b.sim.Now()}
 	m.installed[name] = inst
@@ -225,6 +230,7 @@ func (m *Manager) Uninstall(name string) error {
 		}
 	}
 	m.b.Loader.Unload(name)
+	m.b.Loader.FlushAllICs()
 	delete(m.installed, name)
 	for i, n := range m.order {
 		if n == name {
@@ -470,6 +476,7 @@ func (u *Upgrade) rollback(reason string) {
 	u.state = UpgradeRolledBack
 	u.Reason = reason
 	u.m.lifecycle.Rollbacks++
+	u.m.b.Loader.FlushAllICs()
 	u.m.b.Log("manager: ROLLBACK (" + reason + ")")
 	u.releaseGuard()
 	if _, err := u.m.Query(u.new.Manifest.Lifecycle.Stop, ""); err != nil {

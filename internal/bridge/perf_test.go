@@ -18,10 +18,12 @@ let _ = Bridge.set_handler handle
 // for the bridge frame path: steady-state VM forwarding of one frame —
 // kernel-cost accounting, VM invocation, pooled send collection, CPU
 // completion, transmit and delivery — must stay within a tiny constant
-// budget. The budget is 2: one interface box for the frame string handed
-// to the VM, one Trap-free Invoke-internal residue allowed for slack.
-// Before the zero-allocation overhaul this path cost hundreds of
-// allocations per frame.
+// budget. The budget is 0: the frame-string and port-number boxes come
+// from the bridge's slab boxers, whose one allocation per 128 values
+// rounds to zero in AllocsPerRun's integral average. Before the
+// zero-allocation overhaul this path cost hundreds of allocations per
+// frame; before the optimizing-tier PR it was 2 (frame-string box and
+// invoke residue).
 func TestFrameDispatchAllocBudget(t *testing.T) {
 	r := newRig(t)
 	r.load(t, "Fwd", forwardSwitchlet)
@@ -37,8 +39,8 @@ func TestFrameDispatchAllocBudget(t *testing.T) {
 	}
 	cycle() // warm pools, arena, heap slab
 	allocs := testing.AllocsPerRun(500, cycle)
-	if allocs > 2 {
-		t.Fatalf("steady-state frame dispatch allocs/frame = %v, want <= 2", allocs)
+	if allocs > 0 {
+		t.Fatalf("steady-state frame dispatch allocs/frame = %v, want 0", allocs)
 	}
 	if r.rx2 == 0 {
 		t.Fatal("no frames forwarded")

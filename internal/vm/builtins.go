@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"sync"
 )
 
 // BuiltinDef declares one native binding of a host module: its name, its
@@ -14,17 +16,39 @@ type BuiltinDef struct {
 	Fn    func(ctx *Ctx, args []Value) (Value, error)
 }
 
+// unitSigCache memoizes BuildUnit signatures process-wide, keyed by the
+// module name plus every declared name and type string. Host units are
+// rebuilt once per node (hundreds of times in the fat-tree scenarios) with
+// identical static type tables; parsing them once is enough. Sharing is
+// sound because a parsed Scheme's variables are all Generic: inference
+// only ever reads them through instantiate, which copies.
+var unitSigCache sync.Map // string -> *Signature
+
 // BuildUnit assembles a host module from builtin definitions, returning the
 // signature (thin it further with Signature.Thin if needed) and the value
-// table for Loader.AddUnit.
+// table for Loader.AddUnit. The signature may be shared with other units
+// built from the same definitions; treat it as immutable.
 func BuildUnit(module string, defs []BuiltinDef) (*Signature, map[string]Value) {
-	sig := NewSignature(module)
-	values := map[string]Value{}
+	var kb strings.Builder
+	kb.WriteString(module)
+	values := make(map[string]Value, len(defs))
 	for _, d := range defs {
-		sig.Add(d.Name, MustParseType(d.Type))
+		kb.WriteByte(0)
+		kb.WriteString(d.Name)
+		kb.WriteByte(1)
+		kb.WriteString(d.Type)
 		values[d.Name] = &Native{Name: module + "." + d.Name, Arity: d.Arity, Fn: d.Fn}
 	}
-	return sig, values
+	key := kb.String()
+	if cached, ok := unitSigCache.Load(key); ok {
+		return cached.(*Signature), values
+	}
+	sig := NewSignature(module)
+	for _, d := range defs {
+		sig.Add(d.Name, MustParseType(d.Type))
+	}
+	actual, _ := unitSigCache.LoadOrStore(key, sig)
+	return actual.(*Signature), values
 }
 
 func argInt(args []Value, i int) (int64, error) {
@@ -184,10 +208,27 @@ func intBinop(f func(a, b int64) (int64, error)) func(*Ctx, []Value) (Value, err
 	}
 }
 
+// tagNatives marks natives that have interpreter-inlined fast paths; the
+// inlined superinstructions replicate their semantics, trap messages and
+// AllocBytes metering exactly (pinned by TestInlinedNativeParity).
+func tagNatives(values map[string]Value, tags map[string]int) {
+	for name, tag := range tags {
+		if n, ok := values[name].(*Native); ok {
+			n.Tag = tag
+		}
+	}
+}
+
 // StringUnit builds the String module: byte-string operations sufficient to
 // unmarshal Ethernet frames "from the string", as the paper's switchlets
 // must.
 func StringUnit() (*Signature, map[string]Value) {
+	sig, values := buildStringUnit()
+	tagNatives(values, map[string]int{"sub": TagStrSub, "get": TagStrGet})
+	return sig, values
+}
+
+func buildStringUnit() (*Signature, map[string]Value) {
 	return BuildUnit("String", []BuiltinDef{
 		{"length", "string -> int", 1, func(_ *Ctx, a []Value) (Value, error) {
 			s, err := argStr(a, 0)
@@ -275,6 +316,14 @@ func StringUnit() (*Signature, map[string]Value) {
 // (the paper's learning-table semantics); iteration is in insertion order
 // for determinism.
 func HashtblUnit() (*Signature, map[string]Value) {
+	sig, values := buildHashtblUnit()
+	tagNatives(values, map[string]int{
+		"find": TagHtblFind, "mem": TagHtblMem, "add": TagHtblAdd,
+	})
+	return sig, values
+}
+
+func buildHashtblUnit() (*Signature, map[string]Value) {
 	return BuildUnit("Hashtbl", []BuiltinDef{
 		{"create", "int -> ('k, 'v) hashtbl", 1, func(ctx *Ctx, a []Value) (Value, error) {
 			ctx.M.AllocBytes += 64
@@ -368,14 +417,34 @@ func HashtblUnit() (*Signature, map[string]Value) {
 	})
 }
 
+// stdUnits holds the three standard units, built once: their natives are
+// stateless (no captured node handles), so signatures and value tables are
+// shared by every loader in the process.
+var stdUnits = sync.OnceValue(func() []struct {
+	sig  *Signature
+	vals map[string]Value
+} {
+	out := make([]struct {
+		sig  *Signature
+		vals map[string]Value
+	}, 0, 3)
+	for _, build := range []func() (*Signature, map[string]Value){SafestdUnit, StringUnit, HashtblUnit} {
+		sig, vals := build()
+		out = append(out, struct {
+			sig  *Signature
+			vals map[string]Value
+		}{sig, vals})
+	}
+	return out
+})
+
 // StdLoader creates a loader with the three standard units (Safestd,
 // String, Hashtbl) installed — the baseline environment every switchlet
 // compilation in this repository assumes.
 func StdLoader(m *Machine) *Loader {
 	l := NewLoader(m)
-	for _, build := range []func() (*Signature, map[string]Value){SafestdUnit, StringUnit, HashtblUnit} {
-		sig, vals := build()
-		if err := l.AddUnit(sig, vals); err != nil {
+	for _, u := range stdUnits() {
+		if err := l.AddUnit(u.sig, u.vals); err != nil {
 			panic(err) // static tables; cannot fail
 		}
 	}

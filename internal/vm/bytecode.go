@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Opcodes of the swl stack machine.
@@ -54,6 +55,73 @@ const (
 	opMax
 )
 
+// Quickened opcodes. These never appear on the wire: DecodeObject and
+// Verify reject any opcode >= opMax, so a hostile .swo cannot smuggle a
+// superinstruction with unchecked operands. They exist only in Chunk.Quick
+// code produced by OptimizeObject from already-verified wire code, which is
+// why their operands can be trusted by construction. Each carries a step
+// weight W equal to the number of wire instructions it replaces, so
+// Machine.Steps — and therefore virtual time — is identical at -O0 and -O1.
+//
+// A quickened frame that hits a case the fast path cannot handle (fuel too
+// low to charge a whole superinstruction, a call site whose predicted
+// native was rebound) deoptimizes: the frame switches to the naive Code at
+// the exact wire pc recorded in quickSrc and replays the sequence
+// instruction by instruction, reproducing -O0 traps, steps and stack
+// effects bit for bit.
+const (
+	// qNop: dead wire pair (pure push + pop/dead store) collapsed to
+	// nothing; consumes W fuel.
+	qNop byte = opMax + iota
+	// qConst: folded integer constant expression. A is the value.
+	qConst
+	// qConst2: two consecutive integer constants. A and B are the values.
+	qConst2
+	// qGetGet: push local A then push local B.
+	qGetGet
+	// qCmpJf: comparison (B is the wire comparison opcode) followed by
+	// jump-if-false with relative offset A. The intermediate bool is never
+	// boxed.
+	qCmpJf
+	// qGGCmpJf: push local, push local, compare, jump-if-false. A is the
+	// offset; B packs slot1 | slot2<<12 | cmpOp<<24.
+	qGGCmpJf
+	// qIncL: local A += B (get, const, add, set) through the tagged slot.
+	qIncL
+	// qGetFieldSet: local dst = (local src).field — the LetTuple
+	// destructuring sequence (get, tuple_get, set). A is src; B packs
+	// fieldIdx | dst<<8.
+	qGetFieldSet
+	// qStrSub: opCall whose callee the optimizer predicted to be the
+	// tagged String.sub native; inlined with a 2-way inline cache on the
+	// result box. A packs argc | icIdx<<8. Stack shape is exactly opCall's
+	// (callee below args); a mispredicted callee deopts to the wire call.
+	qStrSub
+	// qStrGet: predicted String.get call, inlined. A is argc.
+	qStrGet
+	// qHtblFind: predicted Hashtbl.find call with a (table, version, key)
+	// inline cache. A packs argc | icIdx<<8.
+	qHtblFind
+	// qHtblMem: predicted Hashtbl.mem call with the same cache shape.
+	qHtblMem
+	// qHtblAdd: predicted Hashtbl.add call, inlined. A is argc.
+	qHtblAdd
+	// qISet: store local A (tagged mirror), additionally mirroring an int
+	// value untagged into frame register B (type-directed: only emitted
+	// for slots inference proved int). A non-int value — impossible in
+	// typechecked code — just marks the register invalid.
+	qISet
+	// qIIncL: untagged loop increment. A packs slot | reg<<16; B is the
+	// delta. The tagged mirror is kept current so plain local_get in the
+	// loop body still works; deopts if the register is invalid.
+	qIIncL
+	// qIILeJf: untagged loop head: if !(int(i) <= int(hi)) jump. A is the
+	// offset; B packs slotI | slotHi<<6 | regI<<12 | regHi<<18. Touches no
+	// operand stack at all when both registers are valid.
+	qIILeJf
+	qMax
+)
+
 var opNames = [...]string{
 	"const_int", "const_str", "const_bool", "const_unit",
 	"local_get", "local_set", "capture_get", "global_get", "global_set",
@@ -63,6 +131,25 @@ var opNames = [...]string{
 	"eq", "ne", "lt", "le", "gt", "ge", "not", "neg",
 	"tuple", "tuple_get", "raise", "push_handler", "pop_handler",
 	"ref_get", "ref_set", "nop",
+}
+
+// qNames names the quickened opcodes, indexed by op - qNop.
+var qNames = [...]string{
+	"q.nop", "q.const", "q.const2", "q.get_get", "q.cmp_jf", "q.gg_cmp_jf",
+	"q.inc_local", "q.get_field_set",
+	"q.str_sub", "q.str_get", "q.htbl_find", "q.htbl_mem", "q.htbl_add",
+	"q.iset", "q.i_inc", "q.ii_le_jf",
+}
+
+// opName renders any opcode, wire or quickened, width-safely.
+func opName(op byte) string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	if op >= qNop && op < qMax {
+		return qNames[op-qNop]
+	}
+	return fmt.Sprintf("op%d", op)
 }
 
 // Instr is one decoded instruction. Operand meaning depends on Op:
@@ -75,15 +162,20 @@ var opNames = [...]string{
 //     instruction.
 type Instr struct {
 	Op byte
-	A  int64
-	B  int32
+	// W is the step weight: how many wire instructions this one accounts
+	// for. Wire code always has weight 1 (the interpreter treats 0 as 1,
+	// so hand-built test chunks need not set it); quickened
+	// superinstructions carry the weight of the sequence they replace so
+	// fuel and Machine.Steps — and with them virtual time — are identical
+	// with and without optimization. W is never serialized: it is derived
+	// by the optimizer.
+	W byte
+	A int64
+	B int32
 }
 
 func (i Instr) String() string {
-	if int(i.Op) < len(opNames) {
-		return fmt.Sprintf("%s %d %d", opNames[i.Op], i.A, i.B)
-	}
-	return fmt.Sprintf("op%d %d %d", i.Op, i.A, i.B)
+	return fmt.Sprintf("%s %d %d", opName(i.Op), i.A, i.B)
 }
 
 // Capture kinds for closure capture specs.
@@ -101,11 +193,45 @@ type CaptureRef struct {
 }
 
 // Chunk is one compiled function body.
+//
+// Code is the wire bytecode: always present, always correct, and the only
+// form that Encode serializes — the .swo byte stream is identical at every
+// optimization level, so object transfer over the simulated net (and hence
+// every virtual-time fingerprint) is unaffected by quickening. Quick, when
+// non-nil, is the superinstruction form the interpreter prefers; the
+// remaining fields are the optimizer's in-memory annotations.
 type Chunk struct {
 	Name    string // diagnostic name
 	NParams int
 	NLocals int // including params
 	Code    []Instr
+	// Quick is the quickened code produced by OptimizeObject; nil means
+	// interpret Code. Never serialized.
+	Quick []Instr
+	// quickSrc maps each Quick pc to the wire pc of the first instruction
+	// it covers, so a frame can deoptimize mid-flight to the exact naive
+	// position.
+	quickSrc []int32
+	// IntSlots marks locals the type checker proved to be ints
+	// (inference-typed lets and for-loop counters). Only the in-process
+	// compiler fills it; decoded objects carry no type evidence and so
+	// never get untagged registers.
+	IntSlots []bool
+	// NInts is the number of untagged int frame registers this chunk uses
+	// (at most maxIntRegs).
+	NInts int
+	// forLoops records the exact instruction positions of for-loop
+	// headers/increments emitted by codegen, the optimizer's license to
+	// use untagged loop ops.
+	forLoops []forLoop
+}
+
+// forLoop records where codegen placed the pieces of one `for` loop.
+type forLoop struct {
+	ISlot, HiSlot int
+	SetI, SetHi   int // pc of the initial opLocalSet i / hi
+	Head          int // pc of the 4-instruction loop head (get,get,le,jf)
+	Inc           int // pc of the 4-instruction increment (get,const,add,set)
 }
 
 // ImportRef records a dependency on another module: the names used and the
@@ -136,10 +262,28 @@ type Object struct {
 	Init int
 	// GlobalNames maps export names to global slots.
 	GlobalNames map[string]int
+
+	// NICSites is the number of inline-cache sites the optimizer assigned
+	// across all chunks; each LinkedModule allocates that many cache
+	// entries so Object and Chunk stay immutable and shareable between
+	// bridges. In-memory only, never serialized.
+	NICSites int
+	// optOnce makes OptimizeObject idempotent and safe on objects shared
+	// between bridges (the process-wide compiled-object cache).
+	optOnce sync.Once
+	// quickened records that OptimizeObject ran; OptTrusted whether it ran
+	// with trusted-source rules (in-process compile) or hostile-input
+	// rules (decoded from bytes).
+	quickened  bool
+	OptTrusted bool
 }
 
-// SigDigest computes the MD5 digest of a signature's canonical text.
-func SigDigest(sig *Signature) [16]byte { return md5.Sum([]byte(sig.Canonical())) }
+// SigDigest computes the MD5 digest of a signature's canonical text,
+// cached on the signature (signatures are immutable once in use).
+func SigDigest(sig *Signature) [16]byte {
+	sig.digestOnce.Do(func() { sig.digest = md5.Sum([]byte(sig.Canonical())) })
+	return sig.digest
+}
 
 // ExportSignature reconstructs the Signature from the object's canonical
 // export text.
@@ -454,6 +598,12 @@ func (o *Object) Verify() error {
 			return fmt.Errorf("vm: chunk %d params exceed locals", ci)
 		}
 		for pc, ins := range c.Code {
+			// Wire code must stay below opMax: quickened superinstructions
+			// are an in-memory form only, and their operands are trusted by
+			// construction — so they must never arrive from outside.
+			if ins.Op >= opMax {
+				return fmt.Errorf("vm: chunk %d pc %d: unknown opcode %d", ci, pc, ins.Op)
+			}
 			switch ins.Op {
 			case opConstStr:
 				if ins.A < 0 || int(ins.A) >= len(o.StrPool) {

@@ -8,19 +8,35 @@ import (
 // Compile parses, type checks, and compiles swl source into an object file
 // linked against the given signature environment (the thinned "available
 // units" of the loader). The returned signature is the module's export
-// interface; its digest is embedded in the object.
+// interface; its digest is embedded in the object. Compilation runs the
+// optimizing tier (level 1); the wire format carries only the naive code,
+// so the emitted .swo is identical at every level.
 func Compile(modName, src string, sigs *SigEnv) (*Object, *Signature, error) {
+	return CompileLevel(modName, src, sigs, 1)
+}
+
+// CompileLevel compiles at an explicit optimization level: 0 emits the
+// naive bytecode only, 1 additionally quickens it in memory (constant
+// folding, superinstructions, inline caches, untagged loop counters — see
+// optimize.go). Levels never change what the switchlet computes or how its
+// execution is metered.
+func CompileLevel(modName, src string, sigs *SigEnv, level int) (*Object, *Signature, error) {
 	mod, err := ParseModule(modName, src)
 	if err != nil {
 		return nil, nil, err
 	}
-	export, err := InferModule(mod, sigs)
+	export, info, err := InferModuleTyped(mod, sigs)
 	if err != nil {
 		return nil, nil, err
 	}
-	obj, err := codegen(mod, export, sigs)
+	obj, err := codegen(mod, export, sigs, info)
 	if err != nil {
 		return nil, nil, err
+	}
+	if level > 0 {
+		// The compiler proved the bytecode well-typed, so the object gets
+		// the trusted rule set (untagged loop registers included).
+		OptimizeObject(obj, true)
 	}
 	return obj, export, nil
 }
@@ -33,6 +49,7 @@ type importEntry struct {
 type cg struct {
 	obj            *Object
 	sigs           *SigEnv
+	info           *TypeInfo
 	globals        map[string]int
 	strIdx         map[string]int
 	importIdx      map[importEntry]int
@@ -64,13 +81,14 @@ type resolution struct {
 	idx  int
 }
 
-func codegen(mod *Module, export *Signature, sigs *SigEnv) (*Object, error) {
+func codegen(mod *Module, export *Signature, sigs *SigEnv, info *TypeInfo) (*Object, error) {
 	g := &cg{
 		obj: &Object{
 			ModName:     mod.Name,
 			GlobalNames: map[string]int{},
 		},
 		sigs:      sigs,
+		info:      info,
 		globals:   map[string]int{},
 		strIdx:    map[string]int{},
 		importIdx: map[importEntry]int{},
@@ -158,6 +176,15 @@ func (f *fnCG) strConst(s string) int64 {
 	f.cg.obj.StrPool = append(f.cg.obj.StrPool, s)
 	f.cg.strIdx[s] = i
 	return int64(i)
+}
+
+// markInt records that a local slot is statically known to hold an int;
+// the optimizer uses this to drive untagged register assignment.
+func (c *Chunk) markInt(slot int) {
+	for len(c.IntSlots) <= slot {
+		c.IntSlots = append(c.IntSlots, false)
+	}
+	c.IntSlots[slot] = true
 }
 
 func (f *fnCG) newLocal(name string) int {
@@ -347,12 +374,12 @@ func (f *fnCG) expr(e Expr, tail bool) error {
 			return err
 		}
 		iSlot := f.newLocal(v.Var)
-		f.emit(Instr{Op: opLocalSet, A: int64(iSlot)})
+		setI := f.emit(Instr{Op: opLocalSet, A: int64(iSlot)})
 		if err := f.expr(v.Hi, false); err != nil {
 			return err
 		}
 		hiSlot := f.newLocal("")
-		f.emit(Instr{Op: opLocalSet, A: int64(hiSlot)})
+		setHi := f.emit(Instr{Op: opLocalSet, A: int64(hiSlot)})
 		start := f.here()
 		f.emit(Instr{Op: opLocalGet, A: int64(iSlot)})
 		f.emit(Instr{Op: opLocalGet, A: int64(hiSlot)})
@@ -362,7 +389,7 @@ func (f *fnCG) expr(e Expr, tail bool) error {
 			return err
 		}
 		f.emit(Instr{Op: opPop})
-		f.emit(Instr{Op: opLocalGet, A: int64(iSlot)})
+		inc := f.emit(Instr{Op: opLocalGet, A: int64(iSlot)})
 		f.emit(Instr{Op: opConstInt, A: 1})
 		f.emit(Instr{Op: opAdd})
 		f.emit(Instr{Op: opLocalSet, A: int64(iSlot)})
@@ -370,6 +397,15 @@ func (f *fnCG) expr(e Expr, tail bool) error {
 		f.chunk.Code[back].A = int64(start - back - 1)
 		f.patch(jEnd)
 		f.emit(Instr{Op: opConstUnit})
+		// For counters are ints by construction (inference unified Lo and
+		// Hi with int); record the loop shape so the optimizer can run the
+		// counter in an untagged register.
+		f.chunk.markInt(iSlot)
+		f.chunk.markInt(hiSlot)
+		f.chunk.forLoops = append(f.chunk.forLoops, forLoop{
+			ISlot: iSlot, HiSlot: hiSlot,
+			SetI: setI, SetHi: setHi, Head: start, Inc: inc,
+		})
 		f.scopeRestore(mark)
 	case *Seq:
 		if err := f.expr(v.L, false); err != nil {
@@ -397,6 +433,9 @@ func (f *fnCG) expr(e Expr, tail bool) error {
 			}
 		}
 		slot := f.newLocal(v.Name)
+		if f.cg.info != nil && f.cg.info.IntLets[v] {
+			f.chunk.markInt(slot)
+		}
 		f.emit(Instr{Op: opLocalSet, A: int64(slot)})
 		if err := f.expr(v.Body, tail); err != nil {
 			return err

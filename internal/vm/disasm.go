@@ -7,6 +7,10 @@ import (
 
 // Disassemble renders an object file in a human-readable form: header,
 // imports with digests, export signature, and each chunk's instructions.
+// When a chunk carries quickened code (the object went through
+// OptimizeObject — e.g. swc -d -O1), the quickened form is printed after
+// the wire form, with each superinstruction's step weight and the wire pc
+// it covers, so the two listings can be read side by side.
 // cmd/swc uses it; it is also invaluable when debugging switchlets.
 func Disassemble(o *Object) string {
 	var sb strings.Builder
@@ -26,8 +30,19 @@ func Disassemble(o *Object) string {
 	for ci, c := range o.Chunks {
 		fmt.Fprintf(&sb, "\nchunk %d: %s (params=%d locals=%d)\n", ci, c.Name, c.NParams, c.NLocals)
 		for pc, ins := range c.Code {
-			sb.WriteString(formatInstr(o, c, pc, ins))
+			sb.WriteString(formatInstr(o, pc, ins))
 			sb.WriteByte('\n')
+		}
+		if c.Quick != nil {
+			fmt.Fprintf(&sb, "  quickened (%d -> %d instructions", len(c.Code), len(c.Quick))
+			if c.NInts > 0 {
+				fmt.Fprintf(&sb, ", %d untagged int regs", c.NInts)
+			}
+			sb.WriteString("):\n")
+			for pc, ins := range c.Quick {
+				sb.WriteString(formatQuick(o, c, pc, ins))
+				sb.WriteByte('\n')
+			}
 		}
 	}
 	if len(o.CapSpecs) > 0 {
@@ -52,25 +67,19 @@ func Disassemble(o *Object) string {
 	return sb.String()
 }
 
-func formatInstr(o *Object, c *Chunk, pc int, ins Instr) string {
-	name := fmt.Sprintf("op%d", ins.Op)
-	if int(ins.Op) < len(opNames) {
-		name = opNames[ins.Op]
-	}
-	out := fmt.Sprintf("  %4d  %-14s", pc, name)
+// formatInstr renders one wire instruction. Opcodes outside the known
+// range (possible when dumping a hand-built or corrupted chunk before
+// Verify has rejected it) fall back to a raw operand dump rather than
+// indexing any table, so the disassembler never panics on bad input.
+func formatInstr(o *Object, pc int, ins Instr) string {
+	out := fmt.Sprintf("  %4d  %-14s", pc, opName(ins.Op))
 	switch ins.Op {
 	case opConstInt:
 		out += fmt.Sprintf(" %d", ins.A)
 	case opConstBool:
 		out += fmt.Sprintf(" %t", ins.A != 0)
 	case opConstStr:
-		if int(ins.A) < len(o.StrPool) {
-			s := o.StrPool[ins.A]
-			if len(s) > 24 {
-				s = s[:24] + "..."
-			}
-			out += fmt.Sprintf(" %q", s)
-		}
+		out += strPoolRef(o, ins.A)
 	case opLocalGet, opLocalSet, opCaptureGet, opGlobalGet, opGlobalSet, opImportGet:
 		out += fmt.Sprintf(" %d", ins.A)
 	case opClosure:
@@ -79,8 +88,82 @@ func formatInstr(o *Object, c *Chunk, pc int, ins Instr) string {
 		out += fmt.Sprintf(" %d", ins.A)
 	case opJump, opJumpIfFalse, opJumpIfTrue, opPushHandler:
 		out += fmt.Sprintf(" -> %d", pc+1+int(ins.A))
+	default:
+		if ins.Op >= opMax {
+			out += rawOperands(ins)
+		}
 	}
 	return out
+}
+
+// formatQuick renders one quickened instruction with its weight and the
+// wire pc it deoptimizes to. Unknown opcodes (a future quickened op this
+// build does not know, or garbage in a hand-built chunk) get the same
+// width-safe raw dump as formatInstr.
+func formatQuick(o *Object, c *Chunk, pc int, ins Instr) string {
+	src := ""
+	if pc < len(c.quickSrc) {
+		src = fmt.Sprintf(" ; wire %d", c.quickSrc[pc])
+	}
+	w := ins.W
+	if w == 0 {
+		w = 1
+	}
+	out := fmt.Sprintf("  %4d  w=%-2d %-14s", pc, w, opName(ins.Op))
+	switch ins.Op {
+	case qNop:
+		// weight only
+	case qConst:
+		out += fmt.Sprintf(" %d", ins.A)
+	case qConst2:
+		out += fmt.Sprintf(" %d, %d", ins.A, ins.B)
+	case qGetGet:
+		out += fmt.Sprintf(" locals %d, %d", ins.A, ins.B)
+	case qCmpJf:
+		out += fmt.Sprintf(" %s -> %d", opName(byte(ins.B)), pc+1+int(ins.A))
+	case qGGCmpJf:
+		out += fmt.Sprintf(" locals %d, %d %s -> %d",
+			ins.B&0xfff, (ins.B>>12)&0xfff, opName(byte(ins.B>>24)), pc+1+int(ins.A))
+	case qIncL:
+		out += fmt.Sprintf(" local %d += %d", ins.A, ins.B)
+	case qGetFieldSet:
+		out += fmt.Sprintf(" local %d = local %d.%d", (ins.B>>8)&0xffffff, ins.A, ins.B&0xff)
+	case qStrSub, qHtblFind, qHtblMem:
+		out += fmt.Sprintf(" argc=%d ic=%d", ins.A&0xff, ins.A>>8)
+	case qStrGet, qHtblAdd:
+		out += fmt.Sprintf(" argc=%d", ins.A)
+	case qISet:
+		out += fmt.Sprintf(" local %d, ireg %d", ins.A, ins.B)
+	case qIIncL:
+		out += fmt.Sprintf(" local %d (ireg %d) += %d", ins.A&0xffff, ins.A>>16, ins.B)
+	case qIILeJf:
+		out += fmt.Sprintf(" i=local %d (ireg %d) hi=local %d (ireg %d) -> %d",
+			ins.B&0x3f, (ins.B>>12)&0x3f, (ins.B>>6)&0x3f, (ins.B>>18)&0x3f, pc+1+int(ins.A))
+	default:
+		if ins.Op < opMax {
+			// Unfused wire instruction carried over verbatim.
+			return formatInstr(o, pc, ins) + src
+		}
+		out += rawOperands(ins)
+	}
+	return out + src
+}
+
+// strPoolRef renders a string-pool operand, tolerating out-of-range
+// indices (truncated or hostile objects dumped before verification).
+func strPoolRef(o *Object, idx int64) string {
+	if idx < 0 || idx >= int64(len(o.StrPool)) {
+		return fmt.Sprintf(" str#%d (out of range, pool has %d)", idx, len(o.StrPool))
+	}
+	s := o.StrPool[idx]
+	if len(s) > 24 {
+		s = s[:24] + "..."
+	}
+	return fmt.Sprintf(" %q", s)
+}
+
+func rawOperands(ins Instr) string {
+	return fmt.Sprintf(" A=%d B=%d (unknown opcode)", ins.A, ins.B)
 }
 
 // InstrCount returns the total instruction count across all chunks; the

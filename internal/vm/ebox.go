@@ -1,0 +1,111 @@
+package vm
+
+import "unsafe"
+
+// Slab boxing for interface conversions on the frame hot path.
+//
+// Putting an int64, string or Tuple into a Value (interface{}) makes the
+// gc toolchain heap-allocate a cell for the datum and point the interface
+// at it (runtime.convT64 / convTstring / convTslice). On the forwarding
+// path that is one allocation per VM timestamp, per frame argument and
+// per constructed tuple — about half of all allocations per forwarded
+// frame. The boxers below amortize that: values are appended to a slab
+// and the interface is assembled to point at the slab cell, so the heap
+// sees one allocation per slab instead of one per value.
+//
+// Soundness:
+//   - Cells are append-only. A slab cell is written exactly once, before
+//     the Value referencing it escapes; full slabs are abandoned to the
+//     collector, never recycled. Boxed values therefore stay immutable,
+//     exactly like runtime-boxed ones.
+//   - The type words are copied from real interface conversions at init,
+//     and the data word always points into a live heap object that is
+//     also reachable through the boxer (or was stored into the slab with
+//     an ordinary barriered write), so the collector observes every
+//     referenced object through normal channels.
+//   - Layout dependence: this mirrors the gc runtime's two-word eface.
+//     It is not portable to other Go implementations; nothing else in
+//     the repository is either (see bridge.frameString).
+//
+// Boxers are single-goroutine, like the Machine that owns them. None of
+// this affects metered Steps/AllocBytes — only Go-heap allocation counts.
+
+// eface mirrors the runtime representation of an empty interface.
+type eface struct {
+	typ  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+var (
+	int64EfaceTyp  unsafe.Pointer
+	stringEfaceTyp unsafe.Pointer
+	tupleEfaceTyp  unsafe.Pointer
+)
+
+func init() {
+	var v Value
+	v = int64(1) << 40
+	int64EfaceTyp = (*eface)(unsafe.Pointer(&v)).typ
+	v = "probe"
+	stringEfaceTyp = (*eface)(unsafe.Pointer(&v)).typ
+	v = Tuple(nil)
+	tupleEfaceTyp = (*eface)(unsafe.Pointer(&v)).typ
+}
+
+// boxerSlabLen is the number of values carved from one slab allocation.
+const boxerSlabLen = 128
+
+// IntBoxer boxes int64 Values with amortized allocation. Values inside
+// the small-int cache are returned from it directly, as boxInt does.
+type IntBoxer struct{ slab []int64 }
+
+// Box returns n as a Value.
+func (b *IntBoxer) Box(n int64) Value {
+	if n >= smallIntMin && n <= smallIntMax {
+		return smallInts[n-smallIntMin]
+	}
+	if len(b.slab) == cap(b.slab) {
+		b.slab = make([]int64, 0, boxerSlabLen)
+	}
+	b.slab = append(b.slab, n)
+	var v Value
+	e := (*eface)(unsafe.Pointer(&v))
+	e.typ = int64EfaceTyp
+	e.data = unsafe.Pointer(&b.slab[len(b.slab)-1])
+	return v
+}
+
+// StrBoxer boxes string Values with amortized allocation of the string
+// headers (the bytes themselves are whatever the string already points
+// at).
+type StrBoxer struct{ slab []string }
+
+// Box returns s as a Value.
+func (b *StrBoxer) Box(s string) Value {
+	if len(b.slab) == cap(b.slab) {
+		b.slab = make([]string, 0, boxerSlabLen)
+	}
+	b.slab = append(b.slab, s)
+	var v Value
+	e := (*eface)(unsafe.Pointer(&v))
+	e.typ = stringEfaceTyp
+	e.data = unsafe.Pointer(&b.slab[len(b.slab)-1])
+	return v
+}
+
+// boxTuple boxes a tuple header into a Value using the machine's header
+// slab; the element storage is the caller's (usually the tuple slab).
+func (m *Machine) boxTuple(t Tuple) Value {
+	if len(m.tupleHdrSlab) == cap(m.tupleHdrSlab) {
+		m.tupleHdrSlab = make([]Tuple, 0, boxerSlabLen)
+	}
+	m.tupleHdrSlab = append(m.tupleHdrSlab, t)
+	var v Value
+	e := (*eface)(unsafe.Pointer(&v))
+	e.typ = tupleEfaceTyp
+	e.data = unsafe.Pointer(&m.tupleHdrSlab[len(m.tupleHdrSlab)-1])
+	return v
+}
+
+// boxI boxes an int64 through the machine's slab boxer.
+func (m *Machine) boxI(n int64) Value { return m.intBox.Box(n) }

@@ -51,6 +51,11 @@ type inferer struct {
 	// moduleBindings holds the current module's already-typed top-level
 	// bindings (name -> scheme).
 	moduleBindings map[string]*Scheme
+	// letTypes records the (not yet pruned) bound type of every let
+	// encountered, examined after the whole module is inferred — by then
+	// unification has resolved whatever it will resolve — to produce the
+	// TypeInfo consumed by the optimizing tier.
+	letTypes map[*Let]Type
 }
 
 func (in *inferer) newVar(level int) *TVar {
@@ -388,7 +393,9 @@ func (in *inferer) infer(e Expr, env *scope, level int) (Type, error) {
 			return nil, err
 		}
 		benv := env.bind(v.Name, bound)
-		_ = boundT
+		if in.letTypes != nil {
+			in.letTypes[v] = boundT
+		}
 		return in.infer(v.Body, benv, level)
 	case *LetTuple:
 		bt, err := in.infer(v.Bound, env, level+1)
@@ -519,23 +526,38 @@ func hasFreeVars(t Type) bool {
 	return false
 }
 
+// TypeInfo carries per-expression facts established by inference that the
+// optimizing tier consumes: bindings proven to be ints can live in
+// untagged registers without runtime tag checks.
+type TypeInfo struct {
+	// IntLets marks let expressions whose bound value has type int.
+	IntLets map[*Let]bool
+}
+
 // InferModule type checks a parsed module against the available signatures
 // and returns its export signature (all top-level bindings except those
 // named "_"). A top-level binding whose type is not fully determined is
 // rejected: exported weak type variables would undermine the type-based
 // security story.
 func InferModule(m *Module, sigs *SigEnv) (*Signature, error) {
-	in := &inferer{sigs: sigs, moduleBindings: map[string]*Scheme{}}
+	sig, _, err := InferModuleTyped(m, sigs)
+	return sig, err
+}
+
+// InferModuleTyped is InferModule plus the TypeInfo used by codegen and the
+// optimizer to drive type-directed rewrites.
+func InferModuleTyped(m *Module, sigs *SigEnv) (*Signature, *TypeInfo, error) {
+	in := &inferer{sigs: sigs, moduleBindings: map[string]*Scheme{}, letTypes: map[*Let]Type{}}
 	export := NewSignature(m.Name)
 	for _, top := range m.Tops {
 		sch, _, err := in.inferBinding(top.Rec, top.Name, top.Params, top.Bound, nil, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if top.Name == "_" {
 			// Evaluation-only form; must be unit.
 			if err := in.unify(top.Pos, sch.Body, TUnit); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			continue
 		}
@@ -549,7 +571,7 @@ func InferModule(m *Module, sigs *SigEnv) (*Signature, error) {
 		}
 		sch := in.moduleBindings[top.Name]
 		if hasFreeVars(sch.Body) {
-			return nil, &TypeError{top.Pos, fmt.Sprintf(
+			return nil, nil, &TypeError{top.Pos, fmt.Sprintf(
 				"type of %s is not fully determined: %s", top.Name, TypeString(sch.Body))}
 		}
 	}
@@ -559,5 +581,14 @@ func InferModule(m *Module, sigs *SigEnv) (*Signature, error) {
 		}
 		export.Add(top.Name, in.moduleBindings[top.Name])
 	}
-	return export, nil
+	// Distill the optimizer-relevant facts. The check is structural, not
+	// pointer identity: unification may have produced fresh TCon{"int"}
+	// nodes rather than the TInt singleton.
+	info := &TypeInfo{IntLets: map[*Let]bool{}}
+	for l, t := range in.letTypes {
+		if tc, ok := prune(t).(*TCon); ok && tc.Name == "int" && len(tc.Args) == 0 {
+			info.IntLets[l] = true
+		}
+	}
+	return export, info, nil
 }

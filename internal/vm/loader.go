@@ -26,6 +26,13 @@ type Loader struct {
 	// Loads counts successful module loads; LoadErrors the rejected ones.
 	Loads      uint64
 	LoadErrors uint64
+
+	// OptLevel controls quickening of loaded objects: 0 links the naive
+	// bytecode as-is, 1 (the default) runs OptimizeObject in hostile mode —
+	// decoded objects carry no typing proof, so they get only the rewrites
+	// whose fast paths re-check tags at run time. Either way the observable
+	// semantics, Steps and AllocBytes are identical.
+	OptLevel int
 }
 
 // LinkError is a load-time failure: unknown module, missing name, or a
@@ -40,10 +47,11 @@ func (e *LinkError) Error() string { return fmt.Sprintf("link error in %s: %s", 
 // NewLoader creates an empty namespace bound to an interpreter.
 func NewLoader(m *Machine) *Loader {
 	return &Loader{
-		machine: m,
-		sigs:    NewSigEnv(),
-		values:  map[string]map[string]Value{},
-		modules: map[string]*LinkedModule{},
+		machine:  m,
+		sigs:     NewSigEnv(),
+		values:   map[string]map[string]Value{},
+		modules:  map[string]*LinkedModule{},
+		OptLevel: 1,
 	}
 }
 
@@ -123,6 +131,12 @@ func (l *Loader) loadObject(obj *Object) (*LinkedModule, error) {
 	if err := obj.Verify(); err != nil {
 		return nil, err
 	}
+	if l.OptLevel > 0 {
+		// Quicken after verification. For objects the compiler already
+		// optimized in trusted mode this is a no-op (OptimizeObject runs
+		// once per object); fresh decodes get the hostile rule set.
+		OptimizeObject(obj, false)
+	}
 	if _, dup := l.modules[obj.ModName]; dup {
 		return nil, &LinkError{Module: obj.ModName, Msg: "module already loaded"}
 	}
@@ -165,6 +179,9 @@ func (l *Loader) loadObject(obj *Object) (*LinkedModule, error) {
 		Globals: make([]Value, obj.NGlobals),
 		Imports: imports,
 	}
+	if obj.NICSites > 0 {
+		lm.ics = make([]icache, obj.NICSites)
+	}
 
 	// Evaluate the top-level forms (the registration calls).
 	initClo := &Closure{Mod: lm, Chunk: obj.Chunks[obj.Init]}
@@ -176,6 +193,15 @@ func (l *Loader) loadObject(obj *Object) (*LinkedModule, error) {
 	l.sigs.Add(export)
 	l.order = append(l.order, obj.ModName)
 	return lm, nil
+}
+
+// FlushAllICs clears the inline caches of every loaded module. The Manager
+// calls this around Install/Upgrade/Rollback (the epoch bump): caches must
+// not carry values across a change of the loaded-module set.
+func (l *Loader) FlushAllICs() {
+	for _, lm := range l.modules {
+		lm.FlushICs()
+	}
 }
 
 // Unload removes a loaded module's signature and exports from the

@@ -1,0 +1,178 @@
+// Differential fuzzing of the optimizing tier: any program the compiler
+// accepts must behave bit-identically — results, traps, metered Steps and
+// AllocBytes — whether it runs as naive bytecode (-O0), hostile-quickened
+// wire code (the network loader's view of -O1), or the trusted quickened
+// form the in-process compiler hands the loader. This file lives in the
+// external test package so it can seed the corpus with the bundled
+// switchlet sources, which compile against a full bridge environment.
+package vm_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// renderValue stringifies a result deterministically: hash tables render
+// in insertion order, functions by shape only (their addresses differ
+// across machines by construction).
+func renderValue(v vm.Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case int64, bool:
+		return fmt.Sprintf("%v", x)
+	case string:
+		return fmt.Sprintf("%q", x)
+	case vm.Unit:
+		return "()"
+	case vm.Tuple:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = renderValue(e)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *vm.Ref:
+		return "ref " + renderValue(x.V)
+	case *vm.Hashtbl:
+		var sb strings.Builder
+		sb.WriteString("{")
+		for i, k := range x.Keys {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(renderValue(k))
+			sb.WriteString("->")
+			sb.WriteString(renderValue(x.M[k]))
+		}
+		sb.WriteString("}")
+		return sb.String()
+	case *vm.Closure:
+		return fmt.Sprintf("<fun/%d>", x.Chunk.NParams)
+	case *vm.Native:
+		return "<native " + x.Name + ">"
+	default:
+		return fmt.Sprintf("<%T>", v)
+	}
+}
+
+// runLevel compiles and executes src one way (see optimize_test.go's
+// runPath for the level encoding) and returns a transcript of everything
+// observable: load outcome, then each exported function invoked with
+// canned arguments under generous and then starvation-level fuel.
+func runLevel(t *testing.T, src string, level int) string {
+	t.Helper()
+	node := bridge.New(netsim.New(), "fuzz", 1, 2, netsim.DefaultCostModel())
+	m := node.Machine
+	l := node.Loader
+	compileLevel := 0
+	if level == 2 {
+		compileLevel = 1
+	}
+	obj, _, err := vm.CompileLevel("Fz", src, l.SigEnv(), compileLevel)
+	if err != nil {
+		return "compile error: " + err.Error()
+	}
+	var sb strings.Builder
+	var lm *vm.LinkedModule
+	steps0, alloc0 := m.Steps, m.AllocBytes
+	switch level {
+	case 0:
+		l.OptLevel = 0
+		lm, err = l.Load(obj.Encode())
+	case 1:
+		lm, err = l.Load(obj.Encode())
+	case 2:
+		lm, err = l.LoadObject(obj)
+	}
+	fmt.Fprintf(&sb, "load: steps=%d alloc=%d", m.Steps-steps0, m.AllocBytes-alloc0)
+	if err != nil {
+		fmt.Fprintf(&sb, " err=%v\n", err)
+		return sb.String()
+	}
+	sb.WriteString("\n")
+
+	names := lm.Export.Names()
+	sort.Strings(names)
+	argPool := []vm.Value{"payload-string", int64(3), int64(0), "x"}
+	for _, name := range names {
+		v, ok := lm.Global(name)
+		if !ok {
+			continue
+		}
+		clo, ok := v.(*vm.Closure)
+		if !ok {
+			fmt.Fprintf(&sb, "%s = %s\n", name, renderValue(v))
+			continue
+		}
+		args := make([]vm.Value, clo.Chunk.NParams)
+		for i := range args {
+			args[i] = argPool[i%len(argPool)]
+		}
+		if len(args) == 1 {
+			// Single unit-ish entry points are common; try unit first so
+			// start()-style functions actually run.
+			args[0] = vm.Unit{}
+		}
+		for _, fuel := range []uint64{200_000, 73} {
+			m.MaxSteps = fuel
+			s0, a0 := m.Steps, m.AllocBytes
+			res, ierr := m.Invoke(v, args...)
+			fmt.Fprintf(&sb, "%s/fuel=%d: steps=%d alloc=%d", name, fuel, m.Steps-s0, m.AllocBytes-a0)
+			if ierr != nil {
+				fmt.Fprintf(&sb, " trap=%v\n", ierr)
+			} else {
+				fmt.Fprintf(&sb, " val=%s\n", renderValue(res))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// FuzzOptimizedMatchesBaseline is the optimizer's differential oracle. It
+// is seeded with the bundled switchlet corpus — the exact programs the
+// bridge ships — plus targeted programs covering every superinstruction,
+// and requires the three execution paths to produce identical transcripts.
+func FuzzOptimizedMatchesBaseline(f *testing.F) {
+	for _, seed := range []string{
+		switchlets.DumbSrc,
+		switchlets.LearningSrc,
+		switchlets.SpanningSrc,
+		switchlets.DECSrc,
+		switchlets.ControlSrc,
+		switchlets.BuggySpanningSrc,
+		// Superinstruction coverage beyond what the switchlets use.
+		`let f x = x + 2 * 3`,
+		`let f a b = if a < b then (a, b) else (b, a)`,
+		`let f n =
+  let acc = Safestd.ref 0 in
+  for i = 0 to n do acc := !acc + i done;
+  !acc`,
+		`let t = Hashtbl.create 4
+let put k = Hashtbl.add t k (String.length k); ()
+let get k = (Hashtbl.find t k) + (if Hashtbl.mem t k then 1 else 0)`,
+		`let f s = (String.sub s 1 2) ^ (Safestd.string_of_int (String.get s 0))`,
+		`let f a = a / 0`,
+		`let (x, y) = (1, "two")
+let f () = (y, x)`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			t.Skip("oversized input")
+		}
+		base := runLevel(t, src, 0)
+		for _, level := range []int{1, 2} {
+			if got := runLevel(t, src, level); got != base {
+				t.Errorf("level %d diverges from -O0\n--- -O0:\n%s\n--- level %d:\n%s", level, base, level, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,457 @@
+package vm
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// outcome captures everything observable about one invocation: the result
+// (or trap), and the metered execution that drives virtual time.
+type outcome struct {
+	val   string
+	err   string
+	steps uint64
+	alloc uint64
+}
+
+// runPath compiles src, loads it along one of the three real paths, and
+// invokes fn with args under maxSteps fuel.
+//
+//	level 0: naive bytecode, loader quickening off      (-O0)
+//	level 1: wire bytes through a default loader        (hostile -O1)
+//	level 2: compiler's own object, trusted quickening  (trusted -O1)
+func runPath(t *testing.T, level int, src, fn string, maxSteps uint64, args ...Value) outcome {
+	t.Helper()
+	m := NewMachine()
+	l := StdLoader(m)
+	compileLevel := 0
+	if level == 2 {
+		compileLevel = 1
+	}
+	obj, _, err := CompileLevel("P", src, l.SigEnv(), compileLevel)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var lm *LinkedModule
+	switch level {
+	case 0:
+		l.OptLevel = 0
+		lm, err = l.Load(obj.Encode())
+	case 1:
+		lm, err = l.Load(obj.Encode())
+	case 2:
+		lm, err = l.LoadObject(obj)
+	}
+	if err != nil {
+		t.Fatalf("load (level %d): %v", level, err)
+	}
+	// maxSteps constrains only the invocation under test, not module init.
+	m.MaxSteps = maxSteps
+	f, ok := lm.Global(fn)
+	if !ok {
+		t.Fatalf("no export %s", fn)
+	}
+	steps0, alloc0 := m.Steps, m.AllocBytes
+	v, verr := m.Invoke(f, args...)
+	o := outcome{val: fmt.Sprintf("%#v", v), steps: m.Steps - steps0, alloc: m.AllocBytes - alloc0}
+	if verr != nil {
+		o.err = verr.Error()
+	}
+	return o
+}
+
+// assertParity runs fn on all three paths and requires bit-identical
+// outcomes: same value or same trap, same Steps, same AllocBytes — the
+// virtual-time contract of the optimizer.
+func assertParity(t *testing.T, src, fn string, maxSteps uint64, args ...Value) outcome {
+	t.Helper()
+	naive := runPath(t, 0, src, fn, maxSteps, args...)
+	for level, tag := range map[int]string{1: "hostile -O1", 2: "trusted -O1"} {
+		got := runPath(t, level, src, fn, maxSteps, args...)
+		if !reflect.DeepEqual(naive, got) {
+			t.Errorf("%s(%v) diverges at %s:\n  -O0: %+v\n  got: %+v", fn, args, tag, naive, got)
+		}
+	}
+	return naive
+}
+
+// quickOps disassembles the trusted-compiled form of src and returns the
+// set of quickened opcode names it uses, so each test can prove the fast
+// path it exercises was actually emitted.
+func quickOps(t *testing.T, src string) map[string]bool {
+	t.Helper()
+	l := StdLoader(NewMachine())
+	obj, _, err := CompileLevel("P", src, l.SigEnv(), 1)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ops := map[string]bool{}
+	for _, c := range obj.Chunks {
+		for _, ins := range c.Quick {
+			if ins.Op >= qNop && ins.Op < qMax {
+				ops[qNames[ins.Op-qNop]] = true
+			}
+		}
+	}
+	return ops
+}
+
+func requireOps(t *testing.T, src string, names ...string) {
+	t.Helper()
+	ops := quickOps(t, src)
+	for _, n := range names {
+		if !ops[n] {
+			t.Fatalf("expected %s in quickened code, have %v", n, ops)
+		}
+	}
+}
+
+const bigFuel = 1 << 20
+
+func TestQConstFolding(t *testing.T) {
+	// 2 * 3 folds to a lone constant (its neighbor is a local push, so it
+	// cannot merge into a q.const2 pair).
+	src := `let f x = x + 2 * 3`
+	requireOps(t, src, "q.const")
+	o := assertParity(t, src, "f", bigFuel, int64(7))
+	if o.val != "13" {
+		t.Errorf("f 7 = %s", o.val)
+	}
+}
+
+func TestQConst2Pairs(t *testing.T) {
+	// Two non-foldable constant pushes in a row (call arguments).
+	src := `
+let g a b = a - b
+let f () = g 1000000 70000
+`
+	requireOps(t, src, "q.const2")
+	if o := assertParity(t, src, "f", bigFuel, Unit{}); o.val != "930000" {
+		t.Errorf("f() = %s", o.val)
+	}
+}
+
+func TestQNopDeadStore(t *testing.T) {
+	src := `
+let f x =
+  let unused = 12345 in
+  x + 1
+`
+	requireOps(t, src, "q.nop")
+	if o := assertParity(t, src, "f", bigFuel, int64(41)); o.val != "42" {
+		t.Errorf("f 41 = %s", o.val)
+	}
+}
+
+func TestQGetGet(t *testing.T) {
+	src := `let f a b = a * b`
+	requireOps(t, src, "q.get_get")
+	assertParity(t, src, "f", bigFuel, int64(6), int64(7))
+	// Type-mismatch trap through the fused push pair.
+	assertParity(t, src, "f", bigFuel, "six", int64(7))
+}
+
+func TestQCmpJf(t *testing.T) {
+	src := `let f a = if a >= 10 then "big" else "small"`
+	requireOps(t, src, "q.cmp_jf")
+	assertParity(t, src, "f", bigFuel, int64(10))
+	assertParity(t, src, "f", bigFuel, int64(9))
+	// Comparing a function value traps identically fused and unfused.
+	src2 := `
+let f a = if a = a then 1 else 0
+`
+	assertParity(t, src2, "f", bigFuel, int64(3))
+}
+
+func TestQGGCmpJf(t *testing.T) {
+	src := `let f a b = if a < b then a else b`
+	requireOps(t, src, "q.gg_cmp_jf")
+	assertParity(t, src, "f", bigFuel, int64(3), int64(9))
+	assertParity(t, src, "f", bigFuel, int64(9), int64(3))
+	assertParity(t, src, "f", bigFuel, "a", "b") // string compare, both arms
+}
+
+func TestQIncLocalAndLoops(t *testing.T) {
+	// A for loop over a ref: hostile mode gets q.inc_local for the
+	// counter, trusted mode the untagged q.i_inc/q.ii_le_jf pair.
+	src := `
+let f n =
+  let acc = Safestd.ref 0 in
+  for i = 0 to n do
+    acc := !acc + i
+  done;
+  !acc
+`
+	requireOps(t, src, "q.iset", "q.i_inc", "q.ii_le_jf")
+	o := assertParity(t, src, "f", bigFuel, int64(100))
+	if o.val != "5050" {
+		t.Errorf("f 100 = %s", o.val)
+	}
+	assertParity(t, src, "f", bigFuel, int64(0))
+	assertParity(t, src, "f", bigFuel, int64(-1)) // empty loop
+}
+
+func TestUntaggedLoopOverflowWraps(t *testing.T) {
+	// The untagged increment must wrap exactly like boxed int64 addition.
+	src := `
+let f start =
+  let acc = Safestd.ref start in
+  for i = 0 to 2 do
+    acc := !acc + 9223372036854775807
+  done;
+  !acc
+`
+	o := assertParity(t, src, "f", bigFuel, int64(5))
+	if !strings.Contains(o.val, "2") && o.err == "" {
+		t.Logf("wrapped to %s", o.val)
+	}
+}
+
+func TestLoopFuelStarvationDeopt(t *testing.T) {
+	// Run a loop under successively tighter fuel so the starvation point
+	// falls on every position inside the fused loop head/increment at
+	// least once; the fuel trap must report identical Steps at all levels.
+	src := `
+let f n =
+  let acc = Safestd.ref 0 in
+  for i = 0 to n do
+    acc := !acc + i
+  done;
+  !acc
+`
+	for fuel := uint64(1); fuel < 120; fuel++ {
+		o := assertParity(t, src, "f", fuel, int64(1000))
+		if o.err == "" {
+			t.Fatalf("fuel %d unexpectedly sufficient", fuel)
+		}
+		if o.steps != fuel {
+			t.Fatalf("fuel %d: consumed %d steps", fuel, o.steps)
+		}
+	}
+}
+
+func TestQGetFieldSet(t *testing.T) {
+	src := `
+let f p =
+  let (x, y) = p in
+  x * 100 + y
+`
+	requireOps(t, src, "q.get_field_set")
+	o := assertParity(t, src, "f", bigFuel, Tuple{int64(4), int64(2)})
+	if o.val != "402" {
+		t.Errorf("f (4,2) = %s", o.val)
+	}
+	// A non-tuple argument traps the same way fused and unfused.
+	assertParity(t, src, "f", bigFuel, int64(9))
+}
+
+func TestQStrSub(t *testing.T) {
+	src := `let f s a b = (String.sub s a b) ^ "!"`
+	requireOps(t, src, "q.str_sub")
+	o := assertParity(t, src, "f", bigFuel, "hello world", int64(6), int64(5))
+	if o.val != `"world!"` {
+		t.Errorf("f = %s", o.val)
+	}
+	assertParity(t, src, "f", bigFuel, "", int64(0), int64(0))    // empty result IC edge
+	assertParity(t, src, "f", bigFuel, "abc", int64(2), int64(5)) // out of bounds trap
+	assertParity(t, src, "f", bigFuel, "abc", int64(-1), int64(1))
+	assertParity(t, src, "f", bigFuel, int64(0), int64(0), int64(0)) // type trap
+}
+
+func TestQStrGet(t *testing.T) {
+	src := `let f s i = (String.get s i) + 0`
+	requireOps(t, src, "q.str_get")
+	o := assertParity(t, src, "f", bigFuel, "AZ", int64(1))
+	if o.val != "90" {
+		t.Errorf("f \"AZ\" 1 = %s", o.val)
+	}
+	assertParity(t, src, "f", bigFuel, "AZ", int64(2)) // index trap
+	assertParity(t, src, "f", bigFuel, "", int64(0))   // empty string trap
+	assertParity(t, src, "f", bigFuel, "AZ", "1")      // type trap
+}
+
+func TestQHtblOps(t *testing.T) {
+	// The adds are sequenced (non-tail) so the call sites fuse; a call in
+	// tail position compiles to tail_call, which never specializes.
+	src := `
+let t = Hashtbl.create 8
+let put k v = Hashtbl.add t k v; ()
+let get k = (Hashtbl.find t k, Hashtbl.mem t k)
+`
+	requireOps(t, src, "q.htbl_add", "q.htbl_find", "q.htbl_mem")
+	// Parity has to hold across a stateful sequence, so drive each path's
+	// own module through the same script rather than one call at a time.
+	script := func(lvl int) []outcome {
+		var res []outcome
+		m := NewMachine()
+		m.MaxSteps = bigFuel
+		l := StdLoader(m)
+		compileLevel := 0
+		if lvl == 2 {
+			compileLevel = 1
+		}
+		obj, _, err := CompileLevel("P", src, l.SigEnv(), compileLevel)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		var lm *LinkedModule
+		if lvl == 0 {
+			l.OptLevel = 0
+		}
+		if lvl == 2 {
+			lm, err = l.LoadObject(obj)
+		} else {
+			lm, err = l.Load(obj.Encode())
+		}
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		call := func(fn string, args ...Value) {
+			f, _ := lm.Global(fn)
+			steps0, alloc0 := m.Steps, m.AllocBytes
+			v, verr := m.Invoke(f, args...)
+			o := outcome{val: fmt.Sprintf("%#v", v), steps: m.Steps - steps0, alloc: m.AllocBytes - alloc0}
+			if verr != nil {
+				o.err = verr.Error()
+			}
+			res = append(res, o)
+		}
+		call("get", "missing") // Not_found trap, cold cache
+		call("put", "a", int64(1))
+		call("get", "a")           // hit, cold cache
+		call("get", "a")           // hit, warm cache
+		call("put", "a", int64(2)) // version bump invalidates the IC
+		call("get", "a")           // must observe the new value
+		call("get", int64(7))      // int key, miss
+		call("put", int64(7), int64(8))
+		call("get", int64(7))
+		return res
+	}
+	want := script(0)
+	for _, lvl := range []int{1, 2} {
+		if got := script(lvl); !reflect.DeepEqual(want, got) {
+			t.Errorf("hashtable script diverges at level %d:\n  -O0: %+v\n  got: %+v", lvl, want, got)
+		}
+	}
+}
+
+// TestSpecializedCallMispredictDeopts rebinds an import slot after linking
+// so a q.str_get site's callee check fails; the site must fall back to the
+// generic wire call of whatever is bound — here a plain closure — instead
+// of trapping or running the stale fast path.
+func TestSpecializedCallMispredictDeopts(t *testing.T) {
+	src := `let f s i = (String.get s i) + 0`
+	l := StdLoader(NewMachine())
+	obj, _, err := CompileLevel("P", src, l.SigEnv(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := l.LoadObject(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the flattened import slot bound to String.get.
+	slot := -1
+	i := 0
+	for _, ref := range lm.Obj.Imports {
+		for _, n := range ref.Names {
+			if ref.Module == "String" && n == "get" {
+				slot = i
+			}
+			i++
+		}
+	}
+	if slot < 0 {
+		t.Fatal("no String.get import")
+	}
+	lm.Imports[slot] = &Native{Name: "fake_get", Arity: 2, Fn: func(_ *Ctx, _ []Value) (Value, error) {
+		return int64(4242), nil
+	}}
+	f, _ := lm.Global("f")
+	v, err := l.Machine().Invoke(f, "xyz", int64(0))
+	if err != nil {
+		t.Fatalf("mispredicted call trapped: %v", err)
+	}
+	if v != int64(4242) {
+		t.Errorf("mispredicted call = %v, want the rebound native's 4242", v)
+	}
+}
+
+// TestInlinedNativeParity pins the contract claimed in builtins.go: the
+// interpreter-inlined fast paths of the tagged natives replicate the Go
+// implementations' results AND their AllocBytes metering exactly, both on
+// inline-cache hits and misses.
+func TestInlinedNativeParity(t *testing.T) {
+	src := `
+let t = Hashtbl.create 4
+let _ = Hashtbl.add t "k" "value"
+let sub s = (String.sub s 1 3) ^ ""
+let get s = (String.get s 0) * 1
+let find () = (Hashtbl.find t "k") ^ ""
+let mem k = if Hashtbl.mem t k then 1 else 0
+let add k = Hashtbl.add t k "nine"; ()
+`
+	requireOps(t, src, "q.str_sub", "q.str_get", "q.htbl_find", "q.htbl_mem", "q.htbl_add")
+	for _, c := range []struct {
+		fn   string
+		args []Value
+	}{
+		{"sub", []Value{"abcdef"}},
+		{"get", []Value{"abcdef"}},
+		{"find", []Value{Unit{}}},
+		{"mem", []Value{"k"}},
+		{"mem", []Value{"nope"}},
+		{"add", []Value{"fresh"}},
+	} {
+		assertParity(t, src, c.fn, bigFuel, c.args...)
+	}
+}
+
+// TestOptimizeStepWeightsCoverWire asserts the fundamental bookkeeping
+// invariant behind virtual-time identity: in every quickened chunk the
+// step weights sum to the wire instruction count, and every quickened pc
+// maps to a valid wire pc.
+func TestOptimizeStepWeightsCoverWire(t *testing.T) {
+	for _, src := range []string{
+		disasmSrc,
+		`let f a b = if a < b then (a, b) else (b, a)`,
+		`let f n = let acc = Safestd.ref 1 in
+  for i = 1 to n do acc := !acc * i done; !acc`,
+	} {
+		l := StdLoader(NewMachine())
+		obj, _, err := CompileLevel("W", src, l.SigEnv(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range obj.Chunks {
+			if c.Quick == nil {
+				continue
+			}
+			sum := 0
+			for pc, ins := range c.Quick {
+				w := int(ins.W)
+				if w == 0 {
+					w = 1
+				}
+				sum += w
+				if pc >= len(c.quickSrc) || int(c.quickSrc[pc]) >= len(c.Code) {
+					t.Fatalf("%s: quick pc %d has no wire mapping", c.Name, pc)
+				}
+			}
+			if sum != len(c.Code) {
+				t.Errorf("%s: quick weights sum to %d, wire has %d instructions", c.Name, sum, len(c.Code))
+			}
+		}
+	}
+}
+
+func TestDivModByZeroParity(t *testing.T) {
+	src := `
+let f a b = a / b + a mod b
+`
+	assertParity(t, src, "f", bigFuel, int64(7), int64(2))
+	assertParity(t, src, "f", bigFuel, int64(7), int64(0))
+	assertParity(t, src, "f", bigFuel, int64(-9223372036854775808), int64(-1)) // Go-wrapping edge
+}

@@ -116,6 +116,33 @@ let rec depth n = if n = 0 then 0 else 1 + depth (n - 1)
 	}
 }
 
+// TestBoxedResultsAmortizedAllocs pins the slab boxers: code whose
+// results cannot come from the small-int cache — wide integers, tuples —
+// must still average zero allocations per run, because value boxes are
+// carved 128 at a time from slabs instead of one heap cell each.
+func TestBoxedResultsAmortizedAllocs(t *testing.T) {
+	l, lm := compileAndLoad(t, "Boxy", `
+let wide n = (n * 1000003 + 70000, n * 999983)
+let rec churn n acc =
+  if n = 0 then acc
+  else
+    let (a, b) = wide acc in
+    churn (n - 1) (a - b)
+`)
+	fn, _ := lm.Global("churn")
+	m := l.Machine()
+	args := []Value{int64(8), int64(70000)}
+	run := func() {
+		if _, err := m.InvokeArgs(fn, args); err != nil {
+			t.Fatalf("invoke: %v", err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Fatalf("boxed-result allocs/run = %v, want amortized 0", allocs)
+	}
+}
+
 // TestStepsExactAcrossNativeCalls verifies the hoisted fuel/step counters
 // stay exact at every point native code can observe them: the delta seen
 // by a native mid-run must equal the instructions executed before its call

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Type is a swl type: a constructor application, a function type, or a
@@ -350,6 +351,13 @@ type Signature struct {
 	Module string
 	names  []string
 	items  map[string]*Scheme
+
+	// digestOnce/digest cache SigDigest: import resolution digests the
+	// provider signature on every load, and host-unit signatures are
+	// shared process-wide, so each distinct signature pays for its
+	// canonicalization once. Signatures are immutable once in use.
+	digestOnce sync.Once
+	digest     [16]byte
 }
 
 // NewSignature creates an empty signature for a module.

@@ -36,12 +36,30 @@ type Partial struct {
 	Args []Value
 }
 
+// Well-known native tags. The optimizer specializes import-call sites by
+// the textual import name, but the interpreter re-verifies the bound value
+// carries the matching tag before taking an inlined fast path — a host that
+// binds a different implementation under the same name simply gets the
+// generic call. Zero means "no fast path".
+const (
+	TagNone int = iota
+	TagStrSub
+	TagStrGet
+	TagHtblFind
+	TagHtblMem
+	TagHtblAdd
+)
+
 // Native is a host (Go) function exposed to switchlets through a thinned
 // module signature.
 type Native struct {
 	Name  string
 	Arity int
 	Fn    func(ctx *Ctx, args []Value) (Value, error)
+	// Tag identifies natives with interpreter-inlined fast paths (TagStr*,
+	// TagHtbl*); the inlined code replicates Fn's semantics and AllocBytes
+	// metering exactly.
+	Tag int
 }
 
 // Hashtbl is the runtime hash table. Keys are restricted to int, bool and
@@ -51,6 +69,9 @@ type Native struct {
 type Hashtbl struct {
 	M    map[Value]Value
 	Keys []Value
+	// Version counts mutations; inline caches over find/mem key on
+	// (table identity, version) and so self-invalidate on any write.
+	Version uint64
 }
 
 // NewHashtbl creates an empty table.
@@ -63,6 +84,7 @@ func (h *Hashtbl) Set(k, v Value) {
 		h.Keys = append(h.Keys, k)
 	}
 	h.M[k] = v
+	h.Version++
 }
 
 // Delete removes a binding if present.
@@ -71,6 +93,7 @@ func (h *Hashtbl) Delete(k Value) {
 		return
 	}
 	delete(h.M, k)
+	h.Version++
 	for i, kk := range h.Keys {
 		if kk == k {
 			h.Keys = append(h.Keys[:i], h.Keys[i+1:]...)
@@ -83,6 +106,7 @@ func (h *Hashtbl) Delete(k Value) {
 func (h *Hashtbl) Clear() {
 	h.M = make(map[Value]Value)
 	h.Keys = nil
+	h.Version++
 }
 
 // Small-integer cache. Converting an int64 to the Value interface heap-

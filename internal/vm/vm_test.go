@@ -8,14 +8,14 @@ import (
 // compileAndLoad compiles src as module name against a fresh standard
 // loader (Safestd, String, Hashtbl) and loads it through the full
 // encode/decode/link path, so every test exercises serialization too.
-func compileAndLoad(t *testing.T, name, src string) (*Loader, *LinkedModule) {
+func compileAndLoad(t testing.TB, name, src string) (*Loader, *LinkedModule) {
 	t.Helper()
 	l := StdLoader(NewMachine())
 	lm := mustLoad(t, l, name, src)
 	return l, lm
 }
 
-func mustLoad(t *testing.T, l *Loader, name, src string) *LinkedModule {
+func mustLoad(t testing.TB, l *Loader, name, src string) *LinkedModule {
 	t.Helper()
 	obj, _, err := Compile(name, src, l.SigEnv())
 	if err != nil {
