@@ -12,6 +12,16 @@
 //	                                trusted quickened form (untagged loops)
 //	swc -sig file.swl               print the inferred export signature
 //	swc -env                        list the available module signatures
+//	swc -verify file.swl|file.swo   run the load-time static verifier
+//	swc -verify -builtin learning   ... on a bundled switchlet
+//
+// -verify replays exactly the proof a node performs before linking: the
+// wire bytecode is decoded and checked (control-flow integrity, stack
+// discipline, typed optimizer metadata, capture bounds), and at -O1 the
+// object is additionally quickened under the loader's hostile rule set and
+// the quickened stream — superinstruction operands, deopt source map, step
+// weights — is proven too. Exit status 1 with the typed diagnostic on any
+// rejection.
 //
 // -O0 and -O1 select the optimization level (default -O1). The .swo wire
 // format is identical at every level — quickening is an in-memory form the
@@ -32,6 +42,7 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/vm"
+	"github.com/switchware/activebridge/internal/vm/verify"
 )
 
 func main() {
@@ -45,6 +56,7 @@ func main() {
 		ports   = flag.Int("ports", 4, "number of ports of the target node (affects nothing statically; reserved)")
 		o0      = flag.Bool("O0", false, "compile/disassemble the naive bytecode only")
 		o1      = flag.Bool("O1", false, "quicken: superinstructions, inline caches, untagged loops (default; wire bytes are identical)")
+		verifyF = flag.Bool("verify", false, "run the load-time static verifier on a source, object file or builtin")
 	)
 	flag.Parse()
 	_ = ports
@@ -62,6 +74,49 @@ func main() {
 	env := node.Loader.SigEnv()
 
 	switch {
+	case *verifyF:
+		var enc []byte
+		var target string
+		switch {
+		case *builtin != "":
+			name, src, ok := builtinSource(*builtin)
+			if !ok {
+				fatal("unknown builtin %q", *builtin)
+			}
+			obj, _, err := vm.CompileLevel(name, src, env, 0)
+			if err != nil {
+				fatal("compile %s: %v", name, err)
+			}
+			enc, target = obj.Encode(), *builtin
+		case flag.NArg() == 1 && strings.EqualFold(filepath.Ext(flag.Arg(0)), ".swl"):
+			target = flag.Arg(0)
+			src, err := os.ReadFile(target)
+			if err != nil {
+				fatal("%v", err)
+			}
+			name := *modName
+			if name == "" {
+				base := strings.TrimSuffix(filepath.Base(target), filepath.Ext(target))
+				name = strings.ToUpper(base[:1]) + base[1:]
+			}
+			obj, _, err := vm.CompileLevel(name, string(src), env, 0)
+			if err != nil {
+				fatal("%v", err)
+			}
+			enc = obj.Encode()
+		case flag.NArg() == 1:
+			target = flag.Arg(0)
+			var err error
+			enc, err = os.ReadFile(target)
+			if err != nil {
+				fatal("%v", err)
+			}
+		default:
+			fatal("usage: swc -verify [-O0|-O1] file.swl|file.swo (or -builtin <key>)")
+		}
+		verifyWire(target, enc, optLevel)
+		return
+
 	case *envList:
 		for _, m := range env.Modules() {
 			sig, _ := env.Lookup(m)
@@ -173,6 +228,38 @@ func builtinSource(key string) (name, src string, ok bool) {
 		return switchlets.ModSpanning, switchlets.BuggySpanningSrc, true
 	}
 	return "", "", false
+}
+
+// verifyWire replays the load-time proof on the wire bytes: decode, verify
+// the wire stream, and at -O1 quicken a second fresh decode under the
+// loader's hostile rule set and verify the quickened stream as well.
+func verifyWire(target string, enc []byte, optLevel int) {
+	fresh, err := vm.DecodeObject(enc)
+	if err != nil {
+		fatal("decode %s: %v", target, err)
+	}
+	rep, err := verify.Object(fresh)
+	if err != nil {
+		fatal("verify %s: %v", target, err)
+	}
+	if optLevel > 0 {
+		q, err := vm.DecodeObject(enc)
+		if err != nil {
+			fatal("decode %s: %v", target, err)
+		}
+		vm.OptimizeObject(q, false)
+		if rep, err = verify.Object(q); err != nil {
+			fatal("verify %s (quickened): %v", target, err)
+		}
+	}
+	fmt.Printf("verify %s: ok module=%s chunks=%d max-stack=%d quick-checked=%v\n",
+		target, rep.Module, rep.Chunks, rep.MaxDepth, rep.QuickChecked)
+	if len(rep.ReachableModules) > 0 {
+		fmt.Printf("reachable imports: %s\n", strings.Join(rep.ReachableModules, ", "))
+	}
+	for _, w := range rep.Warnings() {
+		fmt.Printf("warning: %s\n", w)
+	}
 }
 
 func writeObject(dst string, obj *vm.Object, sig *vm.Signature) {

@@ -484,6 +484,8 @@ func (b *Bridge) Log(msg string) {
 // frames on the simulated medium are immutable once transmitted (the
 // netsim receive contract: "the slice must not be mutated") and swl
 // strings are immutable, so no writer exists on either side.
+//
+//ab:allocfree
 func frameString(raw []byte) string {
 	if len(raw) == 0 {
 		return ""
@@ -776,9 +778,7 @@ func (b *Bridge) Crash() {
 	b.doneQueue = b.doneQueue[:0]
 	b.doneQueueHead = 0
 	b.spawnQueue = nil
-	for name := range b.timers {
-		delete(b.timers, name)
-	}
+	clear(b.timers)
 	b.Log("bridge: CRASH (fault plane)")
 }
 

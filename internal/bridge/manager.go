@@ -7,6 +7,7 @@ import (
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/vm"
+	"github.com/switchware/activebridge/internal/vm/verify"
 )
 
 // Manager is the per-bridge switchlet lifecycle surface: manifests in,
@@ -67,6 +68,11 @@ type Installed struct {
 	Manifest env.Manifest
 	// At is the virtual time of installation.
 	At netsim.Time
+	// Warnings are the non-fatal findings of install-time static
+	// verification: granted capabilities no reachable import needs,
+	// imported modules no reachable chunk reads. Recorded for operator
+	// tooling, never logged — per-bridge logs are deterministic state.
+	Warnings []string
 }
 
 // Manager returns the bridge's switchlet lifecycle manager, creating it
@@ -87,38 +93,44 @@ func (m *Manager) Bridge() *Bridge { return m.b }
 // manifest left Name empty. obj is the decoded form ready for linking:
 // for source installs it is the process-wide cached object carrying the
 // compiler's trusted-mode quickening, shared across bridges.
-func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, obj *vm.Object, err error) {
+//
+// Every path runs the full static proof (verify.Manifest) before any VM
+// state for the module exists: precompiled objects are rejected with a
+// typed *vm.VerifyError if any bytecode obligation fails, and both paths
+// must prove the manifest grant covers every reachable import slot. The
+// returned report carries the non-fatal findings (unused grants,
+// unreachable imports).
+func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, obj *vm.Object, rep *verify.Report, err error) {
 	if err := sw.Validate(); err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, nil, err
 	}
-	var imports []string
 	if len(sw.Object) > 0 {
 		obj, err = vm.DecodeObject(sw.Object)
 		if err != nil {
-			return nil, "", nil, fmt.Errorf("switchlet %s: %w", sw.Name, err)
+			return nil, "", nil, nil, fmt.Errorf("switchlet %s: %w", sw.Name, err)
 		}
 		if sw.Name != "" && obj.ModName != sw.Name {
-			return nil, "", nil, fmt.Errorf("switchlet %s: object names module %s", sw.Name, obj.ModName)
+			return nil, "", nil, nil, fmt.Errorf("switchlet %s: object names module %s", sw.Name, obj.ModName)
 		}
 		name, enc = obj.ModName, sw.Object
-		imports = make([]string, 0, len(obj.Imports))
-		for _, ref := range obj.Imports {
-			imports = append(imports, ref.Module)
-		}
 	} else {
 		// Source installs go through the process-wide object cache:
 		// installing the same switchlet on N identically-provisioned
 		// bridges compiles once.
 		ent, err := compileCached(sw.Name, sw.Source, sw.Version.String(), m.b.Loader.SigEnv(), m.b.Loader.OptLevel)
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
-		name, enc, imports, obj = ent.name, ent.enc, ent.imports, ent.obj
+		name, enc = ent.name, ent.enc
+		if obj, err = ent.decoded(); err != nil {
+			return nil, "", nil, nil, fmt.Errorf("switchlet %s: %w", name, err)
+		}
 	}
-	if err := env.CheckImports(name, imports, sw.Capabilities); err != nil {
-		return nil, "", nil, err
+	rep, err = verify.Manifest(obj, name, sw.Capabilities)
+	if err != nil {
+		return nil, "", nil, nil, err
 	}
-	return enc, name, obj, nil
+	return enc, name, obj, rep, nil
 }
 
 // Compile compiles a manifest against this node and returns the encoded
@@ -126,7 +138,7 @@ func (m *Manager) compile(sw env.Manifest) (enc []byte, name string, obj *vm.Obj
 // produce the bytes for network delivery (the §5.2 TFTP loader) without
 // installing locally.
 func (m *Manager) Compile(sw env.Manifest) ([]byte, error) {
-	enc, _, _, err := m.compile(sw)
+	enc, _, _, _, err := m.compile(sw)
 	return enc, err
 }
 
@@ -135,7 +147,7 @@ func (m *Manager) Compile(sw env.Manifest) ([]byte, error) {
 // to the node CPU. The install is atomic: a validation, capability,
 // compile, link or init-trap failure leaves the node unchanged.
 func (m *Manager) Install(sw env.Manifest) (*Installed, error) {
-	_, name, obj, err := m.compile(sw)
+	_, name, obj, rep, err := m.compile(sw)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +161,7 @@ func (m *Manager) Install(sw env.Manifest) (*Installed, error) {
 	// across the epoch.
 	m.b.Loader.FlushAllICs()
 	sw.Name = name
-	inst := &Installed{Manifest: sw, At: m.b.sim.Now()}
+	inst := &Installed{Manifest: sw, At: m.b.sim.Now(), Warnings: rep.Warnings()}
 	m.installed[name] = inst
 	m.order = append(m.order, name)
 	m.lifecycle.Installs++

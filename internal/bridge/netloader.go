@@ -46,6 +46,11 @@ func (b *Bridge) EnableNetLoader(addr ipv4.Addr) {
 	}
 	b.netLoader.srv = tftp.NewServer(func(name string, data []byte) error {
 		// The arriving file must be a switchlet object; load it now.
+		// LoadObjectBytes runs the full static verifier (vm.VerifyObject)
+		// before any linking, so a hostile upload is rejected with a typed
+		// *vm.VerifyError here — the TFTP server then errors the transfer
+		// instead of sending the final ack, and no VM state exists for the
+		// rejected module.
 		if err := b.LoadObjectBytes(data); err != nil {
 			return err
 		}

@@ -1,0 +1,168 @@
+package bridge
+
+import (
+	"crypto/md5"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/ipv4"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/tftp"
+	"github.com/switchware/activebridge/internal/udp"
+	"github.com/switchware/activebridge/internal/vm"
+)
+
+// hostileObjectBytes returns a well-formed .swo file the decoder accepts but
+// the static verifier must reject: the init chunk has no code at all, so
+// control falls off the end before a single instruction runs.
+func hostileObjectBytes(t testing.TB) []byte {
+	t.Helper()
+	text := "module evil\n"
+	o := &vm.Object{
+		ModName:      "evil",
+		ExportText:   text,
+		ExportDigest: md5.Sum([]byte(text)),
+		Chunks:       []*vm.Chunk{{Name: "init"}},
+	}
+	enc := o.Encode()
+	if _, err := vm.DecodeObject(enc); err != nil {
+		t.Fatalf("hostile object must decode cleanly (the verifier, not the decoder, rejects it): %v", err)
+	}
+	return enc
+}
+
+// TestLoadObjectBytesRejectsUnverifiable proves the load path surfaces a
+// typed *vm.VerifyError for an object that decodes but fails verification,
+// before any VM state exists for the module.
+func TestLoadObjectBytesRejectsUnverifiable(t *testing.T) {
+	sim := netsim.New()
+	b := New(sim, "br", 1, 2, netsim.DefaultCostModel())
+	var logs []string
+	b.LogSink = func(_ netsim.Time, _ string, msg string) { logs = append(logs, msg) }
+
+	err := b.LoadObjectBytes(hostileObjectBytes(t))
+	var verr *vm.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("LoadObjectBytes error = %v (%T), want *vm.VerifyError", err, err)
+	}
+	if verr.Kind != vm.VerifyFallOff {
+		t.Errorf("Kind = %q, want %q", verr.Kind, vm.VerifyFallOff)
+	}
+	if _, ok := b.Loader.Module("evil"); ok {
+		t.Error("rejected module was linked")
+	}
+	if len(logs) != 1 || !strings.HasPrefix(logs[0], "switchlet load failed: ") {
+		t.Errorf("logs = %q, want one 'switchlet load failed' line", logs)
+	}
+}
+
+// loaderFrameTo is loaderFrame with a selectable destination UDP port, for
+// driving a TFTP transfer past the initial WRQ (data goes to the session
+// TID, not port 69).
+func loaderFrameTo(t testing.TB, dst ethernet.MAC, dstIP ipv4.Addr, dstPort uint16, payload []byte) []byte {
+	t.Helper()
+	dg := udp.Datagram{SrcPort: 1234, DstPort: dstPort, Payload: payload}
+	src := ipv4.Addr{10, 0, 0, 1}
+	udpBytes, err := dg.Marshal(src, dstIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ipv4.Packet{TTL: 64, Protocol: ipv4.ProtoUDP, Src: src, Dst: dstIP, Payload: udpBytes}
+	ipBytes, err := ip.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := ethernet.Frame{Dst: dst, Src: ethernet.MAC{2, 0, 0, 0, 0, 1},
+		Type: ethernet.TypeIPv4, Payload: ipBytes}
+	raw, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestNetLoaderRejectsHostileUploadBeforeAck drives a hostile switchlet
+// through the whole §5.2 network loading stack and asserts the verifier's
+// rejection reaches the wire: the final TFTP packet is an ERROR carrying the
+// verify diagnostic, never the final ack, and the node installs nothing.
+func TestNetLoaderRejectsHostileUploadBeforeAck(t *testing.T) {
+	sim := netsim.New()
+	b := New(sim, "br", 1, 2, netsim.DefaultCostModel())
+	loaderIP := ipv4.Addr{10, 0, 0, 100}
+	b.EnableNetLoader(loaderIP)
+	var logs []string
+	b.LogSink = func(_ netsim.Time, _ string, msg string) { logs = append(logs, msg) }
+
+	lan := netsim.NewSegment(sim, "lan")
+	peer := netsim.NewNIC(sim, "peer", ethernet.MAC{2, 0, 0, 0, 0, 1})
+	var replies [][]byte
+	peer.SetRecv(func(_ *netsim.NIC, raw []byte) {
+		replies = append(replies, append([]byte(nil), raw...))
+	})
+	lan.Attach(peer)
+	lan.Attach(b.Port(0))
+
+	decodeTFTP := func(raw []byte) (tftp.Packet, uint16) {
+		var fr ethernet.Frame
+		if err := fr.Unmarshal(raw); err != nil {
+			t.Fatal(err)
+		}
+		var ip ipv4.Packet
+		if err := ip.Unmarshal(fr.Payload); err != nil {
+			t.Fatal(err)
+		}
+		var dg udp.Datagram
+		if err := dg.Unmarshal(ip.Src, ip.Dst, fr.Payload[ipv4.HeaderLen:]); err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := tftp.Parse(dg.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt, dg.SrcPort
+	}
+
+	wrq := tftp.Marshal(&tftp.Request{Write: true, Filename: "evil.swo", Mode: "octet"})
+	b.onFrame(0, loaderFrameTo(t, b.MAC(), loaderIP, tftp.Port, wrq))
+	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+	if len(replies) != 1 {
+		t.Fatalf("replies after WRQ = %d, want 1", len(replies))
+	}
+	pkt, tid := decodeTFTP(replies[0])
+	if ack, ok := pkt.(*tftp.Ack); !ok || ack.Block != 0 {
+		t.Fatalf("WRQ reply = %#v, want ack 0", pkt)
+	}
+
+	enc := hostileObjectBytes(t)
+	if len(enc) >= tftp.BlockSize {
+		t.Fatalf("hostile object is %d bytes, must fit one final block", len(enc))
+	}
+	data := tftp.Marshal(&tftp.Data{Block: 1, Payload: enc})
+	b.onFrame(0, loaderFrameTo(t, b.MAC(), loaderIP, tid, data))
+	sim.Run(sim.Now() + netsim.Time(100*netsim.Millisecond))
+
+	if len(replies) != 2 {
+		t.Fatalf("replies after data = %d, want 2", len(replies))
+	}
+	pkt, _ = decodeTFTP(replies[1])
+	ep, ok := pkt.(*tftp.ErrorPkt)
+	if !ok {
+		t.Fatalf("final reply = %#v, want TFTP ERROR (the transfer must not be acked)", pkt)
+	}
+	if !strings.Contains(ep.Msg, "verify") {
+		t.Errorf("error message %q does not carry the verify diagnostic", ep.Msg)
+	}
+	if b.NetLoads() != 0 {
+		t.Errorf("NetLoads = %d, want 0", b.NetLoads())
+	}
+	if _, ok := b.Loader.Module("evil"); ok {
+		t.Error("hostile module was linked")
+	}
+	for _, l := range logs {
+		if strings.HasPrefix(l, "netloader: loaded") {
+			t.Errorf("loader logged success: %q", l)
+		}
+	}
+}

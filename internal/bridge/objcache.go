@@ -33,6 +33,11 @@ type objectCacheKey struct {
 	// two must never be shared — a bridge running -O0 linking a quickened
 	// object would silently reintroduce the optimizer it asked to disable.
 	optLevel int
+	// verified separates entries produced under the static-verification
+	// regime: an entry whose shared obj earned its verified bit must never
+	// be answered to (or overwritten by) a caller that skipped the proof,
+	// and vice versa — the trusted-mode quickening rides on that bit.
+	verified bool
 }
 
 type objectCacheEntry struct {
@@ -46,6 +51,21 @@ type objectCacheEntry struct {
 	// immutable after optimization; per-bridge state (globals, inline
 	// caches) lives in each LinkedModule.
 	obj *vm.Object
+	// verified records that vm.VerifyObject accepted obj before it was
+	// cached; decoded() refuses to share the trusted form without it.
+	verified bool
+}
+
+// decoded returns the shared, verifier-passed object, or — if the entry
+// somehow holds an unverified one — a fresh decode of the wire bytes, which
+// the loader will re-verify and quicken under the hostile rule set. Only
+// verifier-passed objects may carry trusted-mode optimization between
+// bridges.
+func (e *objectCacheEntry) decoded() (*vm.Object, error) {
+	if e.verified && e.obj != nil && e.obj.Verified() {
+		return e.obj, nil
+	}
+	return vm.DecodeObject(e.enc)
 }
 
 var (
@@ -72,7 +92,7 @@ func CompileCacheStats() (hits, misses uint64) {
 // The returned entry is shared: callers must treat enc and imports as
 // immutable.
 func compileCached(name, source, version string, se *vm.SigEnv, optLevel int) (*objectCacheEntry, error) {
-	key := objectCacheKey{name: name, version: version, srcSum: sha256.Sum256([]byte(source)), env: envFingerprint(se), optLevel: optLevel}
+	key := objectCacheKey{name: name, version: version, srcSum: sha256.Sum256([]byte(source)), env: envFingerprint(se), optLevel: optLevel, verified: true}
 	if v, ok := objectCache.Load(key); ok {
 		objectHits.Add(1)
 		return v.(*objectCacheEntry), nil
@@ -85,7 +105,9 @@ func compileCached(name, source, version string, se *vm.SigEnv, optLevel int) (*
 	for _, ref := range obj.Imports {
 		imports = append(imports, ref.Module)
 	}
-	ent := &objectCacheEntry{name: name, enc: obj.Encode(), imports: imports, obj: obj}
+	// CompileLevel ran the static verifier (it refuses to emit otherwise),
+	// so the entry records the earned bit rather than asserting it.
+	ent := &objectCacheEntry{name: name, enc: obj.Encode(), imports: imports, obj: obj, verified: obj.Verified()}
 	objectMisses.Add(1)
 	actual, _ := objectCache.LoadOrStore(key, ent)
 	return actual.(*objectCacheEntry), nil

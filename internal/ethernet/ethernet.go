@@ -195,6 +195,8 @@ func (f *Frame) Unmarshal(b []byte) error {
 
 // PeekDst returns the destination address of an encoded frame without a full
 // decode; used by fast paths that only demultiplex.
+//
+//ab:allocfree
 func PeekDst(b []byte) (MAC, error) {
 	var m MAC
 	if len(b) < 6 {
@@ -205,6 +207,8 @@ func PeekDst(b []byte) (MAC, error) {
 }
 
 // PeekSrc returns the source address of an encoded frame.
+//
+//ab:allocfree
 func PeekSrc(b []byte) (MAC, error) {
 	var m MAC
 	if len(b) < 12 {
@@ -215,6 +219,8 @@ func PeekSrc(b []byte) (MAC, error) {
 }
 
 // PeekType returns the EtherType of an encoded frame.
+//
+//ab:allocfree
 func PeekType(b []byte) (uint16, error) {
 	if len(b) < HeaderLen {
 		return 0, ErrTruncated

@@ -36,9 +36,9 @@ func (r *Result) OK() bool { return r.Err == nil && r.CheckErr == nil }
 func runOne(s *Scenario, cost netsim.CostModel) (res Result) {
 	res.Name = s.Name
 	res.Desc = s.Desc
-	start := time.Now()
+	start := time.Now() //ab:wallclock-ok operator-facing wall measurement, never fed into the simulation
 	defer func() {
-		res.Wall = time.Since(start)
+		res.Wall = time.Since(start) //ab:wallclock-ok same: reported, not simulated state
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("scenario %s: panic: %v", s.Name, p)
 		}

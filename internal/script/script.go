@@ -19,6 +19,7 @@
 //	expect <bridge> <func> <value>     (assertion; errors on mismatch)
 //	switchlets <bridge>                (list installed switchlets)
 //	upgrade <bridge> <old-module> <builtin>
+//	verify <builtin|file.swo>          (static verification, no install)
 //	stats                              (one summary line per node)
 //	stats <bridge>                     (one bridge, through the metrics view)
 //	fail <segment|bridge>              (cut a segment's medium / crash a bridge)
@@ -50,6 +51,8 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/vm"
+	"github.com/switchware/activebridge/internal/vm/verify"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -329,6 +332,11 @@ func (w *World) Exec(f []string) error {
 		}
 		w.printf("upgrade %s: %s -> %s state=%v captured=%q\n",
 			f[1], u.Old().Manifest.Ref(), u.New().Manifest.Ref(), u.State(), u.Captured)
+	case "verify":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: verify <builtin|file.swo>")
+		}
+		return w.verifySwitchlet(f[1])
 	case "stats":
 		if len(f) > 2 {
 			return fmt.Errorf("usage: stats [bridge]")
@@ -522,6 +530,38 @@ func resolveManifest(what string) (env.Manifest, error) {
 		return env.Manifest{}, fmt.Errorf("unknown switchlet %q", what)
 	}
 	return m, nil
+}
+
+// verifySwitchlet runs the full static verification a node performs at
+// install time — the bytecode proofs plus capability flow against the
+// manifest's grant — and prints the verdict without installing anything.
+// Builtins compile against a fresh node's module environment, exactly the
+// environment any bridge in this world offers.
+func (w *World) verifySwitchlet(what string) error {
+	m, err := resolveManifest(what)
+	if err != nil {
+		return err
+	}
+	var obj *vm.Object
+	if len(m.Object) > 0 {
+		obj, err = vm.DecodeObject(m.Object)
+	} else {
+		node := bridge.New(netsim.New(), "verify-env", 1, 2, w.Cost)
+		obj, _, err = vm.Compile(m.Name, m.Source, node.Loader.SigEnv())
+	}
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", what, err)
+	}
+	rep, err := verify.Manifest(obj, m.Name, m.Capabilities)
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", what, err)
+	}
+	w.printf("verify %s: ok module=%s chunks=%d max-stack=%d reachable=[%s]\n",
+		what, rep.Module, rep.Chunks, rep.MaxDepth, strings.Join(rep.ReachableModules, ","))
+	for _, warn := range rep.Warnings() {
+		w.printf("  warning: %s\n", warn)
+	}
+	return nil
 }
 
 func (w *World) loadSwitchlet(b *bridge.Bridge, what string) error {

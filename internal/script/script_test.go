@@ -350,3 +350,22 @@ expect br0 dec.running no
 		t.Errorf("upgrade output missing state:\n%s", out)
 	}
 }
+
+func TestVerifyCommand(t *testing.T) {
+	out := mustRun(t, `
+verify learning
+verify spanning
+`)
+	if !strings.Contains(out, "verify learning: ok module=Learning") {
+		t.Errorf("missing learning verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "verify spanning: ok module=Spanning") {
+		t.Errorf("missing spanning verdict:\n%s", out)
+	}
+	if strings.Contains(out, "warning:") {
+		t.Errorf("builtins must verify without warnings:\n%s", out)
+	}
+	if _, err := run(t, `verify nosuch`); err == nil {
+		t.Error("verify of an unknown switchlet must fail")
+	}
+}

@@ -149,7 +149,7 @@ func eventsPerSecond(executed func() uint64) func() float64 {
 	var lastEv uint64
 	var lastWall time.Time
 	return func() float64 {
-		now := time.Now()
+		now := time.Now() //ab:wallclock-ok the one deliberately wall-clock instrument, visible only via the metrics plane
 		ev := executed()
 		var rate float64
 		if !lastWall.IsZero() {

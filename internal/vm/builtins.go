@@ -212,7 +212,7 @@ func intBinop(f func(a, b int64) (int64, error)) func(*Ctx, []Value) (Value, err
 // inlined superinstructions replicate their semantics, trap messages and
 // AllocBytes metering exactly (pinned by TestInlinedNativeParity).
 func tagNatives(values map[string]Value, tags map[string]int) {
-	for name, tag := range tags {
+	for name, tag := range tags { //ab:mapiter-ok independent per-name mutations; order cannot escape
 		if n, ok := values[name].(*Native); ok {
 			n.Tag = tag
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Opcodes of the swl stack machine.
@@ -276,7 +277,20 @@ type Object struct {
 	// rules (decoded from bytes).
 	quickened  bool
 	OptTrusted bool
+
+	// verifyOnce caches the static verification verdict (see static.go):
+	// objects are immutable once shared between bridges, so one proof
+	// serves every install. verified is the earned trust bit the
+	// optimizer's trusted rule set requires; atomic because shared objects
+	// are installed from concurrent shard goroutines.
+	verifyOnce sync.Once
+	verifyInfo *VerifyInfo
+	verifyErr  error
+	verified   atomic.Bool
 }
+
+// Verified reports whether VerifyObject has accepted this object.
+func (o *Object) Verified() bool { return o.verified.Load() }
 
 // SigDigest computes the MD5 digest of a signature's canonical text,
 // cached on the signature (signatures are immutable once in use).
@@ -412,7 +426,7 @@ func (o *Object) Encode() []byte {
 
 func sortedKeys(m map[string]int) []string {
 	out := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //ab:mapiter-ok keys are sorted below before use
 		out = append(out, k)
 	}
 	for i := 1; i < len(out); i++ { // insertion sort; maps are small
@@ -640,8 +654,9 @@ func (o *Object) Verify() error {
 			}
 		}
 	}
-	for name, slot := range o.GlobalNames {
-		if slot < 0 || slot >= o.NGlobals {
+	// Sorted so a multi-error object always reports the same export first.
+	for _, name := range sortedKeys(o.GlobalNames) {
+		if slot := o.GlobalNames[name]; slot < 0 || slot >= o.NGlobals {
 			return fmt.Errorf("vm: export %s: global slot out of range", name)
 		}
 	}

@@ -33,9 +33,14 @@ func CompileLevel(modName, src string, sigs *SigEnv, level int) (*Object, *Signa
 	if err != nil {
 		return nil, nil, err
 	}
+	// Every compiled object must pass the same static verification a
+	// decoded one would: the verifier both defends against codegen bugs
+	// and earns the object its verified bit, without which the optimizer
+	// refuses the trusted rule set (untagged loop registers).
+	if _, err := VerifyObject(obj); err != nil {
+		return nil, nil, fmt.Errorf("vm: compiler emitted unverifiable code: %w", err)
+	}
 	if level > 0 {
-		// The compiler proved the bytecode well-typed, so the object gets
-		// the trusted rule set (untagged loop registers included).
 		OptimizeObject(obj, true)
 	}
 	return obj, export, nil
@@ -128,7 +133,7 @@ func codegen(mod *Module, export *Signature, sigs *SigEnv, info *TypeInfo) (*Obj
 	g.obj.Init = len(g.obj.Chunks) - 1
 
 	// Export table: the last binding of each name wins (shadowing).
-	for name, slot := range g.globals {
+	for name, slot := range g.globals { //ab:mapiter-ok map-to-map copy; order cannot escape
 		g.obj.GlobalNames[name] = slot
 	}
 	g.obj.NGlobals = g.nextGlobalSlot

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 )
 
 // TypeError is a static type checking failure. In the paper's security
@@ -36,12 +37,14 @@ func (e *SigEnv) Lookup(module string) (*Signature, bool) {
 	return s, ok
 }
 
-// Modules returns the available module names.
+// Modules returns the available module names, sorted (callers print and
+// fingerprint this list).
 func (e *SigEnv) Modules() []string {
-	var out []string
-	for n := range e.mods {
+	out := make([]string, 0, len(e.mods))
+	for n := range e.mods { //ab:mapiter-ok keys are sorted below before use
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -585,7 +588,7 @@ func InferModuleTyped(m *Module, sigs *SigEnv) (*Signature, *TypeInfo, error) {
 	// pointer identity: unification may have produced fresh TCon{"int"}
 	// nodes rather than the TInt singleton.
 	info := &TypeInfo{IntLets: map[*Let]bool{}}
-	for l, t := range in.letTypes {
+	for l, t := range in.letTypes { //ab:mapiter-ok map-to-map distillation; order cannot escape
 		if tc, ok := prune(t).(*TCon); ok && tc.Name == "int" && len(tc.Args) == 0 {
 			info.IntLets[l] = true
 		}

@@ -128,7 +128,10 @@ func (l *Loader) LoadObject(obj *Object) (*LinkedModule, error) {
 }
 
 func (l *Loader) loadObject(obj *Object) (*LinkedModule, error) {
-	if err := obj.Verify(); err != nil {
+	// Full static verification (static.go): control-flow integrity, stack
+	// discipline, typed optimizer metadata and capture bounds — a typed
+	// *VerifyError rejection before any VM state exists for the module.
+	if _, err := VerifyObject(obj); err != nil {
 		return nil, err
 	}
 	if l.OptLevel > 0 {
@@ -199,7 +202,7 @@ func (l *Loader) loadObject(obj *Object) (*LinkedModule, error) {
 // calls this around Install/Upgrade/Rollback (the epoch bump): caches must
 // not carry values across a change of the loaded-module set.
 func (l *Loader) FlushAllICs() {
-	for _, lm := range l.modules {
+	for _, lm := range l.modules { //ab:mapiter-ok independent per-module cache clears; order cannot escape
 		lm.FlushICs()
 	}
 }

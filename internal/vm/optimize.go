@@ -30,9 +30,13 @@ const maxIntRegs = 4
 // OptimizeObject quickens o's chunks in place. trusted selects the rule
 // set: in-process compiled objects (whose bytecode provably came from the
 // typechecker) additionally get untagged loop registers; decoded objects
-// get only the locally-checkable rewrites. Idempotent and safe to call on
-// objects shared between bridges.
+// get only the locally-checkable rewrites. The trusted rule set must be
+// earned: it is granted only to objects VerifyObject has accepted, so a
+// caller asserting trust over an unverified object silently gets the
+// hostile rules instead. Idempotent and safe to call on objects shared
+// between bridges.
 func OptimizeObject(o *Object, trusted bool) {
+	trusted = trusted && o.verified.Load()
 	o.optOnce.Do(func() {
 		o.quickened = true
 		o.OptTrusted = trusted
@@ -315,6 +319,8 @@ func loopShapeOK(code []Instr, leaders []bool, fl forLoop) bool {
 }
 
 // isJumpOp reports whether op's A operand is a relative code offset.
+//
+//ab:allocfree
 func isJumpOp(op byte) bool {
 	switch op {
 	case opJump, opJumpIfFalse, opJumpIfTrue, opPushHandler,
@@ -342,6 +348,10 @@ func leadersOf(code []Instr) []bool {
 	return l
 }
 
+// weightOf is the virtual-step weight of one quickened instruction (0 on
+// the wire means 1; fused superinstructions carry the sum of their parts).
+//
+//ab:allocfree
 func weightOf(i Instr) int {
 	if i.W == 0 {
 		return 1

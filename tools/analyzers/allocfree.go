@@ -1,0 +1,152 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// allocFreeMarker opts a function into the audit. Unlike the other passes
+// this is an annotation, not a suppression: code elsewhere is unaffected.
+const allocFreeMarker = "ab:allocfree"
+
+// AllocFree audits functions annotated //ab:allocfree — hot-path code whose
+// steady-state cost model assumes zero heap traffic (the VM run loop, the
+// per-frame data path). Inside such a function it reports the four alloc
+// sources that creep in silently during refactors: composite literals,
+// append growth, closures, and interface boxing (a concrete value passed,
+// assigned or returned as an interface, including variadic ...interface{}
+// calls like fmt.Sprintf). make, new and explicit conversions to interface
+// types are reported through the same rules.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "audit //ab:allocfree-annotated functions for hidden allocations",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc) {
+				continue
+			}
+			auditAllocFree(pass, fd)
+		}
+	}
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, allocFreeMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func auditAllocFree(pass *Pass, fd *ast.FuncDecl) {
+	var sig *types.Signature
+	if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			pass.Report(e.Pos(), fd.Name.Name+" is //ab:allocfree but contains a composite literal")
+		case *ast.FuncLit:
+			pass.Report(e.Pos(), fd.Name.Name+" is //ab:allocfree but creates a closure")
+			return false // the closure's own body is separate code
+		case *ast.CallExpr:
+			auditCall(pass, fd, e)
+		case *ast.AssignStmt:
+			for i := range e.Lhs {
+				if i < len(e.Rhs) && len(e.Lhs) == len(e.Rhs) {
+					if dst := pass.Info.Types[e.Lhs[i]].Type; dst != nil {
+						reportBoxing(pass, fd, e.Rhs[i], dst, "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(e.Results) == sig.Results().Len() {
+				for i, res := range e.Results {
+					reportBoxing(pass, fd, res, sig.Results().At(i).Type(), "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func auditCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x) boxes when T is an interface type.
+		if len(call.Args) == 1 {
+			reportBoxing(pass, fd, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		name := builtinName(call.Fun)
+		switch name {
+		case "append":
+			pass.Report(call.Pos(), fd.Name.Name+" is //ab:allocfree but appends (growth allocates)")
+		case "make", "new":
+			pass.Report(call.Pos(), fd.Name.Name+" is //ab:allocfree but calls "+name)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				dst = params.At(params.Len() - 1).Type()
+			} else {
+				dst = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			dst = params.At(i).Type()
+		}
+		if dst != nil {
+			reportBoxing(pass, fd, arg, dst, "call argument")
+		}
+	}
+}
+
+func builtinName(fun ast.Expr) string {
+	if id, ok := fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func reportBoxing(pass *Pass, fd *ast.FuncDecl, src ast.Expr, dst types.Type, where string) {
+	if !types.IsInterface(dst) {
+		return
+	}
+	stv, ok := pass.Info.Types[src]
+	if !ok || stv.Type == nil {
+		return
+	}
+	st := stv.Type
+	if types.IsInterface(st) {
+		return // interface-to-interface: no box
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Report(src.Pos(), fd.Name.Name+" is //ab:allocfree but boxes a "+st.String()+" into an interface ("+where+")")
+}

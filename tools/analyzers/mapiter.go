@@ -1,0 +1,42 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags range statements over maps in the deterministic core. Go
+// randomizes map iteration order per run, so any map range whose body feeds
+// ordered state — fingerprints, frames, events, logs — is a reproducibility
+// bug. Sites that sort before iterating do not range over the map itself
+// (they range over the sorted key slice) and thus pass; a site whose order
+// provably cannot escape (accumulating into an order-insensitive aggregate)
+// carries //ab:mapiter-ok with a one-line justification.
+var MapIter = &Analyzer{
+	Name:   "mapiter",
+	Doc:    "flag nondeterministic map iteration in the deterministic core",
+	Marker: "ab:mapiter-ok",
+	Run:    runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	if !InDeterministicSet(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Report(rs.Pos(), "map iteration order is nondeterministic; range over sorted keys, or annotate //ab:mapiter-ok with why the order cannot escape")
+			}
+			return true
+		})
+	}
+}

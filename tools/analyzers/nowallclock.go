@@ -1,0 +1,64 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// wallClockFuncs are the package time entry points that read or schedule on
+// the host clock. Pure conversions and constants (time.Duration,
+// time.ParseDuration, time.Millisecond, ...) stay legal: they manipulate
+// quantities, not the clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// NoWallClock forbids wall-clock reads and nondeterministic randomness in
+// the deterministic core. Simulated time (netsim.Sim's virtual clock) is the
+// only time those packages may observe: a single time.Now() in a handler
+// path would make Steps, logs and fingerprints differ across runs and
+// shard counts.
+var NoWallClock = &Analyzer{
+	Name:   "nowallclock",
+	Doc:    "forbid wall-clock time and math/rand in the deterministic core",
+	Marker: "ab:wallclock-ok",
+	Run:    runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) {
+	if !InDeterministicSet(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Report(imp.Pos(), "import of "+path+" in the deterministic core; seed a local PRNG from simulation state instead")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Report(sel.Pos(), "time."+sel.Sel.Name+" reads the wall clock in the deterministic core; use the simulation's virtual clock")
+			}
+			return true
+		})
+	}
+}
