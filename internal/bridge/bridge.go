@@ -65,6 +65,8 @@ type Stats struct {
 	OutputBlocked   uint64 // sends dropped due to port blocking
 	NoHandlerDrops  uint64 // no switchlet claimed the frame
 	HandlerTraps    uint64 // runtime failures inside switchlet code
+	FlowCacheHits   uint64 // demux decisions served from the flow cache
+	FlowCacheMisses uint64 // demux decisions resolved through the maps
 	TimerFires      uint64
 	Crashes         uint64 // fault-plane crashes of this node
 	Restarts        uint64 // fault-plane cold restarts of this node
@@ -109,7 +111,14 @@ type Bridge struct {
 	// while registrations are almost always multicast (the All Bridges
 	// address), so the per-frame map lookup is skipped entirely.
 	unicastDsts int
-	timers      map[string]*timerState
+	// flowCache memoizes the destination-demux decision (handler, isDst)
+	// per dst MAC, generation-stamped: any mutation of the handler set
+	// bumps flowGen, invalidating every entry at once. Port blocking is
+	// deliberately NOT cached — it depends on the input port and is
+	// checked per frame, so SetPortBlock needs no invalidation.
+	flowCache [flowCacheLen]flowEntry
+	flowGen   uint64
+	timers    map[string]*timerState
 
 	inDispatch   bool
 	pendingSends []pendingSend
@@ -134,6 +143,15 @@ type Bridge struct {
 	// string and port number arguments.
 	strBox vm.StrBoxer
 	intBox vm.IntBoxer
+	// lastFrameRaw/lastFrameVal memoize the boxed frame-string argument:
+	// when the same buffer is dispatched again (the steady-state stream
+	// case — the sender re-uses its template encoding), the immutable
+	// boxed value is reused instead of boxed afresh. Holding the buffer
+	// reference keeps the identity test sound against address reuse.
+	lastFrameRaw []byte
+	lastFrameVal vm.Value
+	// portVals are the boxed per-port integers for frame dispatch.
+	portVals []vm.Value
 	// curRaw is the frame being dispatched; a switchlet send of the
 	// identical bytes (the forwarding fast path) reuses this buffer
 	// instead of copying and re-validating the FCS.
@@ -182,11 +200,43 @@ func IdentityMAC(id byte) ethernet.MAC {
 // from the id byte (IdentityMAC) and ports share the identity address
 // (transparent bridges do not source data frames).
 // DefaultOptLevel is the switchlet optimization level new bridges adopt
-// (0 naive bytecode, 1 quickened). Virtual time is identical at every
-// level; the knob exists so benchmarks and differential tests can measure
-// the tiers against each other. Set it before constructing bridges — it
-// is read once per New and not synchronized.
-var DefaultOptLevel = 1
+// (0 naive bytecode, 1 quickened, 2 translated-to-Go-closures). Virtual
+// time is identical at every level; the knob exists so benchmarks and
+// differential tests can measure the tiers against each other. Set it
+// before constructing bridges — it is read once per New and not
+// synchronized.
+var DefaultOptLevel = 2
+
+// DisableFlowCache turns off the per-destination demux cache on every
+// bridge (a differential-testing knob: cached and uncached runs must be
+// byte-identical). Like DefaultOptLevel it is read per frame and not
+// synchronized; toggle it only between runs.
+var DisableFlowCache = false
+
+// flowCacheLen is the direct-mapped flow cache size (power of two). Small
+// on purpose: steady-state forwarding touches a handful of destinations,
+// and misses just fall back to the map path.
+const flowCacheLen = 64
+
+// flowEntry is one cached demux decision, valid while gen matches the
+// bridge's flowGen.
+type flowEntry struct {
+	gen   uint64
+	dst   ethernet.MAC
+	h     FrameHandler
+	isDst bool
+}
+
+// flowIdx maps a destination MAC to its cache slot.
+func flowIdx(dst ethernet.MAC) uint64 {
+	u := dst.Uint64()
+	return (u ^ u>>16 ^ u>>32) & (flowCacheLen - 1)
+}
+
+// FlushFlowCache invalidates every cached demux decision. The handler
+// mutators call it internally; the Manager also calls it at lifecycle
+// epochs, mirroring the VM-side cache flushes.
+func (b *Bridge) FlushFlowCache() { b.flowGen++ }
 
 func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostModel) *Bridge {
 	b := &Bridge{
@@ -197,6 +247,10 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 		mac:         IdentityMAC(id),
 		dstHandlers: map[ethernet.MAC]FrameHandler{},
 		timers:      map[string]*timerState{},
+		// Generation 0 is reserved so the zero-value cache entries can
+		// never read as valid (a frame to the all-zero MAC must still
+		// resolve through the maps).
+		flowGen: 1,
 	}
 	b.emitHeadFn = b.emitHead
 	b.Machine = vm.NewMachine()
@@ -207,6 +261,10 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 		panic(err) // static environment construction cannot fail
 	}
 	b.txqDrops = make([]uint64, numPorts)
+	b.portVals = make([]vm.Value, numPorts)
+	for i := range b.portVals {
+		b.portVals[i] = b.intBox.Box(int64(i))
+	}
 	for i := 0; i < numPorts; i++ {
 		nic := netsim.NewNIC(sim, fmt.Sprintf("%s.eth%d", name, i), b.mac)
 		// Paper: "whenever an input port is bound, it is put into
@@ -300,6 +358,44 @@ func (b *Bridge) Send(port int, data string, ctl bool) error {
 	return nil
 }
 
+// SendBytes is Send for native code that already holds the frame as a
+// byte slice: identical semantics and accounting, without the per-frame
+// string conversion. The slice must not be mutated after the call (the
+// bridge may queue it as-is).
+func (b *Bridge) SendBytes(port int, data []byte, ctl bool) error {
+	if port < 0 || port >= len(b.ports) {
+		return fmt.Errorf("%w %d", ErrNoSuchPort, port)
+	}
+	if len(data) > ethernet.MaxFrameLen {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLong, len(data))
+	}
+	if b.ports[port].Segment() == nil {
+		return nil // link down: drop, as a real driver would
+	}
+	if !ctl && b.blocked[port] {
+		b.Stats.OutputBlocked++
+		return nil
+	}
+	raw := data
+	if b.curRaw != nil && len(data) == len(b.curRaw) &&
+		(&data[0] == &b.curRaw[0] || string(b.curRaw) == string(data)) {
+		raw = b.curRaw
+	} else {
+		var err error
+		raw, err = normalizeFrame(data)
+		if err != nil {
+			return err
+		}
+	}
+	ps := pendingSend{port: port, data: raw, ctl: ctl}
+	if b.inDispatch {
+		b.pendingSends = append(b.pendingSends, ps)
+		return nil
+	}
+	b.emit(ps)
+	return nil
+}
+
 func (b *Bridge) emit(ps pendingSend) {
 	if b.crashed {
 		return // queued work dies with the node
@@ -357,17 +453,22 @@ func (b *Bridge) NowMicros() int64 { return int64(b.sim.Now()) / 1000 }
 // bridge").
 func (b *Bridge) SetHandler(fn vm.Value) {
 	b.defaultHandler = FrameHandler{VM: fn, Name: "vm-default"}
+	b.FlushFlowCache()
 }
 
 // SetNativeHandler installs a native-code default handler.
 func (b *Bridge) SetNativeHandler(name string, fn func(data []byte, inPort int)) {
 	b.defaultHandler = FrameHandler{Native: fn, Name: name}
+	b.FlushFlowCache()
 }
 
 // ClearHandler releases the default frame handler: the node forwards
 // nothing until new behaviour claims the data path. The Manager calls it
 // when uninstalling a switchlet whose manifest owns the data path.
-func (b *Bridge) ClearHandler() { b.defaultHandler = FrameHandler{} }
+func (b *Bridge) ClearHandler() {
+	b.defaultHandler = FrameHandler{}
+	b.FlushFlowCache()
+}
 
 // DefaultHandlerName reports which handler currently owns the data path.
 func (b *Bridge) DefaultHandlerName() string { return b.defaultHandler.Name }
@@ -385,6 +486,7 @@ func (b *Bridge) SetDstHandler(m ethernet.MAC, h FrameHandler) error {
 	if !m.IsMulticast() {
 		b.unicastDsts++
 	}
+	b.FlushFlowCache()
 	return nil
 }
 
@@ -395,6 +497,7 @@ func (b *Bridge) ClearDstHandler(m ethernet.MAC) {
 		if !m.IsMulticast() {
 			b.unicastDsts--
 		}
+		b.FlushFlowCache()
 	}
 }
 
@@ -563,20 +666,44 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 	}
 	var h FrameHandler
 	isDst := false
-	// Unicast fast path: data frames are unicast and destination
-	// registrations are (almost always) multicast, so the map is rarely
-	// consulted per frame.
-	if len(b.dstHandlers) > 0 && (b.unicastDsts > 0 || dst.IsMulticast()) {
-		h, isDst = b.dstHandlers[dst]
-	}
-	if !isDst {
-		if b.blocked[inPort] {
+	if !DisableFlowCache {
+		e := &b.flowCache[flowIdx(dst)]
+		if e.gen == b.flowGen && e.dst == dst {
+			h, isDst = e.h, e.isDst
+			b.Stats.FlowCacheHits++
+		} else {
+			// Unicast fast path: data frames are unicast and destination
+			// registrations are (almost always) multicast, so the map is
+			// rarely consulted even on a miss.
+			if len(b.dstHandlers) > 0 && (b.unicastDsts > 0 || dst.IsMulticast()) {
+				h, isDst = b.dstHandlers[dst]
+			}
+			if !isDst {
+				// Reading defaultHandler before the blocked check is safe:
+				// the read has no side effects, and the blocked suppression
+				// below fires exactly as in the uncached path.
+				h = b.defaultHandler
+			}
+			*e = flowEntry{gen: b.flowGen, dst: dst, h: h, isDst: isDst}
+			b.Stats.FlowCacheMisses++
+		}
+		if !isDst && b.blocked[inPort] {
 			// A blocked port still receives control traffic (handled
 			// above via dst registrations) but no data traffic.
 			b.Stats.InputSuppressed++
 			return
 		}
-		h = b.defaultHandler
+	} else {
+		if len(b.dstHandlers) > 0 && (b.unicastDsts > 0 || dst.IsMulticast()) {
+			h, isDst = b.dstHandlers[dst]
+		}
+		if !isDst {
+			if b.blocked[inPort] {
+				b.Stats.InputSuppressed++
+				return
+			}
+			h = b.defaultHandler
+		}
 	}
 	if h.empty() {
 		b.Stats.NoHandlerDrops++
@@ -593,8 +720,13 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 		execCost = b.cost.NativePerFrame
 	} else {
 		var trapped bool
-		b.frameArgs[0] = b.strBox.Box(frameString(raw))
-		b.frameArgs[1] = b.intBox.Box(int64(inPort))
+		if len(raw) == len(b.lastFrameRaw) && &raw[0] == &b.lastFrameRaw[0] {
+			b.frameArgs[0] = b.lastFrameVal
+		} else {
+			b.frameArgs[0] = b.strBox.Box(frameString(raw))
+			b.lastFrameRaw, b.lastFrameVal = raw, b.frameArgs[0]
+		}
+		b.frameArgs[1] = b.portVals[inPort]
 		sends, trapped = b.invokeVM(h.VM, b.frameArgs[:])
 		execCost = b.lastVMCost
 		if trapped {
@@ -736,6 +868,7 @@ func (b *Bridge) drainSpawns() {
 func (b *Bridge) clearAllDstHandlers() {
 	b.dstHandlers = map[ethernet.MAC]FrameHandler{}
 	b.unicastDsts = 0
+	b.FlushFlowCache()
 }
 
 // Crashed reports whether the node is currently frozen by a fault-plane
@@ -764,6 +897,7 @@ func (b *Bridge) Crash() {
 	b.crashed = true
 	b.epoch++
 	b.Stats.Crashes++
+	b.FlushFlowCache()
 	for i, p := range b.ports {
 		p.SetLinkDown(true)
 		b.blocked[i] = false

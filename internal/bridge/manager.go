@@ -157,9 +157,12 @@ func (m *Manager) Install(sw env.Manifest) (*Installed, error) {
 	if err := m.b.LoadDecodedObject(obj); err != nil {
 		return nil, err
 	}
-	// The loaded-module set changed: inline caches must not carry values
-	// across the epoch.
+	// The loaded-module set changed: inline caches, translated-tier
+	// closures and cached demux decisions must not carry values across
+	// the epoch.
 	m.b.Loader.FlushAllICs()
+	m.b.Loader.FlushAllTranslations()
+	m.b.FlushFlowCache()
 	sw.Name = name
 	inst := &Installed{Manifest: sw, At: m.b.sim.Now(), Warnings: rep.Warnings()}
 	m.installed[name] = inst
@@ -243,6 +246,8 @@ func (m *Manager) Uninstall(name string) error {
 	}
 	m.b.Loader.Unload(name)
 	m.b.Loader.FlushAllICs()
+	m.b.Loader.FlushAllTranslations()
+	m.b.FlushFlowCache()
 	delete(m.installed, name)
 	for i, n := range m.order {
 		if n == name {
@@ -489,6 +494,8 @@ func (u *Upgrade) rollback(reason string) {
 	u.Reason = reason
 	u.m.lifecycle.Rollbacks++
 	u.m.b.Loader.FlushAllICs()
+	u.m.b.Loader.FlushAllTranslations()
+	u.m.b.FlushFlowCache()
 	u.m.b.Log("manager: ROLLBACK (" + reason + ")")
 	u.releaseGuard()
 	if _, err := u.m.Query(u.new.Manifest.Lifecycle.Stop, ""); err != nil {

@@ -1,6 +1,8 @@
 package bridge
 
 import (
+	"strconv"
+
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 )
@@ -29,6 +31,15 @@ func (b *Bridge) Instrument(reg *metrics.Registry, ls metrics.Labels) {
 	counter("ab_bridge_timer_fires_total", "switchlet timer expirations", &s.TimerFires)
 	counter("ab_bridge_crashes_total", "fault-plane crashes of this node", &s.Crashes)
 	counter("ab_bridge_restarts_total", "fault-plane cold restarts of this node", &s.Restarts)
+	counter("ab_bridge_flow_cache_hits_total", "demux decisions served from the flow cache", &s.FlowCacheHits)
+	counter("ab_bridge_flow_cache_misses_total", "demux decisions resolved through the handler maps", &s.FlowCacheMisses)
+	for t := 0; t < len(b.Machine.TierEnters); t++ {
+		t := t
+		reg.SampleCounter("ab_bridge_vm_tier_enters_total",
+			"switchlet frame entries per execution tier (0 naive, 1 quickened, 2 translated)",
+			ls.With("tier", strconv.Itoa(t)),
+			func() float64 { return float64(b.Machine.TierEnters[t]) })
+	}
 	reg.SampleCounter("ab_bridge_txq_drops_total", "frames lost to transmit-queue overflow", ls,
 		func() float64 { return float64(b.TxQueueDrops()) })
 	reg.SampleCounter("ab_bridge_fault_drops_total", "frames destroyed at this node's ports by the fault plane", ls,

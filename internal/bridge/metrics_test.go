@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -82,6 +83,24 @@ func TestInstrumentMirrorsStatsAndManager(t *testing.T) {
 	// Fwd loaded through the pre-manifest shim; only the managed
 	// Counter install counts.
 	check("ab_bridge_switchlet_installs_total", 1)
+	check("ab_bridge_flow_cache_hits_total", float64(r.b.Stats.FlowCacheHits))
+	check("ab_bridge_flow_cache_misses_total", float64(r.b.Stats.FlowCacheMisses))
+
+	// Tier residency: one series per execution tier, mirroring the
+	// machine's entry counters, and some tier saw the traffic.
+	var tierTotal, machineTotal float64
+	for tier := range r.b.Machine.TierEnters {
+		v, ok := snap.Get("ab_bridge_vm_tier_enters_total",
+			fmt.Sprintf(`{bridge="br",tier="%d"}`, tier))
+		if !ok {
+			t.Errorf("ab_bridge_vm_tier_enters_total missing tier %d", tier)
+		}
+		tierTotal += v
+		machineTotal += float64(r.b.Machine.TierEnters[tier])
+	}
+	if tierTotal != machineTotal || tierTotal == 0 {
+		t.Errorf("tier enters published %v, machine counted %v (want equal, nonzero)", tierTotal, machineTotal)
+	}
 
 	// The version inventory lists the managed install.
 	found := false

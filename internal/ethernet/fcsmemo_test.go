@@ -1,0 +1,106 @@
+package ethernet
+
+import (
+	"errors"
+	"testing"
+)
+
+func memoFrame(t *testing.T, payload byte) []byte {
+	t.Helper()
+	fr := Frame{
+		Dst:     MAC{2, 0, 0, 0, 0, 1},
+		Src:     MAC{2, 0, 0, 0, 0, 2},
+		Type:    TypeTest,
+		Payload: []byte{payload, payload, payload},
+	}
+	raw, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestFCSMemoHitsOnIdenticalBuffer pins the memo's keying: only the exact
+// buffer (same base address, same length) skips the CRC pass.
+func TestFCSMemoHitsOnIdenticalBuffer(t *testing.T) {
+	var mo FCSMemo
+	var fr Frame
+	raw := memoFrame(t, 0xaa)
+	if err := fr.UnmarshalMemo(raw, &mo); err != nil {
+		t.Fatal(err)
+	}
+	if mo.Hits != 0 || mo.Misses != 1 {
+		t.Fatalf("cold decode: hits=%d misses=%d", mo.Hits, mo.Misses)
+	}
+	if err := fr.UnmarshalMemo(raw, &mo); err != nil {
+		t.Fatal(err)
+	}
+	if mo.Hits != 1 || mo.Misses != 1 {
+		t.Fatalf("warm decode: hits=%d misses=%d", mo.Hits, mo.Misses)
+	}
+	// An equal-content copy is a different buffer: full CRC pass again.
+	cp := append([]byte(nil), raw...)
+	if err := fr.UnmarshalMemo(cp, &mo); err != nil {
+		t.Fatal(err)
+	}
+	if mo.Hits != 1 || mo.Misses != 2 {
+		t.Fatalf("copy decode: hits=%d misses=%d", mo.Hits, mo.Misses)
+	}
+}
+
+// TestFCSMemoBypassedOnCorruptedCopy is the corruption regression: a
+// damaged frame is always a distinct buffer (netsim fault filters never
+// mutate the shared raw slice — see netsim.FaultFunc), so it must take
+// the full CRC pass and be rejected, no matter how warm the memo is for
+// the pristine original.
+func TestFCSMemoBypassedOnCorruptedCopy(t *testing.T) {
+	var mo FCSMemo
+	var fr Frame
+	raw := memoFrame(t, 0x55)
+	for i := 0; i < 3; i++ {
+		if err := fr.UnmarshalMemo(raw, &mo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := append([]byte(nil), raw...)
+	bad[HeaderLen] ^= 0xff
+	if err := fr.UnmarshalMemo(bad, &mo); !errors.Is(err, ErrBadFCS) {
+		t.Fatalf("corrupted copy: err = %v, want ErrBadFCS", err)
+	}
+	if mo.Hits != 2 {
+		t.Errorf("hits = %d, want 2 (corrupted copy must not hit)", mo.Hits)
+	}
+	// The rejected buffer must not have been recorded as validated.
+	if err := fr.UnmarshalMemo(bad, &mo); !errors.Is(err, ErrBadFCS) {
+		t.Fatalf("corrupted copy re-presented: err = %v, want ErrBadFCS", err)
+	}
+	// And the pristine original still hits.
+	if err := fr.UnmarshalMemo(raw, &mo); err != nil {
+		t.Fatal(err)
+	}
+	if mo.Hits != 3 {
+		t.Errorf("hits = %d, want 3", mo.Hits)
+	}
+}
+
+// TestFCSMemoCapacityEviction pins the ring behaviour: recording more
+// buffers than the memo holds evicts the oldest, which then revalidates.
+func TestFCSMemoCapacityEviction(t *testing.T) {
+	var mo FCSMemo
+	var fr Frame
+	first := memoFrame(t, 0)
+	if err := fr.UnmarshalMemo(first, &mo); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= len(mo.bufs); i++ {
+		if err := fr.UnmarshalMemo(memoFrame(t, byte(i)), &mo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fr.UnmarshalMemo(first, &mo); err != nil {
+		t.Fatal(err)
+	}
+	if mo.Hits != 0 {
+		t.Errorf("hits = %d, want 0 (first buffer should have been evicted)", mo.Hits)
+	}
+}

@@ -497,9 +497,9 @@ func (c *Coordinator) step(s *Sim, lw []Time, w eventKey) bool {
 	c.nextLocal[s.shard].Store(int64(k.at))
 	at, e := s.queue.pop()
 	s.now, s.lastAt, s.curGenAt = at, at, k.genAt
-	e.dispatch()
-	s.executed++
-	if c.cap != 0 && c.executedA.Add(1)-c.capBase >= c.cap {
+	n := uint64(e.dispatch())
+	s.executed += n
+	if c.cap != 0 && c.executedA.Add(n)-c.capBase >= c.cap {
 		c.halt()
 	}
 	c.publish(s)
@@ -685,9 +685,9 @@ func (c *Coordinator) run(until Time) uint64 {
 		}
 		at, e := c.control.queue.pop()
 		c.control.now, c.control.lastAt, c.control.curGenAt = at, at, w.genAt
-		e.dispatch()
-		c.control.executed++
-		c.executedA.Add(1)
+		n := uint64(e.dispatch())
+		c.control.executed += n
+		c.executedA.Add(n)
 		if c.cap != 0 && c.executedTotal()-start >= c.cap {
 			break
 		}

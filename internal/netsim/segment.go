@@ -144,6 +144,29 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 	}
 
 	arrive := end.Add(g.Propagation)
+	local := 0
+	for _, nic := range g.nics {
+		if nic != from && nic.sim == g.sim {
+			local++
+		}
+	}
+	if local >= 2 && !g.sim.capped() {
+		// Batch the same-instant local deliveries into one event (their
+		// per-NIC events would carry consecutive seqs under an identical
+		// (at, genAt, src) — see eventPayload). Cross-shard deliveries
+		// still post individually, in the same attach order as before.
+		g.sim.scheduleDeliverSeg(arrive, g, from, raw, dup)
+		for _, nic := range g.nics {
+			if nic == from || nic.sim == g.sim {
+				continue
+			}
+			g.sim.coord.postDelivery(g, nic, arrive, raw)
+			if dup {
+				g.sim.coord.postDelivery(g, nic, arrive, raw)
+			}
+		}
+		return end
+	}
 	for _, nic := range g.nics {
 		if nic == from {
 			continue
@@ -161,6 +184,29 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 		}
 	}
 	return end
+}
+
+// deliverLocal performs a batched delivery scheduled by transmit: raw goes
+// to the first nn attached NICs except from, in attach order, twice per
+// NIC when dup. It returns the number of deliveries performed.
+func (g *Segment) deliverLocal(from *NIC, raw []byte, nn int32, dup bool) int {
+	nics := g.nics
+	if int(nn) < len(nics) {
+		nics = nics[:nn]
+	}
+	n := 0
+	for _, nic := range nics {
+		if nic == from || nic.sim != g.sim {
+			continue
+		}
+		nic.deliver(raw)
+		n++
+		if dup {
+			nic.deliver(raw)
+			n++
+		}
+	}
+	return n
 }
 
 // SetDown sets the fault plane's cable state; see the down field for the

@@ -76,6 +76,15 @@ type eventPayload struct {
 	bfn func([]byte)
 	nic *NIC // when non-nil, the event is nic.deliver(raw)
 	raw []byte
+	// seg, when non-nil, makes this a batched same-instant delivery of raw
+	// to the first nn locally attached NICs of seg except nic (the
+	// transmitter), in attach order; dup delivers each copy twice. One
+	// such event replaces a run of per-NIC delivery events that would all
+	// carry the same (at, genAt, src) and consecutive seqs — nothing can
+	// order between them — so dispatch order is serial-identical.
+	seg *Segment
+	nn  int32
+	dup bool
 }
 
 // eventQueue is an index-addressed 4-ary min-heap of keys ordered by
@@ -150,7 +159,11 @@ func (q *eventQueue) pop() (Time, eventPayload) {
 		i = min
 	}
 	p := q.payloads[top.idx]
-	q.payloads[top.idx] = eventPayload{} // release references
+	// Release only the frame buffer — the bulk of retainable memory. The
+	// remaining references (NIC, segment, cached callbacks) are small,
+	// long-lived objects retained by the topology anyway, and scrubbing
+	// the whole slot would cost a write-barrier sweep on every pop.
+	q.payloads[top.idx].raw = nil
 	q.free = append(q.free, top.idx)
 	return top.at, p
 }
@@ -278,17 +291,44 @@ func (s *Sim) scheduleDeliver(at Time, nic *NIC, raw []byte) {
 	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{nic: nic, raw: raw})
 }
 
-// dispatch runs one popped event.
-func (e *eventPayload) dispatch() {
+// scheduleDeliverSeg schedules one batched delivery of raw to every local
+// NIC of g except from (snapshotting the current attachment count — NICs
+// attached later must not see earlier frames).
+func (s *Sim) scheduleDeliverSeg(at Time, g *Segment, from *NIC, raw []byte, dup bool) {
+	at = s.clampPast(at)
+	s.nextID++
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID},
+		eventPayload{seg: g, nic: from, raw: raw, nn: int32(len(g.nics)), dup: dup})
+}
+
+// capped reports whether an event-count cap is in force, either on this
+// engine or (for a shard of a coordinated simulation) globally. Batched
+// deliveries count as several executed events at once, which would move a
+// cap's exact stopping point, so segments only batch when uncapped.
+func (s *Sim) capped() bool {
+	if s.MaxEvents != 0 {
+		return true
+	}
+	return s.coord != nil && s.coord.control.MaxEvents != 0
+}
+
+// dispatch runs one popped event and returns how many logical events it
+// performed: 1, except for batched segment deliveries, which count one per
+// frame delivery so Executed totals stay serial-identical.
+func (e *eventPayload) dispatch() int {
+	if e.seg != nil {
+		return e.seg.deliverLocal(e.nic, e.raw, e.nn, e.dup)
+	}
 	if e.nic != nil {
 		e.nic.deliver(e.raw)
-		return
+		return 1
 	}
 	if e.bfn != nil {
 		e.bfn(e.raw)
-		return
+		return 1
 	}
 	e.fn()
+	return 1
 }
 
 // After schedules fn to run d from now.
@@ -317,8 +357,7 @@ func (s *Sim) Run(until Time) uint64 {
 		}
 		at, e := s.queue.pop()
 		s.now = at
-		e.dispatch()
-		s.executed++
+		s.executed += uint64(e.dispatch())
 		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
 			break
 		}
@@ -347,8 +386,7 @@ func (s *Sim) RunAll() uint64 {
 	for s.queue.len() > 0 && !s.halted {
 		at, e := s.queue.pop()
 		s.now = at
-		e.dispatch()
-		s.executed++
+		s.executed += uint64(e.dispatch())
 		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
 			break
 		}

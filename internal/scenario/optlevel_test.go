@@ -1,0 +1,92 @@
+// Cross-tier identity pins: the execution tier a bridge runs its
+// switchlets at (-O0 naive, -O1 quickened, -O2 translated) and the
+// per-destination demux flow cache are host-side accelerations only —
+// every scenario must render byte-identical virtual-time output with them
+// on or off. Combined with golden_test.go (which pins the -O2 default)
+// and sharded_test.go this closes the PR 9 acceptance gate: all goldens
+// byte-identical at -O0/-O1/-O2 and shards 1/2/4.
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/switchware/activebridge/internal/bridge"
+	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/scenario"
+)
+
+// TestOptLevelSweepMatchesGoldens reruns the entire registry at -O0 and
+// -O1 and requires byte-identical rendered output against the serial run
+// (which executes at the -O2 default, bridge.DefaultOptLevel). A
+// divergence means an optimization tier changed observable behaviour —
+// the one thing no tier is allowed to do.
+func TestOptLevelSweepMatchesGoldens(t *testing.T) {
+	serial := runSerial()
+	defer func(old int) { bridge.DefaultOptLevel = old }(bridge.DefaultOptLevel)
+	levels := []int{0, 1}
+	if testing.Short() {
+		levels = []int{0}
+	}
+	for _, lvl := range levels {
+		bridge.DefaultOptLevel = lvl
+		results := scenario.RunAll(scenario.All(), netsim.DefaultCostModel(), 1)
+		if len(results) != len(serial) {
+			t.Fatalf("-O%d: result counts differ: %d vs %d", lvl, len(results), len(serial))
+		}
+		for i := range serial {
+			s, p := &serial[i], &results[i]
+			if !p.OK() {
+				t.Errorf("%s (-O%d): run=%v check=%v", p.Name, lvl, p.Err, p.CheckErr)
+				continue
+			}
+			if s.Fingerprint != p.Fingerprint {
+				t.Errorf("%s: -O%d fingerprint %s != -O2 %s", s.Name, lvl, p.Fingerprint, s.Fingerprint)
+			}
+			if s.Table.String() != p.Table.String() {
+				t.Errorf("%s: -O%d table bytes differ from -O2", s.Name, lvl)
+			}
+		}
+	}
+}
+
+// TestFlowCacheOffMatchesChaosGoldens reruns every chaos-* scenario with
+// the demux flow cache disabled and requires the fingerprints the golden
+// test pinned (cache on). The chaos scenarios churn exactly the state the
+// cache must track — handler swaps mid-deployment, bridge crashes, link
+// flaps driving STP rebinds — so agreement here is the invalidation
+// proof: a stale entry would misroute a frame and move the fingerprint.
+func TestFlowCacheOffMatchesChaosGoldens(t *testing.T) {
+	serial := runSerial()
+	defer func(old bool) { bridge.DisableFlowCache = old }(bridge.DisableFlowCache)
+	bridge.DisableFlowCache = true
+	var chaos []*scenario.Scenario
+	for _, s := range scenario.All() {
+		if strings.HasPrefix(s.Name, "chaos-") {
+			chaos = append(chaos, s)
+		}
+	}
+	if len(chaos) == 0 {
+		t.Fatal("no chaos-* scenarios registered")
+	}
+	results := scenario.RunAll(chaos, netsim.DefaultCostModel(), 1)
+	byName := map[string]*scenario.Result{}
+	for i := range serial {
+		byName[serial[i].Name] = &serial[i]
+	}
+	for i := range results {
+		p := &results[i]
+		if !p.OK() {
+			t.Errorf("%s (cache off): run=%v check=%v", p.Name, p.Err, p.CheckErr)
+			continue
+		}
+		s := byName[p.Name]
+		if s == nil {
+			t.Errorf("%s: not present in serial run", p.Name)
+			continue
+		}
+		if s.Fingerprint != p.Fingerprint {
+			t.Errorf("%s: cache-off fingerprint %s != cache-on %s", p.Name, p.Fingerprint, s.Fingerprint)
+		}
+	}
+}

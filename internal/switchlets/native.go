@@ -21,7 +21,7 @@ func InstallNativeDumb(b *bridge.Bridge) {
 	b.SetNativeHandler("native-dumb", func(data []byte, inPort int) {
 		for i := 0; i < b.NumPorts(); i++ {
 			if i != inPort {
-				b.Send(i, string(data), false)
+				b.SendBytes(i, data, false)
 			}
 		}
 	})
@@ -66,14 +66,14 @@ func (nl *NativeLearning) handle(data []byte, inPort int) {
 	if !dst.IsMulticast() {
 		if e, ok := nl.table[dst]; ok && now.Sub(e.seen) < nl.AgeLimit {
 			if e.port != inPort {
-				nl.b.Send(e.port, string(data), false)
+				nl.b.SendBytes(e.port, data, false)
 			}
 			return
 		}
 	}
 	for i := 0; i < nl.b.NumPorts(); i++ {
 		if i != inPort {
-			nl.b.Send(i, string(data), false)
+			nl.b.SendBytes(i, data, false)
 		}
 	}
 }
@@ -177,7 +177,7 @@ func (ns *NativeSTP) tick() {
 		if err != nil {
 			continue
 		}
-		ns.b.Send(e.Port, string(raw), true)
+		ns.b.SendBytes(e.Port, raw, true)
 	}
 }
 

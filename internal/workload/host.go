@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"bytes"
 	"fmt"
 
 	"github.com/switchware/activebridge/internal/arp"
@@ -39,6 +40,19 @@ type Host struct {
 	// allocated once instead of per frame.
 	deliverFn func([]byte)
 	nicSendFn func([]byte)
+
+	// fcsMemo skips repeat CRC validation of re-delivered identical
+	// buffers; slab batches outgoing frame allocations. Both are pure
+	// fast-path devices (see internal/ethernet for the soundness
+	// contracts).
+	fcsMemo ethernet.FCSMemo
+	slab    ethernet.Slab
+	// lastTest caches the most recent marshalled test frame: ttcp streams
+	// re-send byte-identical segments, so an exact (dst, length, content)
+	// match reuses the encoded buffer — no marshal, no CRC.
+	lastTest     []byte
+	lastTestDst  ethernet.MAC
+	lastTestPlen int
 
 	neighbors map[ipv4.Addr]ethernet.MAC
 	// arpPending queues IP sends awaiting resolution, keyed by next hop.
@@ -93,7 +107,7 @@ func (h *Host) receive(raw []byte) {
 
 func (h *Host) deliver(raw []byte) {
 	var fr ethernet.Frame
-	if fr.Unmarshal(raw) != nil {
+	if fr.UnmarshalMemo(raw, &h.fcsMemo) != nil {
 		return
 	}
 	switch fr.Type {
@@ -226,7 +240,7 @@ func (h *Host) SendIP(dst ipv4.Addr, proto byte, payload []byte) error {
 			return err
 		}
 		fr := ethernet.Frame{Dst: mac, Src: h.MAC, Type: ethernet.TypeIPv4, Payload: ipBytes}
-		raw, err := fr.Marshal()
+		raw, err := fr.MarshalSlab(&h.slab)
 		if err != nil {
 			return err
 		}
@@ -247,12 +261,24 @@ func (h *Host) SendUDP(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) e
 
 // SendTest transmits one test-stream frame of the given payload size to a
 // MAC destination (the ttcp data channel, which models TCP segments).
+// The caller's payload slice is never retained.
 func (h *Host) SendTest(dst ethernet.MAC, payload []byte) error {
+	// Template fast path: a segment byte-identical to the previous one
+	// (same dst, same exact payload length, same content) would marshal to
+	// the very same bytes, so the cached encoding is re-sent as is. The
+	// length must match exactly — two payload lengths below the Ethernet
+	// minimum pad to the same wire length but carry different prefixes.
+	if h.lastTest != nil && dst == h.lastTestDst && len(payload) == h.lastTestPlen &&
+		bytes.Equal(payload, h.lastTest[ethernet.HeaderLen:ethernet.HeaderLen+len(payload)]) {
+		h.sendRaw(h.lastTest)
+		return nil
+	}
 	fr := ethernet.Frame{Dst: dst, Src: h.MAC, Type: ethernet.TypeTest, Payload: payload}
-	raw, err := fr.Marshal()
+	raw, err := fr.MarshalSlab(&h.slab)
 	if err != nil {
 		return err
 	}
+	h.lastTest, h.lastTestDst, h.lastTestPlen = raw, dst, len(payload)
 	h.sendRaw(raw)
 	return nil
 }
