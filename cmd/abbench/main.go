@@ -35,6 +35,17 @@
 //	               frame_rates_1024B entry: identical virtual rate, no
 //	               alloc regression, and each tier no slower than the
 //	               one below it on this machine
+//	-trace F       enable the causal tracing plane for every scenario and
+//	               write one Chrome trace-event JSON (open in Perfetto or
+//	               chrome://tracing) covering every traced net to F
+//	-trace-sample P  head-based sampling probability for -trace; the
+//	               decision is deterministic per trace ID, so a sampled
+//	               transcript is identical at any shard count
+//	-trace-seed N  seed for trace-ID minting and sampling (default 1)
+//	-pprof         expose net/http/pprof under /debug/pprof/ on the
+//	               -metrics-addr server
+//	-cpuprofile F  write a CPU profile of the whole run to F
+//	-memprofile F  write a heap profile at exit to F
 //
 // All virtual-time metrics are deterministic and identical on any
 // machine, any -parallel setting and any -shards setting; the wall-clock
@@ -49,6 +60,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -61,6 +73,7 @@ import (
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/testbed"
 	"github.com/switchware/activebridge/internal/topo"
+	"github.com/switchware/activebridge/internal/tracing"
 )
 
 // benchResult is one headline measurement.
@@ -333,6 +346,12 @@ func main() {
 	faultsSeed := flag.Uint64("faults", 0, "apply the seeded blanket chaos profile to every scenario (0 = off)")
 	vmLvls := flag.Bool("vmlevels", false, "benchmark frame forwarding at -O0/-O1/-O2 and include a vm_levels section (-json)")
 	vmBaseline := flag.String("vm-baseline", "", "BENCH json whose frame_rates_1024B entry gates the optimizing tiers (implies -vmlevels)")
+	traceOut := flag.String("trace", "", "enable the causal tracing plane and write a Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
+	traceSample := flag.Float64("trace-sample", 1.0, "head-based sampling probability for -trace (0..1, deterministic per trace ID)")
+	traceSeed := flag.Uint64("trace-seed", 1, "seed for -trace trace-ID minting and sampling")
+	pprofSrv := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr server")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	if *vmBaseline != "" {
 		*vmLvls = true
@@ -347,8 +366,59 @@ func main() {
 		fault.ResetTotals()
 	}
 
+	if *traceOut != "" {
+		tracing.SetDefaultConfig(tracing.Config{Seed: *traceSeed, SampleProb: *traceSample})
+		tracing.Enable()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abbench: -trace: %v\n", err)
+				return
+			}
+			defer f.Close()
+			trs := tracing.DefaultHub.Tracers()
+			for _, tr := range trs {
+				tr.Flush()
+			}
+			if err := tracing.WriteChromeAll(f, trs); err != nil {
+				fmt.Fprintf(os.Stderr, "abbench: -trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "abbench: wrote trace for %d net(s) to %s\n", len(trs), *traceOut)
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "abbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "abbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *metricsAddr != "" || *metricsOut != "" {
 		metrics.Enable()
+	}
+	if *pprofSrv {
+		metrics.EnableProfiling()
 	}
 	if *metricsAddr != "" {
 		srv, err := metrics.Serve(*metricsAddr, metrics.DefaultHub)

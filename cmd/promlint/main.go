@@ -1,14 +1,20 @@
-// promlint validates scraped metrics documents without external
-// dependencies — the CI gate behind `curl /metrics | promlint`.
+// promlint validates scraped observability documents without external
+// dependencies — the CI gate behind `curl /metrics | promlint` and
+// behind the traced chaos job's Chrome export.
 //
 //	promlint [file...]        lint Prometheus text exposition (stdin if no file)
 //	promlint -snapshot F      validate a /snapshot JSON document instead
+//	promlint -chrome F        validate a Chrome trace-event JSON document
+//	                          (abbench -trace output) instead
 //
 // Exit status 0 means every input is well-formed; the first violation
 // is printed and exits 1. The text checks mirror promtool's: comment
 // and sample syntax, metric/label naming, series grouping and
 // uniqueness, counter naming and sign, histogram bucket shape (see
-// internal/metrics.Lint).
+// internal/metrics.Lint). The Chrome checks mirror what the Perfetto
+// importer requires: known phases, named events, globally monotone
+// timestamps, matched async begin/end pairs (see
+// internal/tracing.LintChrome).
 package main
 
 import (
@@ -19,11 +25,17 @@ import (
 	"os"
 
 	"github.com/switchware/activebridge/internal/metrics"
+	"github.com/switchware/activebridge/internal/tracing"
 )
 
 func main() {
 	snapshot := flag.Bool("snapshot", false, "validate /snapshot JSON instead of Prometheus text")
+	chrome := flag.Bool("chrome", false, "validate Chrome trace-event JSON (abbench -trace output) instead of Prometheus text")
 	flag.Parse()
+	if *snapshot && *chrome {
+		fmt.Fprintln(os.Stderr, "promlint: -snapshot and -chrome are mutually exclusive")
+		os.Exit(1)
+	}
 
 	inputs := flag.Args()
 	if len(inputs) == 0 {
@@ -43,7 +55,7 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		if err := check(r, *snapshot); err != nil {
+		if err := check(r, *snapshot, *chrome); err != nil {
 			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -51,7 +63,10 @@ func main() {
 	}
 }
 
-func check(r io.Reader, snapshot bool) error {
+func check(r io.Reader, snapshot, chrome bool) error {
+	if chrome {
+		return tracing.LintChrome(r)
+	}
 	if !snapshot {
 		return metrics.Lint(r)
 	}

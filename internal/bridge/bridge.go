@@ -27,6 +27,7 @@ import (
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/tracing"
 	"github.com/switchware/activebridge/internal/vm"
 )
 
@@ -254,6 +255,7 @@ func New(sim *netsim.Sim, name string, id byte, numPorts int, cost netsim.CostMo
 	}
 	b.emitHeadFn = b.emitHead
 	b.Machine = vm.NewMachine()
+	b.Machine.Trace = vmTraceSink{b}
 	b.Loader = vm.StdLoader(b.Machine)
 	b.Loader.OptLevel = DefaultOptLevel
 	b.Funcs = env.NewFuncRegistry()
@@ -671,6 +673,9 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 		if e.gen == b.flowGen && e.dst == dst {
 			h, isDst = e.h, e.isDst
 			b.Stats.FlowCacheHits++
+			if b.sim.TraceEngine() != nil {
+				b.traceEvent(tracing.KindDemux, 0, "cache-hit handler="+h.Name)
+			}
 		} else {
 			// Unicast fast path: data frames are unicast and destination
 			// registrations are (almost always) multicast, so the map is
@@ -686,11 +691,17 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 			}
 			*e = flowEntry{gen: b.flowGen, dst: dst, h: h, isDst: isDst}
 			b.Stats.FlowCacheMisses++
+			if b.sim.TraceEngine() != nil {
+				b.traceEvent(tracing.KindDemux, 0, "cache-miss handler="+h.Name)
+			}
 		}
 		if !isDst && b.blocked[inPort] {
 			// A blocked port still receives control traffic (handled
 			// above via dst registrations) but no data traffic.
 			b.Stats.InputSuppressed++
+			if b.sim.TraceEngine() != nil {
+				b.traceEvent(tracing.KindVerdict, 0, "suppressed")
+			}
 			return
 		}
 	} else {
@@ -700,13 +711,22 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 		if !isDst {
 			if b.blocked[inPort] {
 				b.Stats.InputSuppressed++
+				if b.sim.TraceEngine() != nil {
+					b.traceEvent(tracing.KindVerdict, 0, "suppressed")
+				}
 				return
 			}
 			h = b.defaultHandler
 		}
+		if b.sim.TraceEngine() != nil {
+			b.traceEvent(tracing.KindDemux, 0, "uncached handler="+h.Name)
+		}
 	}
 	if h.empty() {
 		b.Stats.NoHandlerDrops++
+		if b.sim.TraceEngine() != nil {
+			b.traceEvent(tracing.KindVerdict, 0, "no-handler")
+		}
 		return
 	}
 	b.Stats.FramesDelivered++
@@ -714,12 +734,19 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 	recvCost := b.cost.KernelCrossing(len(raw))
 	var execCost netsim.Duration
 	var sends []pendingSend
+	var trapped bool
+	traced := b.sim.TraceEngine() != nil
+	var steps0, alloc0 uint64
+	var tiers0 [3]uint64
+	if traced {
+		steps0, alloc0 = b.Machine.Steps, b.Machine.AllocBytes
+		tiers0 = b.Machine.TierEnters
+	}
 	b.curRaw = raw
 	if h.Native != nil {
 		sends = b.collectSends(func() { h.Native(raw, inPort) })
 		execCost = b.cost.NativePerFrame
 	} else {
-		var trapped bool
 		if len(raw) == len(b.lastFrameRaw) && &raw[0] == &b.lastFrameRaw[0] {
 			b.frameArgs[0] = b.lastFrameVal
 		} else {
@@ -734,6 +761,23 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 		}
 	}
 	b.curRaw = nil
+
+	if traced {
+		if h.Native != nil {
+			b.traceEvent(tracing.KindVM, int64(execCost), "native handler="+h.Name)
+		} else {
+			m := b.Machine
+			b.traceEvent(tracing.KindVM, int64(execCost), fmt.Sprintf(
+				"handler=%s steps=%d alloc=%d tiers=%d/%d/%d", h.Name,
+				m.Steps-steps0, m.AllocBytes-alloc0,
+				m.TierEnters[0]-tiers0[0], m.TierEnters[1]-tiers0[1], m.TierEnters[2]-tiers0[2]))
+		}
+		if trapped {
+			b.traceEvent(tracing.KindVerdict, 0, "trap-drop")
+		} else {
+			b.traceEvent(tracing.KindVerdict, 0, fmt.Sprintf("forward sends=%d", len(sends)))
+		}
+	}
 
 	var sendCost netsim.Duration
 	for i := range sends {
@@ -753,6 +797,26 @@ func (b *Bridge) onFrame(inPort int, raw []byte) {
 	total := recvCost + execCost + sendCost
 	b.doneQueue = append(b.doneQueue, sends)
 	b.cpu.Exec(total, b.emitHeadFn)
+}
+
+// traceEvent records one bridge event under the frame's ambient trace
+// context (dur > 0 makes it a span); callers hold the nil-tracer check.
+func (b *Bridge) traceEvent(kind tracing.Kind, dur int64, detail string) {
+	b.sim.TraceEngine().Emit(tracing.Event{
+		VT: int64(b.sim.Now()), Dur: dur, Trace: b.sim.CurTrace(),
+		Kind: kind, Node: b.Name, Detail: detail,
+	})
+}
+
+// vmTraceSink feeds the VM's deoptimization events into the tracing plane
+// under the ambient trace context. It is installed unconditionally; the
+// nil-tracer check happens per event, on what is already a slow path.
+type vmTraceSink struct{ b *Bridge }
+
+func (s vmTraceSink) TraceDeopt(reason string) {
+	if s.b.sim.TraceEngine() != nil {
+		s.b.traceEvent(tracing.KindDeopt, 0, reason)
+	}
 }
 
 // collectSends runs fn with send collection enabled and returns the frames
@@ -782,6 +846,10 @@ func (b *Bridge) invokeVM(fn vm.Value, args []vm.Value) (sends []pendingSend, tr
 	if _, err := b.Machine.InvokeArgs(fn, args); err != nil {
 		trapped = true
 		b.Log("switchlet trap: " + err.Error())
+		if te := b.sim.TraceEngine(); te != nil {
+			b.traceEvent(tracing.KindTrap, 0, err.Error())
+			te.DumpFlight("vm trap at "+b.Name+": "+err.Error(), int64(b.sim.Now()))
+		}
 	}
 	sends = b.pendingSends
 	b.pendingSends = saved
@@ -914,6 +982,10 @@ func (b *Bridge) Crash() {
 	b.spawnQueue = nil
 	clear(b.timers)
 	b.Log("bridge: CRASH (fault plane)")
+	if te := b.sim.TraceEngine(); te != nil {
+		b.traceEvent(tracing.KindMark, 0, "crash (fault plane)")
+		te.DumpFlight("crash at "+b.Name, int64(b.sim.Now()))
+	}
 }
 
 // Restart brings a crashed node back with cold state: carrier returns,
@@ -965,6 +1037,10 @@ func (b *Bridge) LoadObjectBytes(data []byte) error {
 	b.cpu.Hold(cost)
 	if err != nil {
 		b.Log("switchlet load failed: " + err.Error())
+		if te := b.sim.TraceEngine(); te != nil {
+			b.traceEvent(tracing.KindMark, 0, "load-reject: "+err.Error())
+			te.DumpFlight("switchlet load rejected at "+b.Name+": "+err.Error(), int64(b.sim.Now()))
+		}
 		return err
 	}
 	b.drainSpawns()
@@ -981,6 +1057,10 @@ func (b *Bridge) LoadDecodedObject(obj *vm.Object) error {
 	b.cpu.Hold(cost)
 	if err != nil {
 		b.Log("switchlet load failed: " + err.Error())
+		if te := b.sim.TraceEngine(); te != nil {
+			b.traceEvent(tracing.KindMark, 0, "load-reject: "+err.Error())
+			te.DumpFlight("switchlet load rejected at "+b.Name+": "+err.Error(), int64(b.sim.Now()))
+		}
 		return err
 	}
 	b.drainSpawns()

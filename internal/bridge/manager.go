@@ -6,6 +6,7 @@ import (
 	"github.com/switchware/activebridge/internal/env"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/tracing"
 	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/vm/verify"
 )
@@ -497,6 +498,10 @@ func (u *Upgrade) rollback(reason string) {
 	u.m.b.Loader.FlushAllTranslations()
 	u.m.b.FlushFlowCache()
 	u.m.b.Log("manager: ROLLBACK (" + reason + ")")
+	if te := u.m.b.sim.TraceEngine(); te != nil {
+		u.m.b.traceEvent(tracing.KindMark, 0, "rollback: "+reason)
+		te.DumpFlight("rollback at "+u.m.b.Name+": "+reason, int64(u.m.b.sim.Now()))
+	}
 	u.releaseGuard()
 	if _, err := u.m.Query(u.new.Manifest.Lifecycle.Stop, ""); err != nil {
 		u.m.b.Log("manager: stop of " + u.new.Manifest.Ref() + " trapped: " + err.Error())

@@ -5,16 +5,16 @@ import (
 
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/testbed"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 )
 
 // AblationNativeVsBytecode quantifies the paper's §7.3/§9 conjecture that
 // "compiling switchlets into native code for faster operation" recovers
 // most of the repeater/bridge gap.
-func AblationNativeVsBytecode(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func AblationNativeVsBytecode(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Ablation: bytecode interpretation vs native-code switchlets",
 		Header: []string{"path", "ttcp Mb/s (8KB)", "ping RTT ms (64B)"},
 	}
@@ -25,7 +25,7 @@ func AblationNativeVsBytecode(cost netsim.CostModel) *trace.Table {
 		tb2 := testbed.New(p, cost)
 		tb2.Warm()
 		rtt := tb2.PingRTT(64, 10)
-		t.AddRow(p.String(), trace.Mbps(tr.ThroughputMbps()), trace.Ms(rtt))
+		t.AddRow(p.String(), report.Mbps(tr.ThroughputMbps()), report.Ms(rtt))
 	}
 	t.AddNote("the native bridge recovers most of the repeater/bytecode gap: interpretation dominates, as §7.3 concludes")
 	return t
@@ -34,8 +34,8 @@ func AblationNativeVsBytecode(cost netsim.CostModel) *trace.Table {
 // AblationLearning measures what the learning switchlet buys over the dumb
 // repeater switchlet: the flood factor onto an uninvolved third LAN during
 // a two-party conversation.
-func AblationLearning(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func AblationLearning(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Ablation: dumb vs learning switchlet (frames leaked onto an uninvolved LAN)",
 		Header: []string{"switchlet", "frames on third LAN", "of total sent"},
 	}
@@ -98,8 +98,8 @@ func AblationLearning(cost netsim.CostModel) *trace.Table {
 // AblationKernelCost sweeps the kernel-crossing cost, the paper's §7.3/§9
 // "shortening the Linux path between interrupt arrival and switchlet
 // operation" optimization (and the motivation for citing U-Net).
-func AblationKernelCost(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func AblationKernelCost(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Ablation: kernel-crossing cost (the U-Net/§9 optimization axis)",
 		Header: []string{"kernel cost/frame", "active-bridge Mb/s", "repeater Mb/s"},
 	}
@@ -113,7 +113,7 @@ func AblationKernelCost(cost netsim.CostModel) *trace.Table {
 		tbR := testbed.New(testbed.Repeater, c)
 		tbR.Warm()
 		trR := tbR.TtcpRun(8192, 2<<20)
-		t.AddRow(fmt.Sprintf("%v", k), trace.Mbps(trA.ThroughputMbps()), trace.Mbps(trR.ThroughputMbps()))
+		t.AddRow(fmt.Sprintf("%v", k), report.Mbps(trA.ThroughputMbps()), report.Mbps(trR.ThroughputMbps()))
 	}
 	t.AddNote("cutting the kernel path helps the repeater far more than the bridge: the bridge stays interpretation-limited")
 	return t
@@ -121,8 +121,8 @@ func AblationKernelCost(cost netsim.CostModel) *trace.Table {
 
 // AblationGCPressure sweeps the collector cost factor, the paper's §7.3
 // "interference from the garbage collector" hypothesis.
-func AblationGCPressure(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func AblationGCPressure(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Ablation: GC pressure (VMPerAllocByte) on bridge throughput",
 		Header: []string{"alloc cost (ns/B)", "active-bridge Mb/s"},
 	}
@@ -132,7 +132,7 @@ func AblationGCPressure(cost netsim.CostModel) *trace.Table {
 		tb := testbed.New(testbed.ActiveBridge, c)
 		tb.Warm()
 		tr := tb.TtcpRun(8192, 2<<20)
-		t.AddRow(fmt.Sprintf("%d", int64(a)), trace.Mbps(tr.ThroughputMbps()))
+		t.AddRow(fmt.Sprintf("%d", int64(a)), report.Mbps(tr.ThroughputMbps()))
 	}
 	t.AddNote("paper §7.3 lists the collector among the likely Caml overheads; concurrent collection is the proposed remedy")
 	return t

@@ -7,9 +7,9 @@ import (
 	"github.com/switchware/activebridge/internal/icmp"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 )
 
 // AgilityResult holds the §7.5 measurements.
@@ -30,8 +30,8 @@ type AgilityResult struct {
 //
 // Paper: "the average start to IEEE time measured was 0.056 seconds, and
 // the average start to received ping time was 30.1 seconds."
-func AgilityRing(cost netsim.CostModel) (*trace.Table, AgilityResult, error) {
-	t := &trace.Table{
+func AgilityRing(cost netsim.CostModel) (*report.Table, AgilityResult, error) {
+	t := &report.Table{
 		Title:  "§7.5 function agility (3-bridge chain, protocol switch-over)",
 		Header: []string{"metric", "measured", "paper"},
 	}

@@ -8,10 +8,10 @@ import (
 	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -33,8 +33,8 @@ const stpBound = 50 * netsim.Second
 // the TFTP client's timeout/retransmit machinery — each transfer must
 // complete, and the retransmit counts prove the faults were really in the
 // path (the pinned "deployment over a lossy link" test).
-func ChaosLossyDeployment(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func ChaosLossyDeployment(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "Chaos: incremental deployment over 5%-loss segments (seeded)",
 		Header: []string{"target", "upload", "retransmits", "elapsed (s)"},
 	}
@@ -105,9 +105,9 @@ func ChaosLossyDeployment(cost netsim.CostModel) (*trace.Table, error) {
 // spanning tree must route around the cut within the 802.1D bound
 // (stpBound), survive the heal without a storm, and end with a single
 // root, no forwarding loop, and working delivery.
-func ChaosFlappingRing(cost netsim.CostModel) (*trace.Table, error) {
+func ChaosFlappingRing(cost netsim.CostModel) (*report.Table, error) {
 	const nBridges = 8
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  "Chaos: 8-bridge STP ring, transit link flap under ttcp",
 		Header: []string{"metric", "value"},
 	}
@@ -222,8 +222,8 @@ func ChaosFlappingRing(cost netsim.CostModel) (*trace.Table, error) {
 // snapshot with the OLD protocol running, and connectivity must return —
 // the pinned "fault during the validation window" test, in its harshest
 // form.
-func ChaosCrashUpgrade(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func ChaosCrashUpgrade(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "Chaos: bridge crash during DEC→IEEE upgrade validation",
 		Header: []string{"metric", "value"},
 	}
@@ -318,9 +318,9 @@ func ChaosCrashUpgrade(cost netsim.CostModel) (*trace.Table, error) {
 // fault plan: a scheduled partition (one ring segment cut) and a
 // scheduled heal, with the tree expected to reconverge after each and
 // the healed ring expected to carry hellos only — the storm check.
-func ChaosPartitionHeal(cost netsim.CostModel) (*trace.Table, error) {
+func ChaosPartitionHeal(cost netsim.CostModel) (*report.Table, error) {
 	const nBridges = 6
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  "Chaos: plan-scheduled partition and heal on a 6-bridge STP ring",
 		Header: []string{"metric", "value"},
 	}
@@ -473,7 +473,7 @@ func registerChaos() {
 	scenario.Register("chaos-lossy-deployment",
 		"incremental switchlet deployment over seeded 5%-loss segments (TFTP retransmission)",
 		ChaosLossyDeployment,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}
@@ -495,7 +495,7 @@ func registerChaos() {
 	scenario.Register("chaos-flapping-ring",
 		"8-bridge STP ring: transit link flap under ttcp, reconvergence within the 802.1D bound",
 		ChaosFlappingRing,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(9)(t); err != nil {
 				return err
 			}
@@ -532,7 +532,7 @@ func registerChaos() {
 	scenario.Register("chaos-crash-upgrade",
 		"bridge crash mid-validation: upgrade rolls back, restart restores the old protocol",
 		ChaosCrashUpgrade,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(6)(t); err != nil {
 				return err
 			}
@@ -560,7 +560,7 @@ func registerChaos() {
 	scenario.Register("chaos-partition-heal",
 		"6-bridge STP ring: plan-scheduled partition and heal, no storm, invariants hold",
 		ChaosPartitionHeal,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(6)(t); err != nil {
 				return err
 			}

@@ -7,9 +7,9 @@ import (
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -23,8 +23,8 @@ import (
 // A chain of empty bridges separates the administrator's host from the far
 // LANs. Initially only bridge 1's loader is reachable; each upload extends
 // the forwarding frontier by one hop, unlocking the next bridge.
-func IncrementalDeployment(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func IncrementalDeployment(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "§5.2 incremental switchlet deployment (frontier grows one hop per step)",
 		Header: []string{"step", "target", "upload", "reachable frontier (hosts answering ping)"},
 	}

@@ -1,6 +1,6 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§6-§7) on the simulated testbed. Each function returns a
-// trace.Table whose rows mirror the series the paper reports; the
+// report.Table whose rows mirror the series the paper reports; the
 // EXPERIMENTS.md file records paper-vs-measured for each.
 package experiments
 
@@ -8,8 +8,8 @@ import (
 	"fmt"
 
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/testbed"
-	"github.com/switchware/activebridge/internal/trace"
 )
 
 // Fig9Sizes are the ICMP data sizes of the paper's latency figure.
@@ -18,8 +18,8 @@ var Fig9Sizes = []int{32, 512, 1024, 2048, 4096}
 // Fig9PingLatency reproduces Figure 9: ping RTT vs packet size for the
 // direct connection, the C buffered repeater, and the active bridge (plus
 // the native-switchlet ablation).
-func Fig9PingLatency(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func Fig9PingLatency(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Figure 9: ping latencies (ms RTT)",
 		Header: []string{"size(B)", "direct", "repeater", "active-bridge", "native-bridge"},
 	}
@@ -29,7 +29,7 @@ func Fig9PingLatency(cost netsim.CostModel) *trace.Table {
 		for _, p := range paths {
 			tb := testbed.New(p, cost)
 			tb.Warm()
-			row = append(row, trace.Ms(tb.PingRTT(size, 10)))
+			row = append(row, report.Ms(tb.PingRTT(size, 10)))
 		}
 		t.AddRow(row...)
 	}
@@ -53,8 +53,8 @@ const Fig10Bytes = 4 << 20
 
 // Fig10TtcpThroughput reproduces Figure 10: ttcp throughput vs write size
 // for the three paths (plus the native ablation).
-func Fig10TtcpThroughput(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func Fig10TtcpThroughput(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Figure 10: ttcp throughput (Mb/s)",
 		Header: []string{"write(B)", "direct", "repeater", "active-bridge", "native-bridge"},
 	}
@@ -66,7 +66,7 @@ func Fig10TtcpThroughput(cost netsim.CostModel) *trace.Table {
 			tb := testbed.New(p, cost)
 			tb.Warm()
 			tr := tb.TtcpRun(size, Fig10Bytes)
-			row = append(row, trace.Mbps(tr.ThroughputMbps()))
+			row = append(row, report.Mbps(tr.ThroughputMbps()))
 			if size == 8192 {
 				switch p {
 				case testbed.ActiveBridge:
@@ -93,8 +93,8 @@ var FrameRateSizes = []int{50, 128, 256, 512, 1024, 1460}
 // second through the active bridge for each frame size, along with the
 // measured per-frame VM cost and the implied interpretation-limited rate
 // ("a limiting rate of 2100 frames per second or about 32 Mb/s").
-func FrameRates(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func FrameRates(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "§7.3 frame rates through the active bridge",
 		Header: []string{"frame payload(B)", "frames/s", "Mb/s", "VM ms/frame", "VM-limited fps"},
 	}
@@ -114,7 +114,7 @@ func FrameRates(cost netsim.CostModel) *trace.Table {
 		t.AddRow(
 			fmt.Sprintf("%d", size),
 			fmt.Sprintf("%.0f", tr.FramesPerSecond()),
-			trace.Mbps(tr.ThroughputMbps()),
+			report.Mbps(tr.ThroughputMbps()),
 			fmt.Sprintf("%.2f", vmPer/1e6),
 			fmt.Sprintf("%.0f", limited),
 		)
@@ -126,8 +126,8 @@ func FrameRates(cost netsim.CostModel) *trace.Table {
 
 // LatencyDecomposition reproduces the Figure 5 / §7.2 instrumentation: the
 // per-stage cost of one forwarded frame.
-func LatencyDecomposition(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func LatencyDecomposition(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Figure 5 path decomposition (one 1024-byte frame)",
 		Header: []string{"stage", "cost (ms)"},
 	}
@@ -141,9 +141,9 @@ func LatencyDecomposition(cost netsim.CostModel) *trace.Table {
 	s := tb.Bridge.LastPath
 	wire := float64(s.FrameLen*8+160) / 100e6 * 1e3
 	t.AddRow("1-2. wire + adapter (per LAN)", fmt.Sprintf("%.3f", wire))
-	t.AddRow("2-3. ISR + kernel delivery + recvfrom", trace.Ms(s.KernelRecv))
-	t.AddRow("4.   switchlet execution (Caml)", trace.Ms(s.Exec))
-	t.AddRow("5-6. sendto + kernel queueing", trace.Ms(s.KernelSend))
+	t.AddRow("2-3. ISR + kernel delivery + recvfrom", report.Ms(s.KernelRecv))
+	t.AddRow("4.   switchlet execution (Caml)", report.Ms(s.Exec))
+	t.AddRow("5-6. sendto + kernel queueing", report.Ms(s.KernelSend))
 	t.AddRow("7.   wire out", fmt.Sprintf("%.3f", wire))
 	t.AddNote("paper §7.2: Caml code execution adds 0.34 ms per frame; the rest is the Linux path")
 	return t

@@ -8,10 +8,10 @@ import (
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -28,13 +28,13 @@ import (
 // echo trains, and two live TFTP switchlet deployments to empty edge
 // bridges whose LANs only start forwarding once the learning switchlet
 // arrives over the fabric itself (§5.2 at scale).
-func FatTree256(cost netsim.CostModel) (*trace.Table, error) {
+func FatTree256(cost netsim.CostModel) (*report.Table, error) {
 	const (
 		nPods        = 15
 		edgesPerPod  = 16
 		hostsPerEdge = 4
 	)
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  "Mega: 256-bridge fat-tree, 960 hosts, mixed ttcp/tftp/ping load",
 		Header: []string{"metric", "value"},
 	}
@@ -214,9 +214,9 @@ func FatTree256(cost netsim.CostModel) (*trace.Table, error) {
 	t.AddRow("bridges", "256 (1 core + 15 agg + 240 edge)")
 	t.AddRow("hosts", fmt.Sprintf("%d", len(edges)*hostsPerEdge))
 	t.AddRow("ttcp streams complete", fmt.Sprintf("%d/%d", done, len(streams)))
-	t.AddRow("aggregate ttcp Mb/s", trace.Mbps(agg))
+	t.AddRow("aggregate ttcp Mb/s", report.Mbps(agg))
 	t.AddRow("cross-pod pings", fmt.Sprintf("%d/30", pings))
-	t.AddRow("mean RTT 64B (ms)", trace.Ms(rtt))
+	t.AddRow("mean RTT 64B (ms)", report.Ms(rtt))
 	t.AddRow("switchlets deployed via TFTP", fmt.Sprintf("%d", loads))
 	t.AddRow("post-deploy stream complete", fmt.Sprintf("%v", post.Done()))
 	t.AddNote("behaviour is code at fabric scale: two edge bridges boot empty and join the fabric when the learning switchlet arrives over it")
@@ -231,9 +231,9 @@ func FatTree256(cost netsim.CostModel) (*trace.Table, error) {
 // bridge's captured DEC tree is compared against the fully-converged
 // IEEE tree — all eight upgrades must commit, no rollbacks, and
 // connectivity must survive.
-func Ring8RollingUpgrade(cost netsim.CostModel) (*trace.Table, error) {
+func Ring8RollingUpgrade(cost netsim.CostModel) (*report.Table, error) {
 	const nBridges = 8
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  "Mega: rolling DEC→IEEE upgrade across an 8-bridge STP ring under load",
 		Header: []string{"metric", "value"},
 	}
@@ -347,9 +347,9 @@ func Ring8RollingUpgrade(cost netsim.CostModel) (*trace.Table, error) {
 // at its bridges' service rate, but the fabric survives: the boundary
 // bridge's bounded transmit queue throttles what escapes, and hosts in
 // far pods keep exchanging traffic while the storm rages.
-func StormContainment(cost netsim.CostModel) (*trace.Table, error) {
+func StormContainment(cost netsim.CostModel) (*report.Table, error) {
 	const nPods = 4
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  "Mega: broadcast-storm containment at a pod boundary",
 		Header: []string{"metric", "value"},
 	}
@@ -464,7 +464,7 @@ func registerMegaScale() {
 	scenario.Register("scale-fattree256",
 		"256-bridge fat-tree, 960 hosts: mixed ttcp/tftp/ping plus live deployment",
 		FatTree256,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(8)(t); err != nil {
 				return err
 			}
@@ -486,7 +486,7 @@ func registerMegaScale() {
 	scenario.Register("scale-ring8-upgrade",
 		"rolling DEC→IEEE Manager upgrade across an 8-bridge STP ring under load",
 		Ring8RollingUpgrade,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(5)(t); err != nil {
 				return err
 			}
@@ -519,7 +519,7 @@ func registerMegaScale() {
 	scenario.Register("scale-storm-containment",
 		"broadcast storm raging inside one pod while far pods keep working",
 		StormContainment,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(7)(t); err != nil {
 				return err
 			}

@@ -5,9 +5,9 @@ import (
 
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -16,8 +16,8 @@ import (
 // IP -> minimal UDP -> write-only TFTP); the bridge loads it on receipt.
 // It reports the object size, transfer time, and the load taking effect
 // (frames forwarded only after the switchlet arrives).
-func NetworkLoad(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func NetworkLoad(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "§5.2 network switchlet loading (TFTP over minimal UDP/IP)",
 		Header: []string{"metric", "value"},
 	}

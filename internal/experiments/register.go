@@ -7,17 +7,17 @@ import (
 	"sync"
 
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/scenario"
-	"github.com/switchware/activebridge/internal/trace"
 )
 
 // tableOnly adapts an infallible table generator to a scenario RunFunc.
-func tableOnly(fn func(netsim.CostModel) *trace.Table) scenario.RunFunc {
-	return func(cost netsim.CostModel) (*trace.Table, error) { return fn(cost), nil }
+func tableOnly(fn func(netsim.CostModel) *report.Table) scenario.RunFunc {
+	return func(cost netsim.CostModel) (*report.Table, error) { return fn(cost), nil }
 }
 
 // cellFloat parses one table cell as a float64.
-func cellFloat(t *trace.Table, row, col int) (float64, error) {
+func cellFloat(t *report.Table, row, col int) (float64, error) {
 	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
 		return 0, fmt.Errorf("table %q: no cell (%d,%d)", t.Title, row, col)
 	}
@@ -30,7 +30,7 @@ func cellFloat(t *trace.Table, row, col int) (float64, error) {
 
 // wantRows checks the table has exactly n data rows.
 func wantRows(n int) scenario.CheckFunc {
-	return func(t *trace.Table) error {
+	return func(t *report.Table) error {
 		if len(t.Rows) != n {
 			return fmt.Errorf("table %q: %d rows, want %d", t.Title, len(t.Rows), n)
 		}
@@ -52,7 +52,7 @@ func registerAll() {
 	scenario.Register("table1-transition",
 		"Table 1: automatic DEC→IEEE protocol transition on a 2-bridge line",
 		tableOnly(Table1Transition),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(5)(t); err != nil {
 				return err
 			}
@@ -65,7 +65,7 @@ func registerAll() {
 	scenario.Register("table1-fallback",
 		"Table 1 failure row: buggy IEEE switchlet triggers automatic fallback to DEC",
 		tableOnly(Table1Fallback),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(2)(t); err != nil {
 				return err
 			}
@@ -80,7 +80,7 @@ func registerAll() {
 	scenario.Register("fig9-ping-latency",
 		"Figure 9: ping RTT vs packet size across the four measured paths",
 		tableOnly(Fig9PingLatency),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(len(Fig9Sizes))(t); err != nil {
 				return err
 			}
@@ -103,7 +103,7 @@ func registerAll() {
 	scenario.Register("fig10-ttcp-throughput",
 		"Figure 10: ttcp throughput vs write size across the four measured paths",
 		tableOnly(Fig10TtcpThroughput),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(len(Fig10Sizes))(t); err != nil {
 				return err
 			}
@@ -125,7 +125,7 @@ func registerAll() {
 	scenario.Register("frame-rates",
 		"§7.3: delivered frame rate through the active bridge per frame size",
 		tableOnly(FrameRates),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(len(FrameRateSizes))(t); err != nil {
 				return err
 			}
@@ -146,11 +146,11 @@ func registerAll() {
 
 	scenario.Register("agility-ring",
 		"§7.5 function agility: 3-bridge chain switches DEC→IEEE live",
-		func(cost netsim.CostModel) (*trace.Table, error) {
+		func(cost netsim.CostModel) (*report.Table, error) {
 			t, _, err := AgilityRing(cost)
 			return t, err
 		},
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(2)(t); err != nil {
 				return err
 			}
@@ -176,8 +176,8 @@ func registerAll() {
 
 	scenario.Register("netload-tftp",
 		"§5.2 network switchlet loading over Ethernet/IP/UDP/TFTP",
-		func(cost netsim.CostModel) (*trace.Table, error) { return NetworkLoad(cost) },
-		func(t *trace.Table) error {
+		func(cost netsim.CostModel) (*report.Table, error) { return NetworkLoad(cost) },
+		func(t *report.Table) error {
 			if err := wantRows(6)(t); err != nil {
 				return err
 			}
@@ -192,8 +192,8 @@ func registerAll() {
 
 	scenario.Register("deployment-incremental",
 		"§5.2 incremental deployment: frontier grows one hop per switchlet upload",
-		func(cost netsim.CostModel) (*trace.Table, error) { return IncrementalDeployment(cost) },
-		func(t *trace.Table) error {
+		func(cost netsim.CostModel) (*report.Table, error) { return IncrementalDeployment(cost) },
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}
@@ -206,7 +206,7 @@ func registerAll() {
 	scenario.Register("scalability",
 		"§7.4 aggregate throughput vs attached LAN pairs through one bridge",
 		tableOnly(Scalability),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}
@@ -232,7 +232,7 @@ func registerAll() {
 	scenario.Register("ablation-learning",
 		"Ablation: dumb vs learning switchlet flood containment",
 		tableOnly(AblationLearning),
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(2)(t); err != nil {
 				return err
 			}

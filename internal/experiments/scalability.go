@@ -6,8 +6,8 @@ import (
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -20,15 +20,15 @@ import (
 // ports. The single CPU — serialized by interpretation, exactly the
 // paper's "the major limit is the concurrency we can access in our
 // implementation" — caps aggregate throughput regardless of port count.
-func Scalability(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func Scalability(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "§7.4 scalability: aggregate throughput vs attached LAN pairs",
 		Header: []string{"streams", "ports", "aggregate Mb/s", "per-stream Mb/s", "bridge CPU util"},
 	}
 	for _, n := range []int{1, 2, 4, 8} {
 		agg, per, util := runScalability(n, cost)
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", 2*n),
-			trace.Mbps(agg), trace.Mbps(per), fmt.Sprintf("%.0f%%", 100*util))
+			report.Mbps(agg), report.Mbps(per), fmt.Sprintf("%.0f%%", 100*util))
 	}
 	t.AddNote("aggregate saturates at the single interpreter's service rate: past that point, add another bridge (paper §7.4)")
 	t.AddNote("the paper's GC pauses 'force the system to serialize the threads'; the cooperative VM here is serial by construction")

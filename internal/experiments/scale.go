@@ -6,10 +6,10 @@ import (
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/ipv4"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/workload"
 )
@@ -24,9 +24,9 @@ import (
 // streaming throughput. Per-hop interpretation costs add linearly in
 // RTT, while throughput stays pinned to a single interpreter's service
 // rate because the bridges pipeline.
-func Chain16(cost netsim.CostModel) (*trace.Table, error) {
+func Chain16(cost netsim.CostModel) (*report.Table, error) {
 	const nBridges = 16
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  fmt.Sprintf("Scale: %d-bridge linear chain", nBridges),
 		Header: []string{"metric", "value"},
 	}
@@ -62,8 +62,8 @@ func Chain16(cost netsim.CostModel) (*trace.Table, error) {
 	tr.Run(net.Sim.Now() + netsim.Time(600*netsim.Second))
 
 	t.AddRow("bridges in path", fmt.Sprintf("%d", nBridges))
-	t.AddRow("ping RTT 64B (ms)", trace.Ms(rtt))
-	t.AddRow("ttcp Mb/s (8KB writes)", trace.Mbps(tr.ThroughputMbps()))
+	t.AddRow("ping RTT 64B (ms)", report.Ms(rtt))
+	t.AddRow("ttcp Mb/s (8KB writes)", report.Mbps(tr.ThroughputMbps()))
 	t.AddRow("transfer complete", fmt.Sprintf("%v", tr.Done()))
 	t.AddNote("RTT grows ~linearly with hop count (per-hop VM cost); throughput pipelines to a single bridge's service rate")
 	return t, nil
@@ -74,9 +74,9 @@ func Chain16(cost netsim.CostModel) (*trace.Table, error) {
 // switchlet on every bridge. The spanning tree must block exactly one
 // redundant link, after which unicast connectivity works with no
 // broadcast storm.
-func STPRing(cost netsim.CostModel) (*trace.Table, error) {
+func STPRing(cost netsim.CostModel) (*report.Table, error) {
 	const nBridges = 6
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  fmt.Sprintf("Scale: %d-bridge STP ring with redundant link", nBridges),
 		Header: []string{"metric", "value"},
 	}
@@ -121,7 +121,7 @@ func STPRing(cost netsim.CostModel) (*trace.Table, error) {
 	t.AddRow("bridges in ring", fmt.Sprintf("%d", nBridges))
 	t.AddRow("ports blocked by STP", fmt.Sprintf("%d", blocked))
 	t.AddRow("pings completed", fmt.Sprintf("%d/5", p.Completed()))
-	t.AddRow("ping RTT 64B (ms)", trace.Ms(p.MeanRTT()))
+	t.AddRow("ping RTT 64B (ms)", report.Ms(p.MeanRTT()))
 	t.AddNote("the tree breaks the loop by blocking one redundant port; traffic takes the surviving path")
 	return t, nil
 }
@@ -131,13 +131,13 @@ func STPRing(cost netsim.CostModel) (*trace.Table, error) {
 // LANs and their associated endpoints" question of §7.4 posed as a
 // campus topology. It verifies cross-tree connectivity and that learning
 // confines a settled unicast conversation to its own subtree.
-func Tree64(cost netsim.CostModel) (*trace.Table, error) {
+func Tree64(cost netsim.CostModel) (*report.Table, error) {
 	const (
 		nMids        = 4
 		leavesPerMid = 4
 		hostsPerLeaf = 4
 	)
-	t := &trace.Table{
+	t := &report.Table{
 		Title:  "Scale: 3-level tree, 64 hosts on 16 leaf LANs",
 		Header: []string{"metric", "value"},
 	}
@@ -186,7 +186,7 @@ func Tree64(cost netsim.CostModel) (*trace.Table, error) {
 	t.AddRow("hosts", fmt.Sprintf("%d", len(hosts)))
 	t.AddRow("bridges", fmt.Sprintf("%d", 1+nMids))
 	t.AddRow("leaf LANs", fmt.Sprintf("%d", len(leaves)))
-	t.AddRow("cross-tree RTT 64B (ms)", trace.Ms(p.MeanRTT()))
+	t.AddRow("cross-tree RTT 64B (ms)", report.Ms(p.MeanRTT()))
 	t.AddRow("pings completed", fmt.Sprintf("%d/5", p.Completed()))
 	t.AddRow("frames leaked to uninvolved leaf", fmt.Sprintf("%d", leaked))
 	t.AddNote("after learning settles, a unicast conversation stays inside its root-path; other subtrees see nothing (paper §4)")
@@ -196,8 +196,8 @@ func Tree64(cost netsim.CostModel) (*trace.Table, error) {
 // MixedFabric chains the paper's node types — C buffered repeaters, the
 // bytecode active bridge and the native-code ablation — into one
 // heterogeneous path and measures the composition.
-func MixedFabric(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func MixedFabric(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "Scale: mixed repeater/active-bridge fabric (5 hops)",
 		Header: []string{"metric", "value"},
 	}
@@ -235,8 +235,8 @@ func MixedFabric(cost netsim.CostModel) (*trace.Table, error) {
 	tr.Run(net.Sim.Now() + netsim.Time(600*netsim.Second))
 
 	t.AddRow("path", "host-rep-swl.bridge-rep-native.bridge-host")
-	t.AddRow("ping RTT 64B (ms)", trace.Ms(p.MeanRTT()))
-	t.AddRow("ttcp Mb/s (8KB writes)", trace.Mbps(tr.ThroughputMbps()))
+	t.AddRow("ping RTT 64B (ms)", report.Ms(p.MeanRTT()))
+	t.AddRow("ttcp Mb/s (8KB writes)", report.Mbps(tr.ThroughputMbps()))
 	t.AddRow("transfer complete", fmt.Sprintf("%v", tr.Done()))
 	t.AddNote("the slowest element — the interpreted bridge — sets the end-to-end rate; repeaters and the native bridge add latency only")
 	return t, nil
@@ -247,8 +247,8 @@ func MixedFabric(cost netsim.CostModel) (*trace.Table, error) {
 // over the network loader (§5.2). The swap happens between two frames of
 // the stream; after one reverse probe re-warms the new table, the flood
 // onto an uninvolved LAN stops.
-func HotSwap(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func HotSwap(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "Scale: hot-swap dumb→learning under a live ttcp stream",
 		Header: []string{"metric", "value"},
 	}
@@ -306,7 +306,7 @@ func HotSwap(cost netsim.CostModel) (*trace.Table, error) {
 	leakedAfter := third.Frames - leakedBefore
 
 	t.AddRow("stream complete", fmt.Sprintf("%v", tr.Done()))
-	t.AddRow("ttcp Mb/s (8KB writes)", trace.Mbps(tr.ThroughputMbps()))
+	t.AddRow("ttcp Mb/s (8KB writes)", report.Mbps(tr.ThroughputMbps()))
 	t.AddRow("switchlets loaded via network", fmt.Sprintf("%d", b.NetLoads()))
 	t.AddRow("swap at (s)", fmt.Sprintf("%.3f", swapAt.Seconds()))
 	t.AddRow("frames leaked to third LAN before swap", fmt.Sprintf("%d", leakedBefore))
@@ -320,8 +320,8 @@ func HotSwap(cost netsim.CostModel) (*trace.Table, error) {
 // melts down from a single broadcast. The simulator's event cap is the
 // only thing that ends it — exactly why the paper's bridges carry a
 // spanning tree switchlet.
-func BroadcastStorm(cost netsim.CostModel) (*trace.Table, error) {
-	t := &trace.Table{
+func BroadcastStorm(cost netsim.CostModel) (*report.Table, error) {
+	t := &report.Table{
 		Title:  "Scale: broadcast storm in an unprotected 3-bridge loop",
 		Header: []string{"metric", "value"},
 	}
@@ -373,7 +373,7 @@ func registerScale() {
 	scenario.Register("scale-chain16",
 		"16-bridge linear chain: latency adds per hop, throughput pipelines",
 		Chain16,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}
@@ -397,7 +397,7 @@ func registerScale() {
 	scenario.Register("scale-stp-ring",
 		"6-bridge ring: 802.1D blocks the redundant link, traffic survives",
 		STPRing,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}
@@ -417,7 +417,7 @@ func registerScale() {
 	scenario.Register("scale-tree64",
 		"3-level tree, 64 hosts: cross-tree reachability with subtree isolation",
 		Tree64,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(6)(t); err != nil {
 				return err
 			}
@@ -437,7 +437,7 @@ func registerScale() {
 	scenario.Register("scale-mixed-fabric",
 		"heterogeneous 5-hop path: repeaters + bytecode + native bridges",
 		MixedFabric,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}
@@ -450,7 +450,7 @@ func registerScale() {
 	scenario.Register("scale-hotswap",
 		"dumb→learning switchlet swap under a live ttcp stream (§5.2 loader)",
 		HotSwap,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(6)(t); err != nil {
 				return err
 			}
@@ -480,7 +480,7 @@ func registerScale() {
 	scenario.Register("scale-broadcast-storm",
 		"control for stp-ring: the same loop with no spanning tree melts down",
 		BroadcastStorm,
-		func(t *trace.Table) error {
+		func(t *report.Table) error {
 			if err := wantRows(4)(t); err != nil {
 				return err
 			}

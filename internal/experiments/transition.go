@@ -7,10 +7,10 @@ import (
 	"github.com/switchware/activebridge/internal/bridge"
 	"github.com/switchware/activebridge/internal/ethernet"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/report"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/switchlets"
 	"github.com/switchware/activebridge/internal/topo"
-	"github.com/switchware/activebridge/internal/trace"
 )
 
 // TransitionNet is the §5.4 network: two active bridges in a line with an
@@ -95,8 +95,8 @@ func (tn *TransitionNet) snapshot(b *bridge.Bridge) (dec, ieee, control string) 
 
 // Table1Transition reproduces the automatic protocol transition state
 // table. The rows sample bridge 1 at the same points Table 1 lists.
-func Table1Transition(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func Table1Transition(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Table 1: automatic protocol transition (bridge 1)",
 		Header: []string{"action", "DEC", "IEEE", "control"},
 	}
@@ -136,8 +136,8 @@ func Table1Transition(cost netsim.CostModel) *trace.Table {
 
 // Table1Fallback runs the same experiment with the buggy 802.1D switchlet:
 // validation fails and the bridges return to the DEC protocol.
-func Table1Fallback(cost netsim.CostModel) *trace.Table {
-	t := &trace.Table{
+func Table1Fallback(cost netsim.CostModel) *report.Table {
+	t := &report.Table{
 		Title:  "Table 1 (failure row): buggy IEEE switchlet triggers automatic fallback",
 		Header: []string{"when", "bridge", "DEC", "IEEE", "control"},
 	}

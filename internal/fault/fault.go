@@ -24,43 +24,22 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/switchware/activebridge/internal/fault/frand"
 	"github.com/switchware/activebridge/internal/netsim"
 )
 
-// Rand is a splitmix64 generator: 64 bits of state, one multiply-xor
-// avalanche per draw, sequential-seed safe — exactly what per-entity
-// derived streams need.
-type Rand struct{ state uint64 }
+// Rand is the splitmix64 generator shared with the tracing sampler; the
+// implementation lives in the dependency-free frand subpackage so layers
+// below netsim can use the identical streams.
+type Rand = frand.Rand
 
 // NewRand returns a generator seeded with the given state.
-func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
-
-// Uint64 returns the next 64 pseudo-random bits.
-func (r *Rand) Uint64() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-// Float64 returns the next draw in [0, 1).
-func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
-}
+func NewRand(seed uint64) *Rand { return frand.New(seed) }
 
 // DeriveSeed folds an entity name into a plan seed so every entity gets
 // an independent stream that does not depend on declaration order, shard
 // assignment, or which other entities exist.
-func DeriveSeed(seed uint64, name string) uint64 {
-	// FNV-1a over the name, scrambled once together with the plan seed.
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 1099511628211
-	}
-	return NewRand(seed ^ h).Uint64()
-}
+func DeriveSeed(seed uint64, name string) uint64 { return frand.DeriveSeed(seed, name) }
 
 // Model is a frame-impairment profile. The Bernoulli fields are
 // independent per-frame probabilities; at most one fate applies to a
@@ -113,7 +92,7 @@ type Stream struct {
 // NewStream creates a verdict stream for the model, seeded for one
 // entity (combine Plan.Seed and the entity name with DeriveSeed).
 func NewStream(seed uint64, m Model) *Stream {
-	return &Stream{rng: Rand{state: seed}, m: m}
+	return &Stream{rng: frand.Seeded(seed), m: m}
 }
 
 // Verdict decides the fate of one frame. It consumes a fixed number of

@@ -1,0 +1,54 @@
+// Package frand is the dependency-free seeded randomness kernel shared
+// by the fault-injection plane and the tracing sampler: a splitmix64
+// generator plus the per-entity seed-derivation rule. It lives below
+// netsim in the import graph (it imports nothing) so that packages
+// netsim itself depends on — like internal/tracing — can draw from the
+// exact same deterministic streams as internal/fault.
+package frand
+
+// Rand is a splitmix64 generator: 64 bits of state, one multiply-xor
+// avalanche per draw, sequential-seed safe — exactly what per-entity
+// derived streams need.
+type Rand struct{ state uint64 }
+
+// New returns a generator seeded with the given state.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Seeded returns a by-value generator for embedding in larger structs.
+func Seeded(seed uint64) Rand { return Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next draw in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Mix is one stateless splitmix64 avalanche of x: the same finalizer
+// Uint64 applies, usable as a cheap hash when no stream is needed.
+func Mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed folds an entity name into a plan seed so every entity gets
+// an independent stream that does not depend on declaration order, shard
+// assignment, or which other entities exist.
+func DeriveSeed(seed uint64, name string) uint64 {
+	// FNV-1a over the name, scrambled once together with the plan seed.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return New(seed ^ h).Uint64()
+}

@@ -30,10 +30,14 @@
 // Instruments follow Prometheus conventions with an `ab_` prefix and a
 // `<subsystem>_` second segment: ab_shard_* (engine gauges),
 // ab_engine_* (coordinator), ab_bridge_* (per-bridge counters),
-// ab_ttcp_* / ab_ping_* (workloads). Counters end in `_total`. Every
-// instrument registered through topo carries `net` (graph name) and,
-// where meaningful, `shard`, `bridge` or `flow` labels assigned at
-// Build time.
+// ab_ttcp_* / ab_ping_* (workloads), ab_trace_* (the causal tracing
+// plane: ab_trace_events_total, ab_trace_spans_total,
+// ab_trace_dropped_events_total and ab_trace_flight_dumps_total
+// samplers over the tracer's merge state, plus the ab_trace_vm_exec_ns
+// histogram of VM handler spans observed at Flush). Counters end in
+// `_total`. Every instrument registered through topo carries `net`
+// (graph name) and, where meaningful, `shard`, `bridge` or `flow`
+// labels assigned at Build time.
 //
 // # Adding a metric
 //

@@ -47,6 +47,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"github.com/switchware/activebridge/internal/tracing"
 )
 
 // maxTime is the sentinel "no event" instant.
@@ -74,6 +76,9 @@ type xmsg struct {
 	arrive Time // deliveries only
 	nic    *NIC
 	raw    []byte
+	// trace is the frame's causal trace context, carried across the
+	// shard boundary so the receiving engine dispatches under it.
+	trace uint64
 }
 
 // xchan is a directed cross-shard channel. Requests flow from higher to
@@ -128,9 +133,11 @@ func newXport(nic *NIC, seg *Segment) *xport {
 }
 
 // send is NIC.Send executed owner-side at the remote's send instant,
-// through the same transmit state machine a local NIC uses.
+// through the same transmit state machine a local NIC uses. It runs as
+// a dispatched event, so the ambient curTrace is the frame's trace
+// context carried over in the request xmsg.
 func (p *xport) send(raw []byte) {
-	accepted, start := p.tx.offer(raw, p.nic.TxQueueLimit)
+	accepted, start := p.tx.offer(raw, p.sim.curTrace, p.nic.TxQueueLimit)
 	if !accepted {
 		p.txDrops++
 		if fn := p.nic.dropFn; fn != nil {
@@ -147,14 +154,18 @@ func (p *xport) send(raw []byte) {
 }
 
 func (p *xport) drain() {
-	raw, ok := p.tx.next()
+	ent, ok := p.tx.next()
 	if !ok {
 		return
 	}
 	p.txFrames++
-	p.txBytes += uint64(len(raw))
-	done := p.seg.transmit(p.nic, raw)
+	p.txBytes += uint64(len(ent.raw))
+	// Transmit under the queued frame's trace context, as NIC.drain does.
+	prev := p.sim.curTrace
+	p.sim.curTrace = ent.trace
+	done := p.seg.transmit(p.nic, ent.raw)
 	p.sim.Schedule(done, p.drainFn)
+	p.sim.curTrace = prev
 }
 
 // syncStats publishes the proxy's accounting onto the NIC's public fields
@@ -322,18 +333,25 @@ func (c *Coordinator) refreshLookahead() {
 
 // postRequest ships a remote NIC's transmit onto its segment's owner
 // shard, to be serialized onto the medium at exactly the send instant.
-func (c *Coordinator) postRequest(n *NIC, raw []byte) {
+func (c *Coordinator) postRequest(n *NIC, raw []byte, trace uint64) {
 	src := n.sim
 	src.nextID++
-	m := xmsg{gen: src.now, genAt: src.curGenAt, seq: src.nextID, nic: n, raw: raw}
+	m := xmsg{gen: src.now, genAt: src.curGenAt, seq: src.nextID, nic: n, raw: raw, trace: trace}
 	c.post(c.chans[src.shard][n.xport.sim.shard], m)
 }
 
-// postDelivery ships a frame delivery to a remote NIC.
+// postDelivery ships a frame delivery to a remote NIC under the
+// ambient trace context of the transmitting event.
 func (c *Coordinator) postDelivery(seg *Segment, n *NIC, arrive Time, raw []byte) {
 	src := seg.sim
 	src.nextID++
-	m := xmsg{gen: src.now, genAt: src.now, seq: src.nextID, arrive: arrive, nic: n, raw: raw}
+	m := xmsg{gen: src.now, genAt: src.now, seq: src.nextID, arrive: arrive, nic: n, raw: raw, trace: src.curTrace}
+	if src.trc != nil {
+		src.trc.Emit(tracing.Event{
+			VT: int64(src.now), Trace: src.curTrace, Kind: tracing.KindXShard,
+			Node: n.Name, Detail: "delivery->remote",
+		})
+	}
 	c.post(c.chans[src.shard][n.sim.shard], m)
 }
 
@@ -461,10 +479,10 @@ func (c *Coordinator) drainInto(s *Sim) bool {
 				// Execute owner-side at the remote's send instant, ordered
 				// as the remote's generating event would have been.
 				s.queue.push(eventKey{at: m.gen, genAt: m.genAt, src: int32(ch.src), seq: m.seq},
-					eventPayload{bfn: m.nic.xport.sendFn, raw: m.raw})
+					eventPayload{bfn: m.nic.xport.sendFn, raw: m.raw, trace: m.trace})
 			} else {
 				s.queue.push(eventKey{at: m.arrive, genAt: m.genAt, src: int32(ch.src), seq: m.seq},
-					eventPayload{nic: m.nic, raw: m.raw})
+					eventPayload{nic: m.nic, raw: m.raw, trace: m.trace})
 			}
 			inserted = true
 		}
@@ -497,6 +515,7 @@ func (c *Coordinator) step(s *Sim, lw []Time, w eventKey) bool {
 	c.nextLocal[s.shard].Store(int64(k.at))
 	at, e := s.queue.pop()
 	s.now, s.lastAt, s.curGenAt = at, at, k.genAt
+	s.curTrace = e.trace
 	n := uint64(e.dispatch())
 	s.executed += n
 	if c.cap != 0 && c.executedA.Add(n)-c.capBase >= c.cap {
@@ -685,6 +704,7 @@ func (c *Coordinator) run(until Time) uint64 {
 		}
 		at, e := c.control.queue.pop()
 		c.control.now, c.control.lastAt, c.control.curGenAt = at, at, w.genAt
+		c.control.curTrace = e.trace
 		n := uint64(e.dispatch())
 		c.control.executed += n
 		c.executedA.Add(n)
@@ -715,8 +735,10 @@ func (c *Coordinator) run(until Time) uint64 {
 		// executed event was against the coordinated clock.
 		c.lag[i] = now.Sub(s.lastAt)
 		s.now = now
+		s.curTrace = 0
 	}
 	c.control.now = now
+	c.control.curTrace = 0
 
 	for _, p := range c.ports {
 		p.syncStats()

@@ -4,7 +4,16 @@ import (
 	"fmt"
 
 	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/tracing"
 )
+
+// txqEntry is one queued frame plus the trace context it was sent
+// under, so a trace follows its frame through the transmit backlog
+// instead of being misattributed to whatever event happens to drain it.
+type txqEntry struct {
+	raw   []byte
+	trace uint64
+}
 
 // txq is the bounded transmit backlog and drain latch shared by a NIC
 // and its owner-side proxy on a cut segment (xport): one state machine,
@@ -12,7 +21,7 @@ import (
 // prefix is reclaimed when the queue drains, so steady-state sends do
 // not allocate.
 type txq struct {
-	q    [][]byte
+	q    []txqEntry
 	head int
 	busy bool
 }
@@ -20,11 +29,11 @@ type txq struct {
 // offer appends raw unless the queue already holds limit frames. It
 // reports whether the frame was accepted and whether the caller must
 // start the drain (the queue was idle).
-func (t *txq) offer(raw []byte, limit int) (accepted, start bool) {
+func (t *txq) offer(raw []byte, trace uint64, limit int) (accepted, start bool) {
 	if len(t.q)-t.head >= limit {
 		return false, false
 	}
-	t.q = append(t.q, raw)
+	t.q = append(t.q, txqEntry{raw: raw, trace: trace})
 	if !t.busy {
 		t.busy = true
 		return true, true
@@ -34,12 +43,12 @@ func (t *txq) offer(raw []byte, limit int) (accepted, start bool) {
 
 // next yields the next frame to transmit, or clears the busy latch and
 // reports false when the backlog is drained.
-func (t *txq) next() ([]byte, bool) {
+func (t *txq) next() (txqEntry, bool) {
 	if t.head == len(t.q) {
 		t.q = t.q[:0]
 		t.head = 0
 		t.busy = false
-		return nil, false
+		return txqEntry{}, false
 	}
 	if t.head >= 64 {
 		// Compact under sustained backlog so the backing array stays
@@ -47,10 +56,10 @@ func (t *txq) next() ([]byte, bool) {
 		t.q = t.q[:copy(t.q, t.q[t.head:])]
 		t.head = 0
 	}
-	raw := t.q[t.head]
-	t.q[t.head] = nil
+	ent := t.q[t.head]
+	t.q[t.head] = txqEntry{}
 	t.head++
-	return raw, true
+	return ent, true
 }
 
 // backlog reports the queued frame count.
@@ -141,6 +150,14 @@ type NIC struct {
 	// (see TxDropFunc for the threading contract).
 	dropFn TxDropFunc
 
+	// Trace-ID mint state: the per-NIC splitmix64 stream seed (derived
+	// lazily from the tracer seed and the NIC name) and the injected-
+	// frame counter it is advanced by. Both are engine-local, so the
+	// minted IDs are identical at any shard count.
+	traceSeed   uint64
+	traceSeeded bool
+	traceSends  uint64
+
 	// Stats.
 	RxFrames, TxFrames uint64
 	RxBytes, TxBytes   uint64
@@ -194,25 +211,46 @@ func (n *NIC) SetRxFault(fn FaultFunc) { n.rxFault = fn }
 // removes it). See TxDropFunc for the threading contract.
 func (n *NIC) SetTxDropFn(fn TxDropFunc) { n.dropFn = fn }
 
+// traceEvent records one event against this NIC when the net is
+// traced; the nil tracer check lives at every call site so the
+// untraced frame path never builds an Event.
+func (n *NIC) traceEvent(kind tracing.Kind, trace uint64, detail string) {
+	n.sim.trc.Emit(tracing.Event{
+		VT: int64(n.sim.now), Trace: trace, Kind: kind, Node: n.Name, Detail: detail,
+	})
+}
+
 // deliver is called by the segment when a frame arrives at this NIC.
 func (n *NIC) deliver(raw []byte) {
 	if n.linkDown {
 		n.FaultDrops++
+		if n.sim.trc != nil {
+			n.traceEvent(tracing.KindFault, n.sim.curTrace, "rx linkdown")
+		}
 		return
 	}
 	if n.rxFault != nil {
 		switch n.rxFault(raw) {
 		case FaultDrop:
 			n.FaultDrops++
+			if n.sim.trc != nil {
+				n.traceEvent(tracing.KindFault, n.sim.curTrace, "rx drop")
+			}
 			return
 		case FaultCorrupt:
 			n.FaultCorrupts++
+			if n.sim.trc != nil {
+				n.traceEvent(tracing.KindFault, n.sim.curTrace, "rx corrupt")
+			}
 			return
 		case FaultDuplicate:
 			// Receive the frame twice: the adapter saw the same bits
 			// again (a reflection, a repeated symbol). Both copies run
 			// through the same accept filter and handler.
 			n.FaultDups++
+			if n.sim.trc != nil {
+				n.traceEvent(tracing.KindFault, n.sim.curTrace, "rx dup")
+			}
 			n.deliverAccepted(raw)
 		}
 	}
@@ -226,6 +264,9 @@ func (n *NIC) deliverAccepted(raw []byte) {
 	}
 	n.RxFrames++
 	n.RxBytes += uint64(len(raw))
+	if n.sim.trc != nil {
+		n.traceEvent(tracing.KindRx, n.sim.curTrace, fmt.Sprintf("len=%d", len(raw)))
+	}
 	if n.recv != nil {
 		n.recv(n, raw)
 	}
@@ -254,28 +295,61 @@ func (n *NIC) Send(raw []byte) bool {
 	if n.segment == nil {
 		panic(fmt.Sprintf("netsim: NIC %s (%v) not attached to a segment", n.Name, n.MAC))
 	}
+	// A frame entering the net under no trace context starts a trace:
+	// the ID comes from the NIC's own seeded stream, so it is the same
+	// at any shard count, and its bit 0 carries the head-based sampling
+	// decision. Forwarded frames (sent while a traced frame dispatches)
+	// inherit the ambient context instead.
+	trace := n.sim.curTrace
+	if n.sim.trc != nil && trace == 0 {
+		trace = n.mintTrace()
+	}
 	if n.linkDown {
 		// No carrier: the driver's view of a dead link is a frame that
 		// vanishes, not an error (compare Bridge.Send on a nil segment).
 		n.FaultDrops++
+		if n.sim.trc != nil {
+			n.traceEvent(tracing.KindTxDrop, trace, "linkdown")
+		}
 		return false
 	}
 	if n.xport != nil {
-		n.sim.coord.postRequest(n, raw)
+		if n.sim.trc != nil {
+			n.traceEvent(tracing.KindSend, trace, fmt.Sprintf("len=%d", len(raw)))
+			n.traceEvent(tracing.KindXShard, trace, "request->owner")
+		}
+		n.sim.coord.postRequest(n, raw, trace)
 		return true
 	}
-	accepted, start := n.tx.offer(raw, n.TxQueueLimit)
+	accepted, start := n.tx.offer(raw, trace, n.TxQueueLimit)
 	if !accepted {
 		n.TxDrops++
+		if n.sim.trc != nil {
+			n.traceEvent(tracing.KindTxDrop, trace, "overflow")
+		}
 		if n.dropFn != nil {
 			n.dropFn(n, raw)
 		}
 		return false
 	}
+	if n.sim.trc != nil {
+		n.traceEvent(tracing.KindSend, trace, fmt.Sprintf("len=%d", len(raw)))
+	}
 	if start {
 		n.drain()
 	}
 	return true
+}
+
+// mintTrace draws the next trace ID from this NIC's seeded stream.
+func (n *NIC) mintTrace() uint64 {
+	t := n.sim.trc.Tracer()
+	if !n.traceSeeded {
+		n.traceSeed = t.SeedFor(n.Name)
+		n.traceSeeded = true
+	}
+	n.traceSends++
+	return t.TraceID(n.traceSeed, n.traceSends)
 }
 
 // SendFrame marshals and queues a frame.
@@ -288,14 +362,20 @@ func (n *NIC) SendFrame(f *ethernet.Frame) (bool, error) {
 }
 
 func (n *NIC) drain() {
-	raw, ok := n.tx.next()
+	ent, ok := n.tx.next()
 	if !ok {
 		return
 	}
 	n.TxFrames++
-	n.TxBytes += uint64(len(raw))
-	done := n.segment.transmit(n, raw)
+	n.TxBytes += uint64(len(ent.raw))
+	// Transmit under the queued frame's own trace context (drain may be
+	// running from a later frame's event), restoring the ambient context
+	// for the caller.
+	prev := n.sim.curTrace
+	n.sim.curTrace = ent.trace
+	done := n.segment.transmit(n, ent.raw)
 	n.sim.Schedule(done, n.drainFn)
+	n.sim.curTrace = prev
 }
 
 // TxQueueLen reports the current transmit backlog in frames (for a NIC on

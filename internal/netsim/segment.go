@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/switchware/activebridge/internal/ethernet"
+	"github.com/switchware/activebridge/internal/tracing"
 )
 
 // Segment models a shared 100 Mbps Ethernet broadcast domain (one of the
@@ -122,8 +123,14 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 	g.Bytes += uint64(len(raw))
 	g.BusyTime += dur
 
+	// Trace events are always stamped at the current instant (the span's
+	// reach into the future lives in Dur), so merge batches stay aligned
+	// with the virtual-time axis at any shard count.
 	if g.down {
 		g.FaultDrops++
+		if g.sim.trc != nil {
+			g.traceEvent(tracing.KindFault, 0, "segment down")
+		}
 		return end
 	}
 	dup := false
@@ -131,19 +138,31 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 		switch g.fault(raw) {
 		case FaultDrop:
 			g.FaultDrops++
+			if g.sim.trc != nil {
+				g.traceEvent(tracing.KindFault, 0, "wire drop")
+			}
 			return end
 		case FaultCorrupt:
 			// The damaged frame occupies the wire but every receiver's
 			// FCS check discards it, so nothing is delivered.
 			g.FaultCorrupts++
+			if g.sim.trc != nil {
+				g.traceEvent(tracing.KindFault, 0, "wire corrupt")
+			}
 			return end
 		case FaultDuplicate:
 			g.FaultDups++
+			if g.sim.trc != nil {
+				g.traceEvent(tracing.KindFault, 0, "wire dup")
+			}
 			dup = true
 		}
 	}
 
 	arrive := end.Add(g.Propagation)
+	if g.sim.trc != nil {
+		g.traceEvent(tracing.KindWire, int64(arrive-g.sim.now), fmt.Sprintf("len=%d", len(raw)))
+	}
 	local := 0
 	for _, nic := range g.nics {
 		if nic != from && nic.sim == g.sim {
@@ -184,6 +203,14 @@ func (g *Segment) transmit(from *NIC, raw []byte) Time {
 		}
 	}
 	return end
+}
+
+// traceEvent records one segment event under the ambient trace context
+// (dur > 0 makes it a span); callers hold the nil-tracer check.
+func (g *Segment) traceEvent(kind tracing.Kind, dur int64, detail string) {
+	g.sim.trc.Emit(tracing.Event{
+		VT: int64(g.sim.now), Dur: dur, Trace: g.sim.curTrace, Kind: kind, Node: g.Name, Detail: detail,
+	})
 }
 
 // deliverLocal performs a batched delivery scheduled by transmit: raw goes

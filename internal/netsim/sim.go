@@ -21,6 +21,8 @@ package netsim
 import (
 	"errors"
 	"fmt"
+
+	"github.com/switchware/activebridge/internal/tracing"
 )
 
 // ErrPastEvent tags the panic raised when a StrictPast engine sees an
@@ -85,6 +87,11 @@ type eventPayload struct {
 	seg *Segment
 	nn  int32
 	dup bool
+	// trace is the causal trace context captured when the event was
+	// scheduled and restored as the ambient context when it dispatches,
+	// which is how a trace ID follows a frame through every scheduled
+	// hop without any callback signature changing. Zero means untraced.
+	trace uint64
 }
 
 // eventQueue is an index-addressed 4-ary min-heap of keys ordered by
@@ -205,6 +212,13 @@ type Sim struct {
 	rank     int32
 	curGenAt Time
 
+	// trc is this engine's tracing surface (nil when the net is not
+	// traced — the frame path then pays exactly one nil check), and
+	// curTrace is the trace context of the event currently dispatching,
+	// inherited by everything it schedules.
+	trc      *tracing.Engine
+	curTrace uint64
+
 	// quiesce holds callbacks fired at every quiescent point of a serial
 	// engine: at the end of each Run/RunAll, when no event is executing.
 	// The metrics plane publishes from them. Sharded engines delegate to
@@ -249,6 +263,18 @@ func (s *Sim) quiesced() {
 	}
 }
 
+// SetTraceEngine installs this engine's tracing surface; nil disables
+// tracing, which is the default and costs the frame path one nil check.
+func (s *Sim) SetTraceEngine(e *tracing.Engine) { s.trc = e }
+
+// TraceEngine returns this engine's tracing surface (nil when the net
+// is untraced).
+func (s *Sim) TraceEngine() *tracing.Engine { return s.trc }
+
+// CurTrace returns the trace context of the event currently
+// dispatching on this engine — zero when untraced.
+func (s *Sim) CurTrace() uint64 { return s.curTrace }
+
 // clampPast guards against scheduling strictly in the past: the event is
 // clamped to run at the current instant (after already pending events for
 // that instant), or panics in StrictPast mode. Sharded execution depends
@@ -257,6 +283,9 @@ func (s *Sim) quiesced() {
 func (s *Sim) clampPast(at Time) Time {
 	if at < s.now {
 		if s.StrictPast {
+			if s.trc != nil {
+				s.trc.DumpFlight("invariant: event scheduled in the past", int64(s.now))
+			}
 			panic(fmt.Errorf("%w: scheduled %v behind %v", ErrPastEvent, at, s.now))
 		}
 		return s.now
@@ -271,7 +300,7 @@ func (s *Sim) clampPast(at Time) Time {
 func (s *Sim) Schedule(at Time, fn func()) {
 	at = s.clampPast(at)
 	s.nextID++
-	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{fn: fn})
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{fn: fn, trace: s.curTrace})
 }
 
 // ScheduleBytes runs fn(raw) at the given absolute time without allocating
@@ -280,7 +309,7 @@ func (s *Sim) Schedule(at Time, fn func()) {
 func (s *Sim) ScheduleBytes(at Time, fn func([]byte), raw []byte) {
 	at = s.clampPast(at)
 	s.nextID++
-	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{bfn: fn, raw: raw})
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{bfn: fn, raw: raw, trace: s.curTrace})
 }
 
 // scheduleDeliver schedules delivery of raw to nic without allocating a
@@ -288,7 +317,7 @@ func (s *Sim) ScheduleBytes(at Time, fn func([]byte), raw []byte) {
 func (s *Sim) scheduleDeliver(at Time, nic *NIC, raw []byte) {
 	at = s.clampPast(at)
 	s.nextID++
-	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{nic: nic, raw: raw})
+	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID}, eventPayload{nic: nic, raw: raw, trace: s.curTrace})
 }
 
 // scheduleDeliverSeg schedules one batched delivery of raw to every local
@@ -298,7 +327,7 @@ func (s *Sim) scheduleDeliverSeg(at Time, g *Segment, from *NIC, raw []byte, dup
 	at = s.clampPast(at)
 	s.nextID++
 	s.queue.push(eventKey{at: at, genAt: s.now, src: s.rank, seq: s.nextID},
-		eventPayload{seg: g, nic: from, raw: raw, nn: int32(len(g.nics)), dup: dup})
+		eventPayload{seg: g, nic: from, raw: raw, nn: int32(len(g.nics)), dup: dup, trace: s.curTrace})
 }
 
 // capped reports whether an event-count cap is in force, either on this
@@ -357,11 +386,13 @@ func (s *Sim) Run(until Time) uint64 {
 		}
 		at, e := s.queue.pop()
 		s.now = at
+		s.curTrace = e.trace
 		s.executed += uint64(e.dispatch())
 		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
 			break
 		}
 	}
+	s.curTrace = 0
 	if s.now < until && !s.halted && s.queue.len() == 0 {
 		s.now = until
 	}
@@ -386,11 +417,13 @@ func (s *Sim) RunAll() uint64 {
 	for s.queue.len() > 0 && !s.halted {
 		at, e := s.queue.pop()
 		s.now = at
+		s.curTrace = e.trace
 		s.executed += uint64(e.dispatch())
 		if s.MaxEvents != 0 && s.executed-start >= s.MaxEvents {
 			break
 		}
 	}
+	s.curTrace = 0
 	s.quiesced()
 	return s.executed - start
 }

@@ -1,7 +1,7 @@
 // Package trace provides the measurement plumbing of the experiment
 // harness: aligned text tables (the form in which every reproduced figure
 // and table is emitted) and small statistics helpers.
-package trace
+package report
 
 import (
 	"fmt"

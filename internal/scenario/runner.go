@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/trace"
+	"github.com/switchware/activebridge/internal/report"
 )
 
 // Result is one executed scenario.
@@ -15,7 +15,7 @@ type Result struct {
 	Name string
 	Desc string
 	// Table is the scenario's rendered output (nil if Run failed).
-	Table *trace.Table
+	Table *report.Table
 	// Fingerprint digests the rendered table; byte-identical output ⇒
 	// identical fingerprint, regardless of runner parallelism.
 	Fingerprint string

@@ -1,7 +1,7 @@
 // Package scenario is the registry and runner for named, self-describing
 // experiment scenarios. A scenario is a deterministic function of a cost
 // model: it builds its own simulation (typically via internal/topo),
-// drives it, and returns a rendered trace.Table. Because every scenario
+// drives it, and returns a rendered report.Table. Because every scenario
 // owns a single-threaded simulation and shares no mutable state with any
 // other, N scenarios can run concurrently across cores while each one's
 // virtual-time output stays byte-identical — only the wall clock changes.
@@ -20,17 +20,17 @@ import (
 	"sync"
 
 	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/trace"
+	"github.com/switchware/activebridge/internal/report"
 )
 
 // RunFunc builds, drives and reports one experiment. It must be a pure
 // function of the cost model: fresh simulation, no package-level mutable
 // state, deterministic output.
-type RunFunc func(cost netsim.CostModel) (*trace.Table, error)
+type RunFunc func(cost netsim.CostModel) (*report.Table, error)
 
 // CheckFunc validates a scenario's finished table (shape and physical
 // invariants — orderings, completions, bounds). nil means no check.
-type CheckFunc func(t *trace.Table) error
+type CheckFunc func(t *report.Table) error
 
 // Scenario is one registered experiment.
 type Scenario struct {
@@ -142,7 +142,7 @@ func Match(pattern string) ([]*Scenario, error) { return Default.Match(pattern) 
 // Fingerprint is the determinism digest of a rendered table: FNV-1a of
 // every byte of the output. Two runs (serial or parallel, any machine)
 // must produce the same digest for the same scenario.
-func Fingerprint(t *trace.Table) string {
+func Fingerprint(t *report.Table) string {
 	h := fnv.New64a()
 	if t != nil {
 		_, _ = h.Write([]byte(t.String()))

@@ -6,18 +6,18 @@ import (
 	"testing"
 
 	"github.com/switchware/activebridge/internal/netsim"
-	"github.com/switchware/activebridge/internal/trace"
+	"github.com/switchware/activebridge/internal/report"
 )
 
 // fakeTable builds a deterministic table from a name.
-func fakeTable(name string) *trace.Table {
-	t := &trace.Table{Title: name, Header: []string{"k", "v"}}
+func fakeTable(name string) *report.Table {
+	t := &report.Table{Title: name, Header: []string{"k", "v"}}
 	t.AddRow("name", name)
 	return t
 }
 
 func fakeRun(name string) RunFunc {
-	return func(netsim.CostModel) (*trace.Table, error) { return fakeTable(name), nil }
+	return func(netsim.CostModel) (*report.Table, error) { return fakeTable(name), nil }
 }
 
 func TestRegistryOrderAndLookup(t *testing.T) {
@@ -105,7 +105,7 @@ func TestRunEachEmitsInInputOrder(t *testing.T) {
 
 func TestRunAllRecoversPanic(t *testing.T) {
 	scs := []*Scenario{
-		{Name: "boom", Run: func(netsim.CostModel) (*trace.Table, error) { panic("kaboom") }},
+		{Name: "boom", Run: func(netsim.CostModel) (*report.Table, error) { panic("kaboom") }},
 		{Name: "fine", Run: fakeRun("fine")},
 	}
 	rs := RunAll(scs, netsim.DefaultCostModel(), 2)
@@ -122,7 +122,7 @@ func TestRunAllChecks(t *testing.T) {
 	scs := []*Scenario{{
 		Name:  "checked",
 		Run:   fakeRun("checked"),
-		Check: func(*trace.Table) error { return wantErr },
+		Check: func(*report.Table) error { return wantErr },
 	}}
 	rs := RunAll(scs, netsim.DefaultCostModel(), 1)
 	if !errors.Is(rs[0].CheckErr, wantErr) || rs[0].OK() {

@@ -12,15 +12,29 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/scenario"
 	"github.com/switchware/activebridge/internal/topo"
+	"github.com/switchware/activebridge/internal/tracing"
 )
 
 // TestMain lets CI run the whole test package — including the golden
-// fingerprint pins — under a fixed shard count: AB_SHARDS=4 go test.
+// fingerprint pins — under a fixed shard count (AB_SHARDS=4 go test)
+// and/or with the causal tracing plane recording every built net
+// (AB_TRACE=1 go test). Tracing must never move a golden byte, so the
+// pins themselves are the acceptance gate for the traced frame path.
 func TestMain(m *testing.M) {
 	if v := os.Getenv("AB_SHARDS"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 {
 			topo.DefaultShards = n
 		}
+	}
+	if os.Getenv("AB_TRACE") == "1" {
+		cfg := tracing.Config{Seed: 1, SampleProb: 1}
+		if v := os.Getenv("AB_TRACE_SAMPLE"); v != "" {
+			if p, err := strconv.ParseFloat(v, 64); err == nil && p > 0 {
+				cfg.SampleProb = p
+			}
+		}
+		tracing.SetDefaultConfig(cfg)
+		tracing.Enable()
 	}
 	os.Exit(m.Run())
 }

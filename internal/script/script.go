@@ -25,6 +25,8 @@
 //	fail <segment|bridge>              (cut a segment's medium / crash a bridge)
 //	heal <segment|bridge>              (restore the medium / restart the bridge)
 //	faults                             (fault state of every segment and bridge)
+//	trace on|off|dump                  (causal tracing plane; dump renders the
+//	                                   merged transcript and any flight dumps)
 //	logs
 //
 // Loading, querying and upgrading all route through the bridge's
@@ -51,6 +53,7 @@ import (
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/stp"
 	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/tracing"
 	"github.com/switchware/activebridge/internal/vm"
 	"github.com/switchware/activebridge/internal/vm/verify"
 	"github.com/switchware/activebridge/internal/workload"
@@ -69,6 +72,7 @@ type World struct {
 
 	nextMAC byte
 	logsOn  bool
+	tracer  *tracing.Tracer
 }
 
 // NewWorld creates an empty environment.
@@ -364,6 +368,31 @@ func (w *World) Exec(f []string) error {
 			return fmt.Errorf("usage: faults")
 		}
 		w.listFaults()
+	case "trace":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: trace on|off|dump")
+		}
+		switch f[1] {
+		case "on":
+			if w.tracer == nil {
+				w.tracer = tracing.New(tracing.GetDefaultConfig())
+				w.Sim.OnQuiesce(w.tracer.Flush)
+			}
+			w.Sim.SetTraceEngine(w.tracer.Engine(0))
+			w.printf("tracing on\n")
+		case "off":
+			w.Sim.SetTraceEngine(nil)
+			w.printf("tracing off\n")
+		case "dump":
+			if w.tracer == nil {
+				return fmt.Errorf("trace dump: tracing was never on")
+			}
+			w.tracer.Flush()
+			w.tracer.RenderTranscript(w.Out)
+			w.tracer.RenderDumps(w.Out)
+		default:
+			return fmt.Errorf("usage: trace on|off|dump")
+		}
 	case "logs":
 		w.logsOn = true
 	default:

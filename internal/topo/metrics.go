@@ -129,6 +129,9 @@ func (n *Net) EnableMetrics() *metrics.Registry {
 	reg.Publish()
 	metrics.DefaultHub.Attach(reg)
 	n.metricsReg = reg
+	if n.tracer != nil {
+		n.instrumentTracer(reg, n.tracer)
+	}
 	return reg
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/switchware/activebridge/internal/fault"
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
+	"github.com/switchware/activebridge/internal/tracing"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -35,6 +36,10 @@ type Net struct {
 	// metricsReg is the telemetry registry, non-nil once EnableMetrics
 	// ran (see metrics.go).
 	metricsReg *metrics.Registry
+
+	// tracer is the causal tracing plane, non-nil once EnableTracing
+	// ran (see tracing.go).
+	tracer *tracing.Tracer
 
 	// faultPlan is the fault schedule the net was built with (see
 	// fault.go), nil for a clean build.

@@ -42,6 +42,7 @@ import (
 	"github.com/switchware/activebridge/internal/metrics"
 	"github.com/switchware/activebridge/internal/netsim"
 	"github.com/switchware/activebridge/internal/switchlets"
+	"github.com/switchware/activebridge/internal/tracing"
 	"github.com/switchware/activebridge/internal/workload"
 )
 
@@ -650,6 +651,11 @@ func (g *Graph) Build(cost netsim.CostModel) (*Net, error) {
 	// built simulation's virtual-time behaviour is identical either way.
 	if metrics.Enabled() {
 		n.EnableMetrics()
+	}
+	// Same opt-in shape for the causal tracing plane (abbench -trace, the
+	// SDK's EnableTracing); events never feed back into the simulation.
+	if tracing.Enabled() {
+		n.EnableTracing(tracing.GetDefaultConfig())
 	}
 	return n, nil
 }

@@ -1,0 +1,235 @@
+package tracing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampledID builds a trace ID that carries both the "traced" and the
+// "sampled" bits without going through the mint.
+func sampledID(n uint64) uint64 { return n<<1 | 1<<63 | 1 }
+
+func TestTraceIDDeterministicAndTagged(t *testing.T) {
+	a := New(Config{Seed: 42})
+	b := New(Config{Seed: 42})
+	seedA, seedB := a.SeedFor("br0.eth1"), b.SeedFor("br0.eth1")
+	if seedA != seedB {
+		t.Fatalf("SeedFor not deterministic: %x vs %x", seedA, seedB)
+	}
+	if other := a.SeedFor("br0.eth2"); other == seedA {
+		t.Fatalf("distinct NICs share a stream seed: %x", other)
+	}
+	seen := map[uint64]bool{}
+	for n := uint64(1); n <= 100; n++ {
+		id := a.TraceID(seedA, n)
+		if id != b.TraceID(seedB, n) {
+			t.Fatalf("TraceID(%d) not deterministic", n)
+		}
+		if id&(1<<63) == 0 {
+			t.Fatalf("TraceID(%d) = %x: bit 63 clear (collides with untraced zero)", n, id)
+		}
+		if seen[id] {
+			t.Fatalf("TraceID(%d) = %x repeats within the stream", n, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDSampling(t *testing.T) {
+	all := New(Config{Seed: 7, SampleProb: 1})
+	none := New(Config{Seed: 7, SampleProb: 1e-12})
+	seed := all.SeedFor("h1.eth0")
+	for n := uint64(1); n <= 200; n++ {
+		if !Sampled(all.TraceID(seed, n)) {
+			t.Fatalf("SampleProb=1: trace %d unsampled", n)
+		}
+		if Sampled(none.TraceID(seed, n)) {
+			t.Fatalf("SampleProb~0: trace %d sampled", n)
+		}
+	}
+	// The decision rides the ID itself, so it is identical wherever the
+	// ID travels — no per-shard coin flips.
+	half := New(Config{Seed: 7, SampleProb: 0.5})
+	sampled := 0
+	for n := uint64(1); n <= 1000; n++ {
+		if Sampled(half.TraceID(seed, n)) {
+			sampled++
+		}
+	}
+	if sampled < 350 || sampled > 650 {
+		t.Fatalf("SampleProb=0.5: %d/1000 sampled, far from fair", sampled)
+	}
+}
+
+func TestFlightRingWraparound(t *testing.T) {
+	tr := New(Config{FlightN: 4})
+	e := tr.Engine(0)
+	for i := 1; i <= 10; i++ {
+		// Unsampled events (bit 0 clear) still enter the flight ring.
+		e.Emit(Event{VT: int64(i), Trace: 1 << 63, Kind: KindSend, Node: "n"})
+	}
+	e.DumpFlight("test", 10)
+	dumps := tr.FlightDumps()
+	if len(dumps) != 1 || tr.DumpCount() != 1 {
+		t.Fatalf("expected 1 dump, got %d (count %d)", len(dumps), tr.DumpCount())
+	}
+	d := dumps[0]
+	if len(d.Events) != 4 {
+		t.Fatalf("ring of 4 dumped %d events", len(d.Events))
+	}
+	for i, ev := range d.Events {
+		if want := int64(7 + i); ev.VT != want {
+			t.Fatalf("dump[%d].VT = %d, want %d (oldest first)", i, ev.VT, want)
+		}
+	}
+	if len(tr.Transcript()) != 0 {
+		t.Fatalf("unsampled events leaked into the transcript")
+	}
+}
+
+func TestFlushCanonicalOrderAndXShard(t *testing.T) {
+	tr := New(Config{})
+	e0, e1 := tr.Engine(0), tr.Engine(1)
+	// Same instant, one trace, recorded out of pipeline order across two
+	// engines; the crossing itself must stay flight-only.
+	id := sampledID(9)
+	e1.Emit(Event{VT: 50, Trace: id, Kind: KindVM, Node: "br", Dur: 10})
+	e1.Emit(Event{VT: 50, Trace: id, Kind: KindVerdict, Node: "br"})
+	e0.Emit(Event{VT: 50, Trace: id, Kind: KindXShard, Node: "h1.eth0"})
+	e0.Emit(Event{VT: 50, Trace: id, Kind: KindSend, Node: "h1.eth0"})
+	e0.Emit(Event{VT: 40, Trace: id, Kind: KindWire, Node: "s0", Dur: 5})
+	tr.Flush()
+	got := tr.Transcript()
+	kinds := make([]Kind, len(got))
+	for i := range got {
+		kinds[i] = got[i].Kind
+	}
+	want := []Kind{KindWire, KindSend, KindVM, KindVerdict}
+	if len(kinds) != len(want) {
+		t.Fatalf("transcript has %d events (%v), want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("transcript[%d] = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if tr.Spans() != 4 {
+		t.Fatalf("Spans() = %d, want 4 (xshard never counts)", tr.Spans())
+	}
+}
+
+func TestTranscriptCapCountsDropped(t *testing.T) {
+	tr := New(Config{MaxEvents: 3})
+	e := tr.Engine(0)
+	for i := 1; i <= 5; i++ {
+		e.Emit(Event{VT: int64(i), Trace: sampledID(uint64(i)), Kind: KindSend, Node: "n"})
+	}
+	tr.Flush()
+	if len(tr.Transcript()) != 3 {
+		t.Fatalf("cap 3 kept %d events", len(tr.Transcript()))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2 (no silent truncation)", tr.Dropped())
+	}
+}
+
+func TestRenderTranscriptFormat(t *testing.T) {
+	tr := New(Config{})
+	e := tr.Engine(0)
+	e.Emit(Event{VT: 100, Trace: sampledID(1), Kind: KindSend, Node: "h1.eth0", Detail: "len=64"})
+	e.Emit(Event{VT: 120, Trace: sampledID(1), Kind: KindWire, Node: "s0", Dur: 7, Detail: "len=64"})
+	tr.Flush()
+	var sb strings.Builder
+	tr.RenderTranscript(&sb)
+	want := "t=100          8000000000000003 send    h1.eth0 len=64\n" +
+		"t=120          8000000000000003 wire    s0 dur=7 len=64\n"
+	if sb.String() != want {
+		t.Fatalf("render format drifted:\n got %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestVMHistObservesSpans(t *testing.T) {
+	tr := New(Config{})
+	var got []float64
+	tr.SetVMHist(obsFunc(func(v float64) { got = append(got, v) }))
+	e := tr.Engine(0)
+	e.Emit(Event{VT: 1, Trace: sampledID(1), Kind: KindVM, Node: "br", Dur: 111})
+	e.Emit(Event{VT: 2, Trace: sampledID(1), Kind: KindSend, Node: "br"})
+	e.Emit(Event{VT: 3, Trace: sampledID(1), Kind: KindVM, Node: "br", Dur: 222})
+	tr.Flush()
+	if len(got) != 2 || got[0] != 111 || got[1] != 222 {
+		t.Fatalf("vm histogram observed %v, want [111 222]", got)
+	}
+}
+
+type obsFunc func(float64)
+
+func (f obsFunc) Observe(v float64) { f(v) }
+
+func TestChromeExportLints(t *testing.T) {
+	tr := New(Config{})
+	e := tr.Engine(0)
+	id := sampledID(3)
+	e.Emit(Event{VT: 1000, Trace: id, Kind: KindSend, Node: "h1.eth0", Detail: "len=64"})
+	e.Emit(Event{VT: 1500, Trace: id, Kind: KindWire, Node: "s0", Dur: 600, Detail: "len=64"})
+	e.Emit(Event{VT: 2100, Trace: id, Kind: KindVM, Node: "br", Dur: 400, Detail: `handler="x"`})
+	tr.Flush()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("self-produced trace fails lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{`"thread_name"`, `"ph":"b"`, `"ph":"e"`, `"ph":"i"`, `"displayTimeUnit":"ns"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeAllMergesMonotone(t *testing.T) {
+	mk := func(vts ...int64) *Tracer {
+		tr := New(Config{})
+		e := tr.Engine(0)
+		for i, vt := range vts {
+			e.Emit(Event{VT: vt, Trace: sampledID(uint64(i + 1)), Kind: KindVM, Node: "br", Dur: 50})
+		}
+		tr.Flush()
+		return tr
+	}
+	// Interleaved virtual times across the two tracers: the combined
+	// document must still be globally ts-sorted.
+	a, b := mk(10, 300, 900), mk(5, 400, 800)
+	var buf bytes.Buffer
+	if err := WriteChromeAll(&buf, []*Tracer{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("multi-tracer export fails lint: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"pid":2`) {
+		t.Fatalf("second tracer did not get its own pid:\n%s", buf.String())
+	}
+}
+
+func TestLintChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{"traceEvents":[`,
+		"missing name":     `{"traceEvents":[{"ph":"i","ts":1}]}`,
+		"unknown phase":    `{"traceEvents":[{"name":"x","ph":"q","ts":1}]}`,
+		"backwards ts":     `{"traceEvents":[{"name":"x","ph":"i","ts":5},{"name":"y","ph":"i","ts":4}]}`,
+		"unmatched begin":  `{"traceEvents":[{"name":"x","ph":"b","id":"1","ts":1}]}`,
+		"end before begin": `{"traceEvents":[{"name":"x","ph":"e","id":"1","ts":1}]}`,
+	}
+	for label, doc := range cases {
+		if err := LintChrome(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: lint accepted %s", label, doc)
+		}
+	}
+	if err := LintChrome(strings.NewReader(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty trace rejected: %v", err)
+	}
+}

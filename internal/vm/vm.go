@@ -37,6 +37,11 @@ type Machine struct {
 	// Telemetry only — tier residency has no semantic weight.
 	TierEnters [3]uint64
 
+	// Trace receives deoptimization events when the host attaches a
+	// tracing sink. Nil disables; the check costs one branch per deopt,
+	// which is already off the hot path.
+	Trace TraceSink
+
 	// MaxSteps is the per-invocation fuel. A switchlet that loops forever
 	// is stopped with a trap — part of the bridge protecting itself.
 	MaxSteps uint64
@@ -94,6 +99,13 @@ func NewMachine() *Machine {
 	m := &Machine{MaxSteps: DefaultMaxSteps, MaxFrames: DefaultMaxFrames}
 	m.ctx.M = m
 	return m
+}
+
+// TraceSink observes tier deoptimizations (a quickened or translated
+// frame falling back to wire code). Telemetry only: the sink must not
+// re-enter the machine.
+type TraceSink interface {
+	TraceDeopt(reason string)
 }
 
 // Ctx is passed to native functions so they can call back into switchlet
@@ -419,6 +431,9 @@ frames:
 					f.ip = int(chunk.quickSrc[f.ip])
 				}
 				f.naive = true
+				if m.Trace != nil {
+					m.Trace.TraceDeopt("fuel")
+				}
 				continue frames
 			}
 			fuel -= w
@@ -841,6 +856,9 @@ frames:
 					steps -= w
 					f.ip = int(chunk.quickSrc[f.ip-1])
 					f.naive = true
+					if m.Trace != nil {
+						m.Trace.TraceDeopt("untagged-reg")
+					}
 					continue frames
 				}
 				nv := f.iregs[reg] + int64(ins.B)
@@ -859,6 +877,9 @@ frames:
 					steps -= w
 					f.ip = int(chunk.quickSrc[f.ip-1])
 					f.naive = true
+					if m.Trace != nil {
+						m.Trace.TraceDeopt("untagged-reg")
+					}
 					continue frames
 				}
 				if f.iregs[ri] > f.iregs[rh] {
@@ -895,6 +916,9 @@ frames:
 					steps -= w
 					f.ip = int(chunk.quickSrc[f.ip-1])
 					f.naive = true
+					if m.Trace != nil {
+						m.Trace.TraceDeopt("call-mispredict")
+					}
 					continue frames
 				}
 				args := m.vals[len(m.vals)-n:]
@@ -1016,6 +1040,9 @@ frames:
 						// present.
 						f.ip = int(chunk.quickSrc[f.ip-1])
 						f.naive = true
+						if m.Trace != nil {
+							m.Trace.TraceDeopt("translated-guard")
+						}
 						continue frames
 					}
 					trapErr = m.transTrap
